@@ -1,0 +1,52 @@
+# Development entry points. Everything is stdlib-only; plain `go` suffices.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments stress explore examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Short fuzzing burst per fuzzer (seed corpora always run under `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzDequeModel -fuzztime=30s ./internal/snark/
+	$(GO) test -fuzz=FuzzSetModel -fuzztime=30s ./internal/dlist/
+	$(GO) test -fuzz=FuzzEnginesAgree -fuzztime=30s ./internal/dcas/
+
+# Reproduce every experiment table in EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/lfrcbench -engine both -scale 2 -dur 300ms -workers 1,2,4,8
+
+stress:
+	$(GO) run ./cmd/snarkstress -dur 30s
+
+# Deep schedule-space hunt (historical Snark races, LFRC safety).
+explore:
+	$(GO) run ./cmd/lfrcexplore -preemptions 4 -maxruns 200000
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/workstealing
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/memshrink
+	$(GO) run ./examples/membership
+
+clean:
+	$(GO) clean -testcache

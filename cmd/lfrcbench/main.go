@@ -1,0 +1,149 @@
+// Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
+// A2 — see DESIGN.md §4 and EXPERIMENTS.md) and prints one table per
+// experiment, in the same format EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-scale N]
+//	          [-dur 250ms] [-workers 1,2,4,8] [-markdown]
+//
+// With no -run flag every experiment runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lfrc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lfrcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lfrcbench", flag.ContinueOnError)
+	var (
+		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		engine   = fs.String("engine", "locking", "engine for single-engine experiments: locking, mcas or both")
+		scale    = fs.Int("scale", 1, "iteration multiplier (1 = quick)")
+		dur      = fs.Duration("dur", 250*time.Millisecond, "measurement window for timed experiments")
+		workers  = fs.String("workers", "1,2,4,8", "worker counts for the E5 sweep")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kinds, err := parseEngines(*engine)
+	if err != nil {
+		return err
+	}
+	workerCounts, err := parseInts(*workers)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
+	sc := workload.Scale(*scale)
+
+	wanted := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(wanted) == 0 || wanted[id] }
+
+	emit := func(t *workload.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	for _, kind := range kinds {
+		if want("E1") {
+			emit(workload.RunE1(kind, sc))
+		}
+		if want("E2") {
+			emit(workload.RunE2(kind, sc))
+		}
+		if want("E3") {
+			emit(workload.RunE3(kind, sc))
+		}
+		if want("E4") {
+			emit(workload.RunE4(kind, *dur))
+		}
+		if want("E7") {
+			emit(workload.RunE7(kind, sc))
+		}
+		if want("E8") {
+			emit(workload.RunE8(kind, sc))
+		}
+		if want("E9") {
+			emit(workload.RunE9(kind, sc))
+		}
+		if want("A2") {
+			emit(workload.RunA2(kind, sc))
+		}
+		if want("L1") {
+			emit(workload.RunL1(kind, sc))
+		}
+		if want("G1") {
+			emit(workload.RunG1(kind, *dur))
+		}
+	}
+	// Engine-sweeping experiments run once.
+	if want("E5") {
+		emit(workload.RunE5(*dur, workerCounts))
+	}
+	if want("E6") {
+		emit(workload.RunE6(sc))
+	}
+	if want("A1") {
+		emit(workload.RunA1(*dur))
+	}
+	return nil
+}
+
+func parseEngines(s string) ([]workload.EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "locking":
+		return []workload.EngineKind{workload.EngineLocking}, nil
+	case "mcas":
+		return []workload.EngineKind{workload.EngineMCAS}, nil
+	case "both":
+		return workload.Engines, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want locking, mcas or both)", s)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("worker count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+
+	"lfrc/internal/workload"
+)
+
+func TestParseEngines(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []workload.EngineKind
+		wantErr bool
+	}{
+		{give: "locking", want: []workload.EngineKind{workload.EngineLocking}},
+		{give: "mcas", want: []workload.EngineKind{workload.EngineMCAS}},
+		{give: "MCAS", want: []workload.EngineKind{workload.EngineMCAS}},
+		{give: " both ", want: workload.Engines},
+		{give: "neither", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseEngines(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseEngines(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseEngines(%q) = %v, want %v", tt.give, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseEngines(%q)[%d] = %v, want %v", tt.give, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "1,2,4", want: []int{1, 2, 4}},
+		{give: " 8 ", want: []int{8}},
+		{give: "1,,2", want: []int{1, 2}},
+		{give: "0", wantErr: true},
+		{give: "x", wantErr: true},
+		{give: "", wantErr: true},
+		{give: ",", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseInts(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseInts(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-engine", "bogus"}); err == nil {
+		t.Error("run accepted a bogus engine")
+	}
+	if err := run([]string{"-workers", "0"}); err == nil {
+		t.Error("run accepted zero workers")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	// E7 at scale 1 is fast and deterministic.
+	if err := run([]string{"-run", "E7", "-scale", "1"}); err != nil {
+		t.Errorf("run(E7): %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Command lfrcexplore runs the controlled-concurrency explorer (see
+// internal/explore) against the deque scenarios at user-chosen depth — the
+// tool for hunting interleaving bugs beyond what CI-budgeted tests cover,
+// such as the value-level races Doherty et al. (SPAA 2004) proved exist in
+// the published Snark algorithm.
+//
+// Usage:
+//
+//	lfrcexplore [-scenario all] [-preemptions 3] [-maxruns 200000]
+//	            [-claiming] [-random 0] [-maxsteps 200000]
+//
+// With -random N > 0, N seeded random schedules run instead of the
+// preemption-bounded DFS. Exit status is 0 even when anomalies are found —
+// finding them is the tool's purpose; heap-integrity violations (which the
+// LFRC paper's guarantees forbid) exit non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/explore"
+	"lfrc/internal/mem"
+	"lfrc/internal/snark"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lfrcexplore:", err)
+		os.Exit(1)
+	}
+}
+
+type dequeOp struct {
+	push  bool
+	left  bool
+	value uint64
+}
+
+func popL() dequeOp          { return dequeOp{left: true} }
+func popR() dequeOp          { return dequeOp{} }
+func pushR(v uint64) dequeOp { return dequeOp{push: true, value: v} }
+func pushL(v uint64) dequeOp { return dequeOp{push: true, left: true, value: v} }
+
+type namedScenario struct {
+	name    string
+	prefill []uint64
+	threads [][]dequeOp
+}
+
+// scenarios are the near-empty shapes where the historical races live,
+// plus slightly deeper ones for longer hunts.
+func scenarios() []namedScenario {
+	return []namedScenario{
+		{name: "2elem-popL-popR", prefill: []uint64{1, 2}, threads: [][]dequeOp{{popL()}, {popR()}}},
+		{name: "1elem-popL-popR", prefill: []uint64{1}, threads: [][]dequeOp{{popL()}, {popR()}}},
+		{name: "1elem-popL-popR-pushR", prefill: []uint64{1}, threads: [][]dequeOp{{popL()}, {popR()}, {pushR(2)}}},
+		{name: "2elem-popLpopL-popR", prefill: []uint64{1, 2}, threads: [][]dequeOp{{popL(), popL()}, {popR()}}},
+		{name: "2elem-popL-popR-pushL-pushR", prefill: []uint64{1, 2},
+			threads: [][]dequeOp{{popL()}, {popR()}, {pushL(3)}, {pushR(4)}}},
+		{name: "3elem-popLpopL-popRpopR", prefill: []uint64{1, 2, 3},
+			threads: [][]dequeOp{{popL(), popL()}, {popR(), popR()}}},
+		{name: "empty-pushL-popR-pushR-popL", prefill: nil,
+			threads: [][]dequeOp{{pushL(1), popR()}, {pushR(2), popL()}}},
+	}
+}
+
+func buildScenario(sc namedScenario, claiming bool) explore.Scenario {
+	return func(instrument func(dcas.Engine) dcas.Engine) ([]func(), func() error) {
+		h := mem.NewHeap()
+		e := instrument(dcas.NewLocking(h))
+		rc := core.New(h, e)
+		var sopts []snark.Option
+		if claiming {
+			sopts = append(sopts, snark.WithValueClaiming())
+		}
+		d, err := snark.New(rc, snark.MustRegisterTypes(h), sopts...)
+		if err != nil {
+			panic(err)
+		}
+		expected := map[uint64]int{}
+		for _, v := range sc.prefill {
+			if err := d.PushRight(v); err != nil {
+				panic(err)
+			}
+			expected[v]++
+		}
+		results := make([][]uint64, len(sc.threads))
+		threads := make([]func(), len(sc.threads))
+		for i, script := range sc.threads {
+			i, script := i, script
+			for _, op := range script {
+				if op.push {
+					expected[op.value]++
+				}
+			}
+			threads[i] = func() {
+				for _, op := range script {
+					switch {
+					case op.push && op.left:
+						_ = d.PushLeft(op.value)
+					case op.push:
+						_ = d.PushRight(op.value)
+					case op.left:
+						if v, ok := d.PopLeft(); ok {
+							results[i] = append(results[i], v)
+						}
+					default:
+						if v, ok := d.PopRight(); ok {
+							results[i] = append(results[i], v)
+						}
+					}
+				}
+			}
+		}
+		check := func() error {
+			got := map[uint64]int{}
+			for _, rs := range results {
+				for _, v := range rs {
+					got[v]++
+				}
+			}
+			for {
+				v, ok := d.PopLeft()
+				if !ok {
+					break
+				}
+				got[v]++
+			}
+			var problems []string
+			for v, n := range got {
+				if n != expected[v] {
+					problems = append(problems, fmt.Sprintf("value %d delivered %d times (want %d)", v, n, expected[v]))
+				}
+			}
+			for v := range expected {
+				if got[v] == 0 && expected[v] > 0 {
+					problems = append(problems, fmt.Sprintf("value %d lost", v))
+				}
+			}
+			d.Close()
+			if hs := h.Stats(); hs.Corruptions != 0 || hs.DoubleFrees != 0 || hs.LiveObjects != 0 {
+				problems = append(problems, fmt.Sprintf(
+					"HEAP: corruptions=%d doubleFrees=%d live=%d", hs.Corruptions, hs.DoubleFrees, hs.LiveObjects))
+			}
+			if len(problems) > 0 {
+				sort.Strings(problems)
+				return fmt.Errorf("%v", problems)
+			}
+			return nil
+		}
+		return threads, check
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lfrcexplore", flag.ContinueOnError)
+	var (
+		scenarioName = fs.String("scenario", "all", "scenario name or 'all' (see -list)")
+		list         = fs.Bool("list", false, "list scenarios and exit")
+		preemptions  = fs.Int("preemptions", 3, "DFS preemption bound")
+		maxRuns      = fs.Int("maxruns", 200_000, "maximum schedules per scenario")
+		maxSteps     = fs.Int("maxsteps", 200_000, "step cap per run (livelock guard)")
+		claiming     = fs.Bool("claiming", false, "use the value-claiming deque variant")
+		random       = fs.Int("random", 0, "run N random schedules instead of DFS")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, sc := range scenarios() {
+			fmt.Println(sc.name)
+		}
+		return nil
+	}
+
+	heapProblem := false
+	for _, sc := range scenarios() {
+		if *scenarioName != "all" && sc.name != *scenarioName {
+			continue
+		}
+		s := buildScenario(sc, *claiming)
+		start := time.Now()
+		var res explore.Result
+		mode := fmt.Sprintf("dfs(<=%d preemptions)", *preemptions)
+		if *random > 0 {
+			res = explore.RunRandom(s, *random, 3, *maxSteps)
+			mode = fmt.Sprintf("random(%d seeds)", *random)
+		} else {
+			res = explore.RunDFS(s, *preemptions, *maxRuns, *maxSteps)
+		}
+		fmt.Printf("%-28s %-22s runs=%-8d anomalies=%-4d incomplete=%-3d %v\n",
+			sc.name, mode, res.Runs, res.Violations, res.Incomplete, time.Since(start).Round(time.Millisecond))
+		if res.Violations > 0 {
+			fmt.Printf("  first: %v\n  trace: %v\n", res.FirstError, res.FirstViolation)
+			if strings.Contains(res.FirstError.Error(), "HEAP:") {
+				heapProblem = true
+			}
+		}
+	}
+	if heapProblem {
+		return fmt.Errorf("heap-integrity violation found (LFRC guarantee broken)")
+	}
+	return nil
+}

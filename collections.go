@@ -1,0 +1,145 @@
+package lfrc
+
+import (
+	"lfrc/internal/msqueue"
+	"lfrc/internal/snark"
+	"lfrc/internal/stackrc"
+)
+
+// DequeOption configures a Deque.
+type DequeOption interface {
+	applyDeque(*dequeConfig)
+}
+
+type dequeConfig struct {
+	claiming bool
+}
+
+type dequeOptionFunc func(*dequeConfig)
+
+func (f dequeOptionFunc) applyDeque(c *dequeConfig) { f(c) }
+
+// WithValueClaiming makes pops claim each node's value with a CAS before
+// returning it. The published Snark algorithm has two races discovered after
+// publication (Doherty et al., SPAA 2004) that can double-report a value
+// near emptiness; claiming hardens delivery to at-most-once. Enable it when
+// values must not be delivered twice; leave it off to run the
+// paper-faithful algorithm.
+func WithValueClaiming() DequeOption {
+	return dequeOptionFunc(func(c *dequeConfig) { c.claiming = true })
+}
+
+// Deque is a GC-independent Snark lock-free double-ended queue.
+type Deque struct {
+	d   *snark.Deque
+	sys *System
+}
+
+// NewDeque creates an empty deque on this system.
+func (s *System) NewDeque(opts ...DequeOption) (*Deque, error) {
+	var cfg dequeConfig
+	for _, o := range opts {
+		o.applyDeque(&cfg)
+	}
+	var sopts []snark.Option
+	if cfg.claiming {
+		sopts = append(sopts, snark.WithValueClaiming())
+	}
+	d, err := snark.New(s.rc, s.snarkTypes, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	s.collector.AddRoot(d.Anchor())
+	return &Deque{d: d, sys: s}, nil
+}
+
+// PushLeft prepends v. It fails only if v exceeds MaxValue or the heap is
+// exhausted.
+func (d *Deque) PushLeft(v Value) error { return d.d.PushLeft(v) }
+
+// PushRight appends v. It fails only if v exceeds MaxValue or the heap is
+// exhausted.
+func (d *Deque) PushRight(v Value) error { return d.d.PushRight(v) }
+
+// PopLeft removes and returns the leftmost value; ok is false when the
+// deque is observed empty.
+func (d *Deque) PopLeft() (v Value, ok bool) { return d.d.PopLeft() }
+
+// PopRight removes and returns the rightmost value; ok is false when the
+// deque is observed empty.
+func (d *Deque) PopRight() (v Value, ok bool) { return d.d.PopRight() }
+
+// Close drains the deque and releases all of its memory. It must not run
+// concurrently with other operations on this deque, and the deque must not
+// be used afterwards.
+func (d *Deque) Close() {
+	if d.d.Anchor() != 0 {
+		d.sys.collector.RemoveRoot(d.d.Anchor())
+	}
+	d.d.Close()
+}
+
+// Queue is a GC-independent Michael–Scott lock-free FIFO queue.
+type Queue struct {
+	q   *msqueue.Queue
+	sys *System
+}
+
+// NewQueue creates an empty queue on this system.
+func (s *System) NewQueue() (*Queue, error) {
+	q, err := msqueue.New(s.rc, s.queueTypes)
+	if err != nil {
+		return nil, err
+	}
+	s.collector.AddRoot(q.Anchor())
+	return &Queue{q: q, sys: s}, nil
+}
+
+// Enqueue appends v. It fails only if v exceeds the representable range or
+// the heap is exhausted.
+func (q *Queue) Enqueue(v Value) error { return q.q.Enqueue(v) }
+
+// Dequeue removes and returns the oldest value; ok is false when the queue
+// is observed empty.
+func (q *Queue) Dequeue() (v Value, ok bool) { return q.q.Dequeue() }
+
+// Close drains the queue and releases all of its memory. Same restrictions
+// as Deque.Close.
+func (q *Queue) Close() {
+	if q.q.Anchor() != 0 {
+		q.sys.collector.RemoveRoot(q.q.Anchor())
+	}
+	q.q.Close()
+}
+
+// Stack is a GC-independent Treiber lock-free stack.
+type Stack struct {
+	s   *stackrc.Stack
+	sys *System
+}
+
+// NewStack creates an empty stack on this system.
+func (s *System) NewStack() (*Stack, error) {
+	st, err := stackrc.New(s.rc, s.stackTypes)
+	if err != nil {
+		return nil, err
+	}
+	s.collector.AddRoot(st.Anchor())
+	return &Stack{s: st, sys: s}, nil
+}
+
+// Push places v on top of the stack.
+func (s *Stack) Push(v Value) error { return s.s.Push(v) }
+
+// Pop removes and returns the top value; ok is false when the stack is
+// observed empty.
+func (s *Stack) Pop() (v Value, ok bool) { return s.s.Pop() }
+
+// Close drains the stack and releases all of its memory. Same restrictions
+// as Deque.Close.
+func (s *Stack) Close() {
+	if s.s.Anchor() != 0 {
+		s.sys.collector.RemoveRoot(s.s.Anchor())
+	}
+	s.s.Close()
+}

@@ -1,0 +1,49 @@
+// Package lfrc is a Go implementation of Lock-Free Reference Counting
+// (LFRC), the methodology of Detlefs, Martin, Moir & Steele (PODC 2001) for
+// turning garbage-collection-dependent lock-free data structures into
+// GC-independent ones.
+//
+// # What this package provides
+//
+// A System bundles a simulated manual-memory heap (freed slots are poisoned
+// and recycled — Go's GC is deliberately out of the loop), a DCAS engine
+// (either a locking simulation of the hardware instruction the paper
+// assumes, or a lock-free software MCAS built from CAS), and the six LFRC
+// pointer operations. On top of it the package offers three ready-made
+// GC-independent structures:
+//
+//   - Deque: the Snark DCAS-based lock-free double-ended queue, the paper's
+//     worked example (Figure 1, right column);
+//   - Queue: a Michael–Scott FIFO queue;
+//   - Stack: a Treiber stack.
+//
+// All three reclaim their nodes with reference counts: memory consumption
+// grows and shrinks with the structure's contents, no thread is ever blocked
+// by another thread's delay, and a structure's Close tears it down to zero
+// live objects.
+//
+// # Quick start
+//
+//	sys, err := lfrc.New()
+//	if err != nil { ... }
+//	d, err := sys.NewDeque()
+//	if err != nil { ... }
+//	d.PushRight(42)
+//	v, ok := d.PopLeft()
+//	d.Close()
+//	// sys.HeapStats().LiveObjects == 0
+//
+// # Values
+//
+// Payloads are uint64 values up to MaxValue: the cell's two top bits are
+// reserved by the software-MCAS engine and one more bit by the deque's
+// value-claiming option.
+//
+// # Cycles
+//
+// Reference counting never reclaims cyclic garbage (the paper's Cycle-Free
+// Garbage criterion). The provided structures keep their garbage acyclic; if
+// you build your own structures on System.RC and cannot, run
+// System.Collect — the stop-the-world tracing backup collector the paper's
+// §7 proposes — at quiescent points.
+package lfrc

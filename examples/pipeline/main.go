@@ -1,0 +1,150 @@
+// Pipeline: a three-stage producer/transform/consumer pipeline over LFRC
+// Michael–Scott queues, with live heap telemetry. The point being
+// demonstrated is the paper's §1 memory claim: the pipeline's simulated-heap
+// footprint tracks the number of in-flight items — it balloons when a stage
+// stalls and shrinks all the way back when the backlog drains, because freed
+// nodes really are freed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lfrc"
+)
+
+const (
+	items     = 30_000
+	stallAt   = 10_000 // the consumer naps once this many items are through
+	stallTime = 50 * time.Millisecond
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	runtime.GOMAXPROCS(4)
+	sys, err := lfrc.New()
+	if err != nil {
+		return err
+	}
+
+	stage1, err := sys.NewQueue() // producer -> transformer
+	if err != nil {
+		return err
+	}
+	stage2, err := sys.NewQueue() // transformer -> consumer
+	if err != nil {
+		return err
+	}
+
+	var (
+		produced, transformed, consumed atomic.Int64
+		checksumIn, checksumOut         atomic.Uint64
+		peakWords                       atomic.Int64
+		wg                              sync.WaitGroup
+	)
+
+	// Telemetry: sample the heap while the pipeline runs.
+	stopTelemetry := make(chan struct{})
+	telemetryDone := make(chan struct{})
+	go func() {
+		defer close(telemetryDone)
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				w := sys.HeapStats().LiveWords
+				for {
+					p := peakWords.Load()
+					if w <= p || peakWords.CompareAndSwap(p, w) {
+						break
+					}
+				}
+			case <-stopTelemetry:
+				return
+			}
+		}
+	}()
+
+	// Stage 1: producer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := lfrc.Value(1); i <= items; i++ {
+			for stage1.Enqueue(i) != nil {
+				runtime.Gosched()
+			}
+			checksumIn.Add(i)
+			produced.Add(1)
+		}
+	}()
+
+	// Stage 2: transformer (doubles each item).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for transformed.Load() < items {
+			v, ok := stage1.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			for stage2.Enqueue(v*2) != nil {
+				runtime.Gosched()
+			}
+			transformed.Add(1)
+		}
+	}()
+
+	// Stage 3: consumer, with a deliberate mid-run stall to build backlog.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stalled := false
+		for consumed.Load() < items {
+			v, ok := stage2.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			checksumOut.Add(v)
+			if consumed.Add(1) == stallAt && !stalled {
+				stalled = true
+				fmt.Printf("consumer stalling %v at item %d; backlog will grow...\n", stallTime, stallAt)
+				time.Sleep(stallTime)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopTelemetry)
+	<-telemetryDone
+
+	restingBefore := sys.HeapStats().LiveWords
+	fmt.Printf("pipeline done: produced=%d transformed=%d consumed=%d\n",
+		produced.Load(), transformed.Load(), consumed.Load())
+	if got, want := checksumOut.Load(), 2*checksumIn.Load(); got != want {
+		return fmt.Errorf("checksum mismatch: %d != %d", got, want)
+	}
+	fmt.Printf("checksum verified (out == 2 x in)\n")
+	fmt.Printf("heap: peak %d live words during backlog, %d at drain (grew and shrank)\n",
+		peakWords.Load(), restingBefore)
+
+	stage1.Close()
+	stage2.Close()
+	hs := sys.HeapStats()
+	fmt.Printf("after close: %d live objects (want 0)\n", hs.LiveObjects)
+	if hs.LiveObjects != 0 {
+		return fmt.Errorf("leaked %d objects", hs.LiveObjects)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Work stealing: the motivating application for lock-free deques. Each
+// worker owns an LFRC deque and treats it as a stack (push/pop on the right)
+// while idle workers steal from the opposite end (pop on the left) — the
+// access pattern work-stealing schedulers rely on, here with no garbage
+// collector and no locks.
+//
+// The workload is a recursive task tree: every task either produces child
+// tasks or a unit of "work" (a leaf). The run is correct if exactly the
+// expected number of leaves is executed — stolen tasks must be neither lost
+// nor duplicated.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lfrc"
+)
+
+const (
+	numWorkers = 4
+	treeDepth  = 14 // 2^14 leaves
+)
+
+// A task is encoded as a value: depth in the low byte. Tasks above depth 0
+// fork two children; depth-0 tasks are leaves.
+func encodeTask(depth int, id uint64) lfrc.Value {
+	return lfrc.Value(id)<<8 | lfrc.Value(depth)
+}
+
+func decodeTask(v lfrc.Value) (depth int, id uint64) {
+	return int(v & 0xFF), uint64(v >> 8)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	runtime.GOMAXPROCS(numWorkers)
+	sys, err := lfrc.New()
+	if err != nil {
+		return err
+	}
+
+	// One deque per worker. Value claiming guarantees every stolen task
+	// executes exactly once.
+	deques := make([]*lfrc.Deque, numWorkers)
+	for i := range deques {
+		if deques[i], err = sys.NewDeque(lfrc.WithValueClaiming()); err != nil {
+			return err
+		}
+	}
+
+	var (
+		leaves   atomic.Int64
+		inFlight atomic.Int64 // tasks pushed but not yet executed
+		steals   atomic.Int64
+		nextID   atomic.Uint64
+	)
+
+	// Seed worker 0 with the root task.
+	inFlight.Add(1)
+	if err := deques[0].PushRight(encodeTask(treeDepth, nextID.Add(1))); err != nil {
+		return err
+	}
+
+	execute := func(w int, v lfrc.Value) error {
+		depth, _ := decodeTask(v)
+		if depth == 0 {
+			leaves.Add(1)
+			inFlight.Add(-1)
+			return nil
+		}
+		// Fork: push both children onto our own deque (LIFO end).
+		inFlight.Add(2 - 1) // two children in, this task out
+		for c := 0; c < 2; c++ {
+			if err := deques[w].PushRight(encodeTask(depth-1, nextID.Add(1))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, numWorkers)
+	for w := 0; w < numWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for inFlight.Load() > 0 {
+				// Own work first: LIFO from the right.
+				if v, ok := deques[w].PopRight(); ok {
+					if err := execute(w, v); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				// Otherwise steal: FIFO from a victim's left end.
+				victim := rng.Intn(numWorkers)
+				if victim == w {
+					victim = (victim + 1) % numWorkers
+				}
+				if v, ok := deques[victim].PopLeft(); ok {
+					steals.Add(1)
+					if err := execute(w, v); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	want := int64(1) << treeDepth
+	fmt.Printf("executed %d leaf tasks (want %d), %d steals across %d workers\n",
+		leaves.Load(), want, steals.Load(), numWorkers)
+	if leaves.Load() != want {
+		return fmt.Errorf("task accounting broken: %d != %d", leaves.Load(), want)
+	}
+
+	for _, d := range deques {
+		d.Close()
+	}
+	hs := sys.HeapStats()
+	fmt.Printf("heap after close: %d live objects (want 0), %d allocs recycled %d times\n",
+		hs.LiveObjects, hs.Allocs, hs.Recycles)
+	if hs.LiveObjects != 0 {
+		return fmt.Errorf("leaked %d objects", hs.LiveObjects)
+	}
+	return nil
+}

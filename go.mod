@@ -1,0 +1,3 @@
+module lfrc
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package check provides stop-the-world invariant auditors for LFRC heaps.
+//
+// The LFRC paper's correctness argument (§1, §5) rests on two properties of
+// reference counts: a count is never less than the number of pointers to the
+// object (no premature free), and at quiescence — when no operation is
+// mid-flight holding conservative extra increments — the count is exactly
+// the number of pointers plus the holder-declared external references.
+// AuditRC checks the quiescent equality directly by re-deriving every
+// object's expected count from the heap graph. ScanPoison independently
+// verifies that no thread has written to freed memory.
+//
+// All functions require a quiescent heap (no concurrent mutators).
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"lfrc/internal/mem"
+)
+
+// Violation reports one object whose state contradicts an invariant.
+type Violation struct {
+	// Ref is the object in violation.
+	Ref mem.Ref
+
+	// Kind classifies the violation: "rc" (count mismatch) or "poison"
+	// (freed memory overwritten).
+	Kind string
+
+	// Want and Got are the expected and observed values (counts for
+	// "rc"; for "poison", Got is the damaged cell's offset).
+	Want, Got int64
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation at %#x: want %d, got %d", v.Kind, v.Ref, v.Want, v.Got)
+}
+
+// AuditRC verifies that at quiescence every live object's reference count
+// equals the number of heap pointers to it plus the caller-declared external
+// references (extra), e.g. one per Go-side anchor handle. It returns all
+// violations found.
+//
+// Objects managed outside the LFRC protocol (such as a valois queue's
+// type-stable pool) should not share a heap with audited objects, or should
+// be accounted for in extra.
+func AuditRC(h *mem.Heap, extra map[mem.Ref]int64) []Violation {
+	expected := make(map[mem.Ref]int64, 256)
+	var live []mem.Ref
+	h.Walk(func(r mem.Ref, freed bool) bool {
+		if freed {
+			return true
+		}
+		live = append(live, r)
+		d, err := h.Type(h.TypeOf(r))
+		if err != nil {
+			return true
+		}
+		for _, f := range d.PtrFields {
+			if t := mem.Ref(h.Load(h.FieldAddr(r, f))); t != 0 && t != r {
+				expected[t]++
+			} else if t == r {
+				expected[t]++ // self-pointers count too
+			}
+		}
+		return true
+	})
+
+	var violations []Violation
+	for _, r := range live {
+		want := expected[r] + extra[r]
+		got := int64(h.Load(h.RCAddr(r)))
+		if got != want {
+			violations = append(violations, Violation{Ref: r, Kind: "rc", Want: want, Got: got})
+		}
+	}
+	return violations
+}
+
+// Leaks returns every live object on the heap. After a complete teardown
+// (all structures closed) the result should be empty; anything left is
+// either a genuine leak or stranded cyclic garbage.
+func Leaks(h *mem.Heap) []mem.Ref {
+	var live []mem.Ref
+	h.Walk(func(r mem.Ref, freed bool) bool {
+		if !freed {
+			live = append(live, r)
+		}
+		return true
+	})
+	return live
+}
+
+// TypeCensus summarizes one object type's heap population.
+type TypeCensus struct {
+	// Name is the registered type name.
+	Name string
+
+	// Live and Freed count slots currently holding that type.
+	Live, Freed int64
+
+	// LiveWords is the heap footprint of the live objects.
+	LiveWords int64
+}
+
+// Census returns a per-type population count of the heap, sorted by
+// descending live words. Requires quiescence, like every walker here.
+func Census(h *mem.Heap) []TypeCensus {
+	byType := map[mem.TypeID]*TypeCensus{}
+	h.Walk(func(r mem.Ref, freed bool) bool {
+		id := h.TypeOf(r)
+		c := byType[id]
+		if c == nil {
+			name := fmt.Sprintf("type#%d", id)
+			if d, err := h.Type(id); err == nil {
+				name = d.Name
+			}
+			c = &TypeCensus{Name: name}
+			byType[id] = c
+		}
+		if freed {
+			c.Freed++
+		} else {
+			c.Live++
+			c.LiveWords += int64(h.SizeOf(r))
+		}
+		return true
+	})
+	out := make([]TypeCensus, 0, len(byType))
+	for _, c := range byType {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LiveWords != out[j].LiveWords {
+			return out[i].LiveWords > out[j].LiveWords
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ScanPoison verifies the poison pattern of every freed slot (the count cell
+// and all payload cells; the aux cell carries the free-list link and is
+// exempt). Each damaged slot yields one violation whose Got field is the
+// first damaged cell's offset from the object base.
+func ScanPoison(h *mem.Heap) []Violation {
+	var violations []Violation
+	h.Walk(func(r mem.Ref, freed bool) bool {
+		if !freed {
+			return true
+		}
+		size := h.SizeOf(r)
+		if h.Load(h.RCAddr(r)) != mem.Poison {
+			violations = append(violations, Violation{Ref: r, Kind: "poison", Got: 1})
+			return true
+		}
+		for a := r + mem.HeaderWords; a < r+mem.Ref(size); a++ {
+			if h.Load(a) != mem.Poison {
+				violations = append(violations, Violation{Ref: r, Kind: "poison", Got: int64(a - r)})
+				return true
+			}
+		}
+		return true
+	})
+	return violations
+}

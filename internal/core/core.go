@@ -1,0 +1,436 @@
+// Package core implements LFRC — the lock-free reference counting
+// operations of Detlefs, Martin, Moir & Steele (PODC 2001), Figure 2.
+//
+// Each heap object carries a reference count with two guarantees that are
+// deliberately weaker than exactness (paper §1):
+//
+//  1. whenever the number of pointers to an object is non-zero, so is its
+//     reference count (no premature free), and
+//  2. when the number of pointers reaches zero the count eventually reaches
+//     zero too (no leak, for acyclic garbage).
+//
+// Counts may therefore run transiently high: an operation conservatively
+// increments the target's count *before* creating a pointer to it and
+// compensates with a decrement if the pointer is never created. The one
+// place this is impossible with plain CAS is LFRCLoad: between reading a
+// pointer and incrementing the count of its referent, the referent could be
+// freed and recycled, so the increment would corrupt unrelated memory. LFRC
+// closes that window with DCAS, incrementing the count atomically with a
+// check that the pointer still exists (paper §5). NaiveLoad preserves the
+// broken CAS-only protocol for experiment E1.
+//
+// Pointer cells managed by this package must be accessed only through these
+// operations (the paper's "LFRC compliance" criterion, §2.1).
+package core
+
+import (
+	"sync/atomic"
+
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+)
+
+// RC provides the LFRC operations over one heap and one DCAS engine.
+type RC struct {
+	h *mem.Heap
+	e dcas.Engine
+
+	// destroyBudget caps the number of objects reclaimed per Destroy
+	// call when positive (the paper's §7 "incremental collection of large
+	// structures"); the remainder parks on the zombie list.
+	destroyBudget int
+
+	// zombieHead is a Treiber stack of objects whose count reached zero
+	// but whose reclamation was deferred. The link lives in each parked
+	// object's aux word; the head packs a 32-bit pop counter with the
+	// 32-bit object address.
+	zombieHead  atomic.Uint64
+	zombieCount atomic.Int64
+
+	// LoadHook and NaiveHook, when non-nil, run inside Load and
+	// NaiveLoad respectively, between reading the pointer and updating
+	// the referent's count. They exist so tests and experiments can open
+	// the race window deterministically (see experiment E1); they must be
+	// set before the RC is shared between goroutines.
+	LoadHook  func(v mem.Ref)
+	NaiveHook func(v mem.Ref)
+
+	stats opCounters
+}
+
+// Option configures an RC.
+type Option func(*RC)
+
+// WithIncrementalDestroy caps reclamation work per Destroy call at budget
+// objects; excess dead objects are parked on a zombie list and reclaimed by
+// later Destroy calls or by DrainZombies. This implements the paper's §7
+// suggestion for avoiding long pauses when the last pointer to a large
+// structure is dropped. A budget of 0 (the default) reclaims eagerly.
+func WithIncrementalDestroy(budget int) Option {
+	return func(rc *RC) { rc.destroyBudget = budget }
+}
+
+// New creates an RC over the given heap and engine.
+func New(h *mem.Heap, e dcas.Engine, opts ...Option) *RC {
+	rc := &RC{h: h, e: e}
+	for _, o := range opts {
+		o(rc)
+	}
+	return rc
+}
+
+// Heap returns the underlying heap (for address computation and stats).
+func (rc *RC) Heap() *mem.Heap { return rc.h }
+
+// Engine returns the underlying DCAS engine.
+func (rc *RC) Engine() dcas.Engine { return rc.e }
+
+// NewObject allocates an object of type t with reference count 1 — the
+// reference returned to the caller, which the caller must eventually either
+// store somewhere with StoreAlloc or release with Destroy.
+func (rc *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
+	r, err := rc.h.Alloc(t)
+	if err != nil {
+		return 0, err
+	}
+	rc.stats.allocs.Add(1)
+	return r, nil
+}
+
+// Load implements LFRCLoad (paper Figure 2, lines 1–12): it loads the
+// pointer at shared cell a into *dest, incrementing the referent's count
+// atomically — via DCAS — with the check that the pointer still exists, and
+// then releases the reference previously held in *dest.
+func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
+	olddest := *dest
+	for {
+		v := mem.Ref(rc.e.Read(a))
+		if v == 0 {
+			*dest = 0
+			break
+		}
+		r := rc.e.Read(rc.h.RCAddr(v))
+		if rc.LoadHook != nil {
+			rc.LoadHook(v)
+		}
+		if rc.e.DCAS(a, rc.h.RCAddr(v), uint64(v), r, uint64(v), r+1) {
+			*dest = v
+			break
+		}
+		rc.stats.loadRetries.Add(1)
+	}
+	rc.stats.loads.Add(1)
+	rc.Destroy(olddest)
+}
+
+// NaiveLoad is the CAS-only load the paper argues against in §5 (the
+// approach of Valois [19] without type-stable memory): it increments the
+// referent's count in a separate step from reading the pointer. Between the
+// two steps the object may be freed and recycled, so the increment can
+// corrupt freed or reallocated memory. It exists solely for experiment E1;
+// never use it in real code.
+func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
+	olddest := *dest
+	for {
+		v := mem.Ref(rc.e.Read(a))
+		if v == 0 {
+			*dest = 0
+			break
+		}
+		if rc.NaiveHook != nil {
+			rc.NaiveHook(v)
+		}
+		rc.addToRC(v, 1) // unsafe: v may already be freed
+		if mem.Ref(rc.e.Read(a)) == v {
+			*dest = v
+			break
+		}
+		rc.addToRC(v, -1)
+		rc.stats.loadRetries.Add(1)
+	}
+	rc.stats.loads.Add(1)
+	rc.Destroy(olddest)
+}
+
+// Store implements LFRCStore (Figure 2, lines 21–28): it stores pointer
+// value v into shared cell a, incrementing v's count first and releasing the
+// overwritten pointer afterwards.
+func (rc *RC) Store(a mem.Addr, v mem.Ref) {
+	if v != 0 {
+		rc.addToRC(v, 1)
+	}
+	for {
+		old := mem.Ref(rc.e.Read(a))
+		if rc.e.CAS(a, uint64(old), uint64(v)) {
+			rc.stats.stores.Add(1)
+			rc.Destroy(old)
+			return
+		}
+	}
+}
+
+// StoreAlloc is LFRCStoreAlloc (paper §4, Figure 1 caption): like Store but
+// without incrementing v's count — it transfers the reference that NewObject
+// returned directly into the cell. After StoreAlloc the caller's local copy
+// of v is dead weight: do not Destroy it and do not use it as a counted
+// reference.
+func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
+	for {
+		old := mem.Ref(rc.e.Read(a))
+		if rc.e.CAS(a, uint64(old), uint64(v)) {
+			rc.stats.stores.Add(1)
+			rc.Destroy(old)
+			return
+		}
+	}
+}
+
+// Copy implements LFRCCopy (Figure 2, lines 29–32): it assigns pointer value
+// w to the local pointer variable *v, adjusting both reference counts.
+func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
+	if w != 0 {
+		rc.addToRC(w, 1)
+	}
+	old := *v
+	*v = w
+	rc.stats.copies.Add(1)
+	rc.Destroy(old)
+}
+
+// CAS implements LFRCCAS: the single-location simplification of DCAS (paper
+// §2.2 and Figure 2 caption).
+func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
+	if new != 0 {
+		rc.addToRC(new, 1)
+	}
+	rc.stats.casOps.Add(1)
+	if rc.e.CAS(a, uint64(old), uint64(new)) {
+		rc.Destroy(old)
+		return true
+	}
+	rc.Destroy(new)
+	return false
+}
+
+// DCAS implements LFRCDCAS (Figure 2, lines 33–39): reference counts of the
+// new referents are raised before the attempt; on success the two displaced
+// pointers are released, on failure the two provisional increments are
+// compensated.
+func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
+	if new0 != 0 {
+		rc.addToRC(new0, 1)
+	}
+	if new1 != 0 {
+		rc.addToRC(new1, 1)
+	}
+	rc.stats.dcasOps.Add(1)
+	if rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
+		rc.Destroy(old0, old1)
+		return true
+	}
+	rc.Destroy(new0, new1)
+	return false
+}
+
+// Destroy implements LFRCDestroy (Figure 2, lines 13–15) for any number of
+// local pointer values: each non-null argument's count is decremented, and
+// objects whose count reaches zero are reclaimed — recursively releasing
+// every pointer they contain — either eagerly or, under
+// WithIncrementalDestroy, up to the configured budget per call.
+func (rc *RC) Destroy(vs ...mem.Ref) {
+	var stack []mem.Ref
+	for _, v := range vs {
+		if v == 0 {
+			continue
+		}
+		rc.stats.destroys.Add(1)
+		if rc.addToRC(v, -1) == 1 {
+			stack = append(stack, v)
+		}
+	}
+	if len(stack) == 0 {
+		return
+	}
+	rc.reclaim(stack, rc.destroyBudget)
+}
+
+// reclaim frees every object on stack plus any of their descendants whose
+// count drops to zero. With a positive budget it frees at most budget
+// objects and parks the rest on the zombie list.
+func (rc *RC) reclaim(stack []mem.Ref, budget int) int {
+	processed := 0
+	for len(stack) > 0 {
+		if budget > 0 && processed >= budget {
+			for _, p := range stack {
+				rc.pushZombie(p)
+			}
+			return processed
+		}
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		d, err := rc.h.Type(rc.h.TypeOf(p))
+		if err == nil {
+			for _, f := range d.PtrFields {
+				c := mem.Ref(rc.e.Read(rc.h.FieldAddr(p, f)))
+				if c == 0 {
+					continue
+				}
+				rc.stats.destroys.Add(1)
+				if rc.addToRC(c, -1) == 1 {
+					stack = append(stack, c)
+				}
+			}
+		}
+		if err := rc.h.Free(p); err != nil {
+			rc.stats.freeErrors.Add(1)
+		} else {
+			rc.stats.frees.Add(1)
+		}
+		processed++
+	}
+	return processed
+}
+
+// DrainZombies reclaims up to max parked objects (and their newly dead
+// descendants), returning the number of objects actually freed. A max of 0
+// drains everything.
+func (rc *RC) DrainZombies(max int) int {
+	processed := 0
+	for max <= 0 || processed < max {
+		z := rc.popZombie()
+		if z == 0 {
+			break
+		}
+		budget := 0
+		if max > 0 {
+			budget = max - processed
+		}
+		processed += rc.reclaim([]mem.Ref{z}, budget)
+	}
+	return processed
+}
+
+// ZombieCount reports the number of objects currently parked for deferred
+// reclamation.
+func (rc *RC) ZombieCount() int64 { return rc.zombieCount.Load() }
+
+// pushZombie parks a dead object (rc already zero) on the zombie stack,
+// linking through its aux word.
+func (rc *RC) pushZombie(p mem.Ref) {
+	for {
+		old := rc.zombieHead.Load()
+		rc.h.Store(rc.h.AuxAddr(p), old&0xFFFF_FFFF)
+		if rc.zombieHead.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(p)) {
+			rc.zombieCount.Add(1)
+			rc.stats.zombiePushes.Add(1)
+			return
+		}
+	}
+}
+
+// popZombie removes one parked object, or returns 0 if none are parked.
+func (rc *RC) popZombie() mem.Ref {
+	for {
+		old := rc.zombieHead.Load()
+		p := mem.Ref(old & 0xFFFF_FFFF)
+		if p == 0 {
+			return 0
+		}
+		next := rc.h.Load(rc.h.AuxAddr(p)) & 0xFFFF_FFFF
+		cnt := (old >> 32) + 1
+		if rc.zombieHead.CompareAndSwap(old, cnt<<32|next) {
+			rc.zombieCount.Add(-1)
+			return p
+		}
+	}
+}
+
+// addToRC implements add_to_rc (Figure 2, lines 16–20): a CAS loop adding v
+// to p's reference count and returning the count's previous value. It is
+// safe only when the caller knows a counted reference to p exists (paper
+// §5); NaiveLoad violates that precondition on purpose. Updates that find
+// poison in the count cell — evidence of a use-after-free — are tallied in
+// Stats().PoisonedRCUpdates and still performed, faithfully simulating the
+// memory corruption the paper describes.
+func (rc *RC) addToRC(p mem.Ref, v int64) uint64 {
+	a := rc.h.RCAddr(p)
+	for {
+		old := rc.e.Read(a)
+		if old >= mem.Poison && old <= mem.Poison+8 {
+			rc.stats.poisonedRCUpdates.Add(1)
+		}
+		if rc.e.CAS(a, old, uint64(int64(old)+v)) {
+			return old
+		}
+	}
+}
+
+// RCOf returns the current reference count of p (diagnostics only).
+func (rc *RC) RCOf(p mem.Ref) uint64 { return rc.e.Read(rc.h.RCAddr(p)) }
+
+// WordLoad reads a non-pointer (scalar) cell through the engine. Scalar
+// fields are outside the LFRC protocol but still share cells with DCAS
+// traffic, so they must be read engine-aware.
+func (rc *RC) WordLoad(a mem.Addr) uint64 { return rc.e.Read(a) }
+
+// WordStore writes a non-pointer (scalar) cell through the engine.
+func (rc *RC) WordStore(a mem.Addr, v uint64) { rc.e.Write(a, v) }
+
+// WordCAS compare-and-swaps a non-pointer (scalar) cell through the engine.
+func (rc *RC) WordCAS(a mem.Addr, old, new uint64) bool { return rc.e.CAS(a, old, new) }
+
+// opCounters holds the RC's atomic accounting.
+type opCounters struct {
+	allocs            atomic.Int64
+	loads             atomic.Int64
+	loadRetries       atomic.Int64
+	stores            atomic.Int64
+	copies            atomic.Int64
+	casOps            atomic.Int64
+	dcasOps           atomic.Int64
+	destroys          atomic.Int64
+	frees             atomic.Int64
+	freeErrors        atomic.Int64
+	zombiePushes      atomic.Int64
+	poisonedRCUpdates atomic.Int64
+}
+
+// Stats is a snapshot of LFRC operation counters.
+type Stats struct {
+	// Allocs counts NewObject calls; Frees counts objects reclaimed when
+	// their count hit zero. FreeErrors counts reclamations the heap
+	// rejected (double frees caused by corrupted counts).
+	Allocs, Frees, FreeErrors int64
+
+	// Loads, Stores, Copies, CASOps, DCASOps and Destroys count the
+	// corresponding LFRC operations; LoadRetries counts DCAS failures
+	// inside Load (contention on the pointer or its referent's count).
+	Loads, LoadRetries, Stores, Copies, CASOps, DCASOps, Destroys int64
+
+	// ZombiePushes counts objects parked for incremental reclamation.
+	ZombiePushes int64
+
+	// PoisonedRCUpdates counts reference-count updates that found poison
+	// in the count cell — each one is a use-after-free that DCAS-based
+	// Load would have prevented.
+	PoisonedRCUpdates int64
+}
+
+// Stats returns a snapshot of the RC's counters.
+func (rc *RC) Stats() Stats {
+	return Stats{
+		Allocs:            rc.stats.allocs.Load(),
+		Frees:             rc.stats.frees.Load(),
+		FreeErrors:        rc.stats.freeErrors.Load(),
+		Loads:             rc.stats.loads.Load(),
+		LoadRetries:       rc.stats.loadRetries.Load(),
+		Stores:            rc.stats.stores.Load(),
+		Copies:            rc.stats.copies.Load(),
+		CASOps:            rc.stats.casOps.Load(),
+		DCASOps:           rc.stats.dcasOps.Load(),
+		Destroys:          rc.stats.destroys.Load(),
+		ZombiePushes:      rc.stats.zombiePushes.Load(),
+		PoisonedRCUpdates: rc.stats.poisonedRCUpdates.Load(),
+	}
+}

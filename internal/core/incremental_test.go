@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"lfrc/internal/mem"
+)
+
+func TestIncrementalDestroyParksRemainder(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t, WithIncrementalDestroy(10))
+			const n = 100
+			var head mem.Ref
+			for i := 0; i < n; i++ {
+				p, _ := w.rc.NewObject(w.node)
+				w.rc.StoreAlloc(w.h.FieldAddr(p, 0), head)
+				head = p
+			}
+
+			w.rc.Destroy(head)
+			live := w.h.Stats().LiveObjects
+			if live == 0 {
+				t.Fatal("incremental destroy reclaimed everything in one call")
+			}
+			if w.rc.ZombieCount() == 0 {
+				t.Fatal("no zombies parked despite exceeding the budget")
+			}
+
+			freed := w.rc.DrainZombies(0)
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("after drain, LiveObjects = %d, want 0", got)
+			}
+			if int64(freed) != live {
+				t.Errorf("DrainZombies freed %d, want %d", freed, live)
+			}
+			if w.rc.ZombieCount() != 0 {
+				t.Errorf("ZombieCount = %d after full drain", w.rc.ZombieCount())
+			}
+		})
+	}
+}
+
+func TestIncrementalDestroyBudgetIsRespected(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			const budget = 7
+			w := mk(t, WithIncrementalDestroy(budget))
+			const n = 50
+			var head mem.Ref
+			for i := 0; i < n; i++ {
+				p, _ := w.rc.NewObject(w.node)
+				w.rc.StoreAlloc(w.h.FieldAddr(p, 0), head)
+				head = p
+			}
+
+			w.rc.Destroy(head)
+			if got := n - w.h.Stats().LiveObjects; got != budget {
+				t.Errorf("first call freed %d, want exactly the budget %d", got, budget)
+			}
+
+			// Each subsequent drain step frees at most the requested
+			// amount.
+			for w.h.Stats().LiveObjects > 0 {
+				before := w.h.Stats().LiveObjects
+				freed := w.rc.DrainZombies(5)
+				if freed > 5 {
+					t.Fatalf("DrainZombies(5) freed %d", freed)
+				}
+				if freed == 0 && before > 0 {
+					t.Fatalf("DrainZombies made no progress with %d live", before)
+				}
+			}
+		})
+	}
+}
+
+func TestDrainZombiesOnEmptyList(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t, WithIncrementalDestroy(4))
+			if got := w.rc.DrainZombies(0); got != 0 {
+				t.Errorf("DrainZombies on empty list freed %d", got)
+			}
+		})
+	}
+}
+
+func TestEagerModeNeverParks(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t) // default eager
+			var head mem.Ref
+			for i := 0; i < 1000; i++ {
+				p, _ := w.rc.NewObject(w.node)
+				w.rc.StoreAlloc(w.h.FieldAddr(p, 0), head)
+				head = p
+			}
+			w.rc.Destroy(head)
+			if got := w.rc.Stats().ZombiePushes; got != 0 {
+				t.Errorf("ZombiePushes = %d in eager mode", got)
+			}
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestIncrementalDestroyBranchingStructure(t *testing.T) {
+	// A binary tree stresses the work-stack bookkeeping: parking must
+	// preserve every pending subtree.
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t, WithIncrementalDestroy(3))
+
+			var build func(depth int) mem.Ref
+			build = func(depth int) mem.Ref {
+				p, err := w.rc.NewObject(w.node)
+				if err != nil {
+					t.Fatalf("NewObject: %v", err)
+				}
+				if depth > 0 {
+					w.rc.StoreAlloc(w.h.FieldAddr(p, 0), build(depth-1))
+					w.rc.StoreAlloc(w.h.FieldAddr(p, 1), build(depth-1))
+				}
+				return p
+			}
+			root := build(7) // 255 nodes
+			total := w.h.Stats().LiveObjects
+
+			w.rc.Destroy(root)
+			w.rc.DrainZombies(0)
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d, want 0 (of %d)", got, total)
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"lfrc/internal/mem"
+)
+
+func TestLoadLinkedPinsReferent(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+
+			l := w.rc.LoadLinked(a)
+			if l.Value() != p {
+				t.Fatalf("LoadLinked observed %d, want %d", l.Value(), p)
+			}
+			if got := w.rc.RCOf(p); got != 2 {
+				t.Errorf("rc after LL = %d, want 2 (cell + link)", got)
+			}
+			// Even if the cell is cleared, the link keeps p alive.
+			w.rc.Store(a, 0)
+			if w.h.IsFreed(p) {
+				t.Fatal("linked object freed while link outstanding")
+			}
+			w.rc.Unlink(&l)
+			if !w.h.IsFreed(p) {
+				t.Error("object not freed after Unlink dropped the last reference")
+			}
+		})
+	}
+}
+
+func TestStoreConditionalSucceedsWhenUnchanged(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			q, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+
+			l := w.rc.LoadLinked(a)
+			if !w.rc.StoreConditional(&l, q) {
+				t.Fatal("SC failed with unchanged cell")
+			}
+			if got := mem.Ref(w.rc.WordLoad(a)); got != q {
+				t.Errorf("cell = %d after SC, want %d", got, q)
+			}
+			if !w.h.IsFreed(p) {
+				t.Error("displaced referent not freed (cell ref + link ref should both be gone)")
+			}
+			if got := w.rc.RCOf(q); got != 2 {
+				t.Errorf("rc(q) = %d, want 2 (local + cell)", got)
+			}
+			w.rc.Destroy(q)
+		})
+	}
+}
+
+func TestStoreConditionalFailsAfterInterference(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			q, _ := w.rc.NewObject(w.node)
+			r, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+
+			l := w.rc.LoadLinked(a)
+			w.rc.Store(a, q) // interference between LL and SC
+			if w.rc.StoreConditional(&l, r) {
+				t.Fatal("SC succeeded despite interference")
+			}
+			if got := mem.Ref(w.rc.WordLoad(a)); got != q {
+				t.Errorf("cell = %d, want %d (interfering store)", got, q)
+			}
+			// r's provisional increment must be compensated.
+			if got := w.rc.RCOf(r); got != 1 {
+				t.Errorf("rc(r) = %d after failed SC, want 1", got)
+			}
+			w.rc.Destroy(q, r)
+		})
+	}
+}
+
+func TestStoreConditionalConsumesLink(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+
+			l := w.rc.LoadLinked(a)
+			if !w.rc.StoreConditional(&l, 0) {
+				t.Fatal("first SC failed")
+			}
+			if w.rc.StoreConditional(&l, 0) {
+				t.Error("second SC on a consumed link succeeded")
+			}
+			w.rc.Unlink(&l) // must be a no-op, not a double-destroy
+			if got := w.h.Stats().DoubleFrees; got != 0 {
+				t.Errorf("DoubleFrees = %d", got)
+			}
+		})
+	}
+}
+
+func TestLLSCNullCell(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t) // null
+			p, _ := w.rc.NewObject(w.node)
+
+			l := w.rc.LoadLinked(a)
+			if l.Value() != 0 {
+				t.Fatalf("LL of null cell = %d", l.Value())
+			}
+			if !w.rc.StoreConditional(&l, p) {
+				t.Fatal("SC from null failed")
+			}
+			if got := w.rc.RCOf(p); got != 2 {
+				t.Errorf("rc(p) = %d, want 2", got)
+			}
+			w.rc.Store(a, 0)
+			w.rc.Destroy(p)
+		})
+	}
+}
+
+// TestLLSCConcurrentCounter builds the classic LL/SC increment loop over an
+// LFRC pointer cell: each "increment" swaps in a freshly allocated object
+// and retires the old one. Exactness of the final chain length proves SC
+// linearizes; zero leaks prove the rc discipline.
+func TestLLSCConcurrentCounter(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+
+			const workers, perW = 4, 800
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 0; j < perW; j++ {
+						n, err := w.rc.NewObject(w.node)
+						if err != nil {
+							t.Errorf("NewObject: %v", err)
+							return
+						}
+						for {
+							l := w.rc.LoadLinked(a)
+							// Chain the new node before the old head.
+							w.rc.Store(w.h.FieldAddr(n, 0), l.Value())
+							// Bump a counter in the node payload.
+							w.rc.WordStore(w.h.FieldAddr(n, 2), uint64(i)<<32|uint64(j))
+							if w.rc.StoreConditional(&l, n) {
+								break
+							}
+						}
+						w.rc.Destroy(n)
+					}
+				}(i)
+			}
+			wg.Wait()
+
+			// Walk the chain: length must be exactly workers*perW.
+			length := 0
+			var cur mem.Ref
+			w.rc.Load(a, &cur)
+			for cur != 0 {
+				length++
+				var next mem.Ref
+				w.rc.Load(w.h.FieldAddr(cur, 0), &next)
+				w.rc.Destroy(cur)
+				cur = next
+			}
+			if length != workers*perW {
+				t.Errorf("chain length = %d, want %d", length, workers*perW)
+			}
+
+			w.rc.Store(a, 0)
+			if got := w.h.Stats().LiveObjects; got != 1 { // the holder
+				t.Errorf("LiveObjects = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestDCASMixedSemantics(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			q, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+			mark := w.h.FieldAddr(q, 2) // scalar cell on the surviving object
+
+			// Fails when the scalar mismatches; q's count compensated.
+			if w.rc.DCASMixed(a, p, q, mark, 1, 1) {
+				t.Fatal("DCASMixed succeeded with wrong scalar old")
+			}
+			if got := w.rc.RCOf(q); got != 1 {
+				t.Errorf("rc(q) = %d after failure, want 1", got)
+			}
+
+			// Succeeds when both match: pointer swapped with counts,
+			// scalar swapped without.
+			if !w.rc.DCASMixed(a, p, q, mark, 0, 7) {
+				t.Fatal("DCASMixed failed with matching olds")
+			}
+			if got := w.rc.WordLoad(mark); got != 7 {
+				t.Errorf("scalar = %d, want 7", got)
+			}
+			if !w.h.IsFreed(p) {
+				t.Error("displaced pointer's referent not freed")
+			}
+			if got := w.rc.RCOf(q); got != 2 {
+				t.Errorf("rc(q) = %d, want 2", got)
+			}
+			w.rc.Destroy(q)
+		})
+	}
+}

@@ -1,0 +1,85 @@
+// Package dcas provides the double-compare-and-swap substrate the LFRC paper
+// assumes.
+//
+// The paper relies on a hardware DCAS instruction (two independently chosen
+// memory words compared and updated atomically, as in the Motorola
+// 68020/68040 CAS2). No commodity hardware offers one today, and Go exposes
+// only single-word atomics, so this package supplies two interchangeable
+// engines over the simulated heap:
+//
+//   - LockingEngine simulates the hardware: an address-striped lock table
+//     stands in for the atomic execution the instruction would provide.
+//     It is simple and fast, but its lock-freedom is a property of the
+//     modeled hardware, not of the simulation.
+//   - MCASEngine is a genuinely lock-free software DCAS built from
+//     single-word CAS using the RDCSS and MCAS constructions of Harris,
+//     Fraser & Pratt (DISC 2002), with a version-validated descriptor pool
+//     so helpers can never be confused by descriptor reuse.
+//
+// All pointer and reference-count cells of LFRC-managed objects are accessed
+// exclusively through an Engine, which is what lets the two implementations
+// swap freely (ablation A1 in EXPERIMENTS.md).
+package dcas
+
+import "lfrc/internal/mem"
+
+// CellStore is the word-granular memory the engines build on. *mem.Heap
+// implements it; test harnesses substitute instrumented stores to interleave
+// engine-internal steps (see internal/explore).
+type CellStore interface {
+	// Load atomically reads the cell at a.
+	Load(a mem.Addr) uint64
+
+	// Store atomically writes v into the cell at a.
+	Store(a mem.Addr, v uint64)
+
+	// CAS atomically compares-and-swaps the cell at a.
+	CAS(a mem.Addr, old, new uint64) bool
+}
+
+var _ CellStore = (*mem.Heap)(nil)
+
+// Engine provides atomic access to heap cells, including the two-word DCAS
+// the LFRC algorithms are built on.
+//
+// Values stored through an Engine must fit in mem.ValueMask (top two bits
+// clear); those bits are reserved for MCAS descriptor tags.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+
+	// Read atomically reads the cell at a, helping any in-flight
+	// multi-word operation it encounters.
+	Read(a mem.Addr) uint64
+
+	// Write atomically replaces the value of the cell at a.
+	Write(a mem.Addr, v uint64)
+
+	// CAS atomically compares-and-swaps the cell at a.
+	CAS(a mem.Addr, old, new uint64) bool
+
+	// DCAS atomically compares the cells at a0 and a1 with old0 and old1
+	// and, if both match, replaces them with new0 and new1. It returns
+	// whether the replacement happened. If a0 == a1 the operation
+	// degenerates to a single CAS and requires old0 == old1 and
+	// new0 == new1.
+	DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 uint64) bool
+}
+
+// MultiEngine is implemented by engines that additionally support N-word
+// CAS over up to four distinct locations (the full Harris–Fraser–Pratt
+// generality). Both bundled engines implement it.
+type MultiEngine interface {
+	Engine
+
+	// NCAS atomically compares every cell at addrs[i] with olds[i] and,
+	// if all match, replaces each with news[i]. It returns false without
+	// side effects on mismatched slice lengths, empty or oversized input,
+	// or duplicate addresses.
+	NCAS(addrs []mem.Addr, olds, news []uint64) bool
+}
+
+var (
+	_ MultiEngine = (*LockingEngine)(nil)
+	_ MultiEngine = (*MCASEngine)(nil)
+)

@@ -1,0 +1,469 @@
+package dcas
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"lfrc/internal/mem"
+)
+
+// MCASEngine is a lock-free DCAS built from single-word CAS, following the
+// RDCSS and MCAS constructions of Harris, Fraser & Pratt, "A Practical
+// Multi-Word Compare-and-Swap Operation" (DISC 2002), specialized to two
+// locations.
+//
+// Descriptors do not live in the heap; they live in two fixed pools of
+// slots, and a descriptor *reference* — the value temporarily stored in a
+// heap cell — packs a tag, a slot index, and a 42-bit version:
+//
+//	bit 63        descriptor tag (never set by application values)
+//	bit 62        1 = RDCSS descriptor, 0 = MCAS descriptor
+//	bits 20..61   slot version at publication time
+//	bits  0..19   slot index
+//
+// A slot's version is bumped when the slot is acquired (becoming odd) and
+// again when it is released (becoming even). Helpers snapshot a descriptor's
+// fields, re-validate the version, and perform only CAS operations whose
+// expected value embeds the version — so a helper that raced with completion
+// and slot reuse can never corrupt anything: its CASes simply fail.
+//
+// The MCAS status word additionally packs the version
+// (version<<2 | state), so a stale helper cannot decide a recycled
+// descriptor's status either.
+type MCASEngine struct {
+	h CellStore
+
+	mcasPool  descPool
+	rdcssPool descPool
+	mcas      []mcasDesc
+	rdcss     []rdcssDesc
+}
+
+var _ Engine = (*MCASEngine)(nil)
+
+const (
+	descBit  uint64 = 1 << 63
+	rdcssBit uint64 = 1 << 62
+
+	slotBits = 20
+	slotMask = 1<<slotBits - 1
+	verBits  = 42
+	verMask  = 1<<verBits - 1
+
+	// MCAS status states (low two bits of the packed status word).
+	stUndecided = 0
+	stSucceeded = 1
+	stFailed    = 2
+)
+
+// isDescriptor reports whether a cell value is a descriptor reference.
+func isDescriptor(v uint64) bool { return v&descBit != 0 }
+
+// isRDCSSRef reports whether a descriptor reference names an RDCSS slot.
+func isRDCSSRef(v uint64) bool { return v&rdcssBit != 0 }
+
+// packRef builds a descriptor reference.
+func packRef(rdcss bool, slot uint32, ver uint64) uint64 {
+	r := descBit | uint64(slot)&slotMask | (ver&verMask)<<slotBits
+	if rdcss {
+		r |= rdcssBit
+	}
+	return r
+}
+
+// unpackRef splits a descriptor reference into slot index and version.
+func unpackRef(ref uint64) (slot uint32, ver uint64) {
+	return uint32(ref & slotMask), (ref >> slotBits) & verMask
+}
+
+// maxNCAS is the largest location count one MCAS operation may cover.
+const maxNCAS = 4
+
+// mcasDesc is one MCAS operation: up to maxNCAS (addr, old, new) triples
+// plus a version-packed status word.
+type mcasDesc struct {
+	ver    atomic.Uint64 // odd while active
+	status atomic.Uint64 // ver<<2 | state
+	n      atomic.Uint32
+	addrs  [maxNCAS]atomic.Uint32
+	olds   [maxNCAS]atomic.Uint64
+	news   [maxNCAS]atomic.Uint64
+}
+
+// rdcssDesc is one conditional install: write mref into a2 if *a2 == o2 and
+// the MCAS op named by mref is still undecided.
+type rdcssDesc struct {
+	ver  atomic.Uint64 // odd while active
+	mref atomic.Uint64 // the MCAS descriptor reference being installed
+	a2   atomic.Uint32
+	o2   atomic.Uint64
+}
+
+// Option configures an MCASEngine.
+type Option func(*config)
+
+type config struct {
+	poolSize int
+}
+
+// WithPoolSize sets the number of descriptor slots in each pool. A slot is
+// held only for the duration of one DCAS (plus helping), so the pool bounds
+// the number of concurrent operations, not the total; the default of 4096 is
+// far beyond any realistic goroutine count. An exhausted pool makes the
+// *requester* wait for a slot — a documented deviation from pure
+// lock-freedom, configurable away by sizing the pool to the thread count.
+func WithPoolSize(n int) Option {
+	return func(c *config) { c.poolSize = n }
+}
+
+// NewMCAS returns a lock-free MCAS engine over h.
+func NewMCAS(h CellStore, opts ...Option) *MCASEngine {
+	cfg := config{poolSize: 4096}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.poolSize < 2 {
+		cfg.poolSize = 2
+	}
+	if cfg.poolSize > slotMask {
+		cfg.poolSize = slotMask
+	}
+	e := &MCASEngine{
+		h:     h,
+		mcas:  make([]mcasDesc, cfg.poolSize),
+		rdcss: make([]rdcssDesc, cfg.poolSize),
+	}
+	e.mcasPool.init(cfg.poolSize)
+	e.rdcssPool.init(cfg.poolSize)
+	return e
+}
+
+// Name implements Engine.
+func (e *MCASEngine) Name() string { return "mcas" }
+
+// Read implements Engine.
+func (e *MCASEngine) Read(a mem.Addr) uint64 {
+	for {
+		v := e.h.Load(a)
+		if !isDescriptor(v) {
+			return v
+		}
+		e.help(v)
+	}
+}
+
+// Write implements Engine.
+func (e *MCASEngine) Write(a mem.Addr, v uint64) {
+	for {
+		cur := e.h.Load(a)
+		if isDescriptor(cur) {
+			e.help(cur)
+			continue
+		}
+		if e.h.CAS(a, cur, v) {
+			return
+		}
+	}
+}
+
+// CAS implements Engine.
+func (e *MCASEngine) CAS(a mem.Addr, old, new uint64) bool {
+	for {
+		if e.h.CAS(a, old, new) {
+			return true
+		}
+		cur := e.h.Load(a)
+		if isDescriptor(cur) {
+			e.help(cur)
+			continue
+		}
+		if cur != old {
+			return false
+		}
+		// Transient race between our CAS and Load; try again.
+	}
+}
+
+// DCAS implements Engine.
+func (e *MCASEngine) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 uint64) bool {
+	if a0 == a1 {
+		if old0 != old1 || new0 != new1 {
+			return false
+		}
+		return e.CAS(a0, old0, new0)
+	}
+	// Process addresses in increasing order so concurrent MCASes that
+	// overlap acquire locations in a consistent order.
+	if a0 > a1 {
+		a0, a1 = a1, a0
+		old0, old1 = old1, old0
+		new0, new1 = new1, new0
+	}
+	return e.runMCAS([]mem.Addr{a0, a1}, []uint64{old0, old1}, []uint64{new0, new1})
+}
+
+// NCAS atomically compares-and-swaps up to maxNCAS distinct locations — the
+// full generality of the Harris–Fraser–Pratt construction the DCAS above is
+// a special case of. It returns false without side effects if the slices
+// disagree in length, are empty, exceed maxNCAS locations, or repeat an
+// address.
+func (e *MCASEngine) NCAS(addrs []mem.Addr, olds, news []uint64) bool {
+	n := len(addrs)
+	if n == 0 || n > maxNCAS || len(olds) != n || len(news) != n {
+		return false
+	}
+	if n == 1 {
+		return e.CAS(addrs[0], olds[0], news[0])
+	}
+	// Sort the triples by address (n is tiny; insertion sort) and reject
+	// duplicates.
+	as := append([]mem.Addr(nil), addrs...)
+	os := append([]uint64(nil), olds...)
+	ns := append([]uint64(nil), news...)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && as[j] < as[j-1]; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+			os[j], os[j-1] = os[j-1], os[j]
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+	for i := 1; i < n; i++ {
+		if as[i] == as[i-1] {
+			return false
+		}
+	}
+	return e.runMCAS(as, os, ns)
+}
+
+// runMCAS publishes a descriptor for the (sorted, distinct) triples and
+// drives it to completion.
+func (e *MCASEngine) runMCAS(addrs []mem.Addr, olds, news []uint64) bool {
+	n := len(addrs)
+	slot := e.mcasPool.acquire()
+	d := &e.mcas[slot]
+	ver := d.ver.Load() + 1 // becomes odd
+	d.n.Store(uint32(n))
+	for i := 0; i < n; i++ {
+		d.addrs[i].Store(uint32(addrs[i]))
+		d.olds[i].Store(olds[i])
+		d.news[i].Store(news[i])
+	}
+	d.status.Store(ver<<2 | stUndecided)
+	d.ver.Store(ver) // publish
+
+	ref := packRef(false, slot, ver)
+	ok := e.helpMCAS(ref)
+
+	d.ver.Store(ver + 1) // retire (even)
+	e.mcasPool.release(slot)
+	return ok
+}
+
+// help advances whatever operation published the descriptor reference v.
+func (e *MCASEngine) help(v uint64) {
+	if isRDCSSRef(v) {
+		e.completeRDCSS(v)
+	} else {
+		e.helpMCAS(v)
+	}
+}
+
+// statusOf reads the packed status of the MCAS op named by mref. ok is
+// false if the descriptor has been retired (the op finished long ago).
+func (e *MCASEngine) statusOf(mref uint64) (state uint64, ok bool) {
+	slot, ver := unpackRef(mref)
+	st := e.mcas[slot].status.Load()
+	if (st>>2)&verMask != ver {
+		return 0, false
+	}
+	return st & 3, true
+}
+
+// helpMCAS drives the MCAS op named by ref to completion (phases 1 and 2 of
+// Harris et al.) and reports whether it succeeded. It is idempotent and may
+// be called by any number of helpers concurrently.
+func (e *MCASEngine) helpMCAS(ref uint64) bool {
+	slot, ver := unpackRef(ref)
+	d := &e.mcas[slot]
+
+	// Snapshot fields, then validate the version: if the op has been
+	// retired the snapshot is garbage, but then our caller's cell no
+	// longer holds ref either, so there is nothing to do.
+	n := int(d.n.Load())
+	var addrs [maxNCAS]mem.Addr
+	var olds, news [maxNCAS]uint64
+	if n > maxNCAS {
+		n = maxNCAS
+	}
+	for i := 0; i < n; i++ {
+		addrs[i] = mem.Addr(d.addrs[i].Load())
+		olds[i] = d.olds[i].Load()
+		news[i] = d.news[i].Load()
+	}
+	if d.ver.Load() != ver {
+		st, ok := e.statusOf(ref)
+		return ok && st == stSucceeded
+	}
+
+	// Phase 1: install ref into every location, gated on the op still
+	// being undecided.
+	desired := uint64(stSucceeded)
+phase1:
+	for i := 0; i < n; i++ {
+		for {
+			st, ok := e.statusOf(ref)
+			if !ok {
+				// Retired while we were helping; outcome
+				// unknowable here, but the owner knows it.
+				return false
+			}
+			if st != stUndecided {
+				desired = st
+				break phase1
+			}
+			v := e.rdcssInstall(ref, addrs[i], olds[i])
+			if v == ref {
+				break // installed (by us or a helper)
+			}
+			if isDescriptor(v) && !isRDCSSRef(v) {
+				// Another MCAS holds the cell; help it out of
+				// the way first.
+				e.helpMCAS(v)
+				continue
+			}
+			if v != olds[i] {
+				desired = stFailed
+				break phase1
+			}
+			// v == olds[i]: the status was decided while our
+			// install was in flight and the cell was restored;
+			// loop to re-check the status.
+		}
+	}
+
+	// Decide. The CAS embeds the version, so deciding a recycled slot is
+	// impossible.
+	d.status.CompareAndSwap(ver<<2|stUndecided, ver<<2|desired)
+	st, ok := e.statusOf(ref)
+	if !ok {
+		return false
+	}
+
+	// Phase 2: release the cells, writing news on success and restoring
+	// olds on failure.
+	for i := 0; i < n; i++ {
+		v := olds[i]
+		if st == stSucceeded {
+			v = news[i]
+		}
+		e.h.CAS(addrs[i], ref, v)
+	}
+	return st == stSucceeded
+}
+
+// rdcssInstall tries to place mref into cell a2 on condition that *a2 == o2
+// and the MCAS op is still undecided (RDCSS with the op's status word as the
+// control location). It returns mref if the descriptor was installed, or the
+// conflicting cell value otherwise; a return of o2 means the status was
+// decided concurrently and the caller must re-check it.
+func (e *MCASEngine) rdcssInstall(mref uint64, a2 mem.Addr, o2 uint64) uint64 {
+	slot := e.rdcssPool.acquire()
+	d := &e.rdcss[slot]
+	ver := d.ver.Load() + 1
+	d.mref.Store(mref)
+	d.a2.Store(uint32(a2))
+	d.o2.Store(o2)
+	d.ver.Store(ver) // publish
+
+	ref := packRef(true, slot, ver)
+	result := o2
+	for {
+		if e.h.CAS(a2, o2, ref) {
+			// Installed; resolve against the op status.
+			if st, ok := e.statusOf(mref); ok && st == stUndecided {
+				e.h.CAS(a2, ref, mref)
+				result = mref
+			} else {
+				e.h.CAS(a2, ref, o2)
+				result = o2
+			}
+			break
+		}
+		v := e.h.Load(a2)
+		if v == o2 {
+			continue // transient race; retry the install
+		}
+		if isDescriptor(v) && isRDCSSRef(v) {
+			e.completeRDCSS(v)
+			continue
+		}
+		result = v // plain mismatch or an MCAS descriptor
+		break
+	}
+
+	d.ver.Store(ver + 1) // retire
+	e.rdcssPool.release(slot)
+	return result
+}
+
+// completeRDCSS finishes an RDCSS whose descriptor reference was found in a
+// cell: it replaces the descriptor with the MCAS reference if the op is
+// still undecided, and restores the expected old value otherwise.
+func (e *MCASEngine) completeRDCSS(ref uint64) {
+	slot, ver := unpackRef(ref)
+	d := &e.rdcss[slot]
+	mref := d.mref.Load()
+	a2 := mem.Addr(d.a2.Load())
+	o2 := d.o2.Load()
+	if d.ver.Load() != ver {
+		return // retired; the cell has been cleaned already
+	}
+	if st, ok := e.statusOf(mref); ok && st == stUndecided {
+		e.h.CAS(a2, ref, mref)
+	} else {
+		e.h.CAS(a2, ref, o2)
+	}
+}
+
+// descPool is a lock-free stack of free descriptor slots. The head packs a
+// 32-bit pop counter with a 32-bit (index+1); links live in next.
+type descPool struct {
+	head atomic.Uint64
+	next []atomic.Uint32
+}
+
+func (p *descPool) init(n int) {
+	p.next = make([]atomic.Uint32, n)
+	for i := n - 1; i >= 0; i-- {
+		p.releaseSlot(uint32(i))
+	}
+}
+
+func (p *descPool) acquire() uint32 {
+	for spins := 0; ; spins++ {
+		old := p.head.Load()
+		idx1 := uint32(old)
+		if idx1 == 0 {
+			// Pool exhausted: wait for a slot. See WithPoolSize.
+			runtime.Gosched()
+			continue
+		}
+		next := p.next[idx1-1].Load()
+		cnt := (old >> 32) + 1
+		if p.head.CompareAndSwap(old, cnt<<32|uint64(next)) {
+			return idx1 - 1
+		}
+	}
+}
+
+func (p *descPool) release(slot uint32) { p.releaseSlot(slot) }
+
+func (p *descPool) releaseSlot(slot uint32) {
+	for {
+		old := p.head.Load()
+		p.next[slot].Store(uint32(old))
+		if p.head.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(slot+1)) {
+			return
+		}
+	}
+}

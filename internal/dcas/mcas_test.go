@@ -1,0 +1,340 @@
+package dcas
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lfrc/internal/mem"
+)
+
+func TestDescriptorRefPacking(t *testing.T) {
+	f := func(rdcss bool, slot uint32, ver uint64) bool {
+		s := slot & slotMask
+		v := ver & verMask
+		ref := packRef(rdcss, s, v)
+		gotSlot, gotVer := unpackRef(ref)
+		return isDescriptor(ref) &&
+			isRDCSSRef(ref) == rdcss &&
+			gotSlot == s &&
+			gotVer == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplicationValuesAreNotDescriptors(t *testing.T) {
+	f := func(v uint64) bool {
+		return !isDescriptor(v & mem.ValueMask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentCounterCAS drives a shared counter with engine CAS from many
+// goroutines; the total must be exact for both engines.
+func TestConcurrentCounterCAS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range engineFactories() {
+		t.Run(name, func(t *testing.T) {
+			h := mem.NewHeap()
+			e := mk(h)
+			a := newCells(t, h, 1)[0]
+
+			const workers, perW = 8, 3000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						for {
+							cur := e.Read(a)
+							if e.CAS(a, cur, cur+1) {
+								break
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := e.Read(a); got != workers*perW {
+				t.Errorf("counter = %d, want %d", got, workers*perW)
+			}
+		})
+	}
+}
+
+// TestConcurrentTransferInvariant runs DCAS "transfers" between two cells;
+// the sum is invariant under every successful DCAS, and the final state must
+// account for exactly the successful operations.
+func TestConcurrentTransferInvariant(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range engineFactories() {
+		t.Run(name, func(t *testing.T) {
+			h := mem.NewHeap()
+			e := mk(h)
+			cells := newCells(t, h, 2)
+			const total = 1 << 20
+			e.Write(cells[0], total)
+			e.Write(cells[1], 0)
+
+			const workers, perW = 8, 2000
+			succ := make([]int64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						x := e.Read(cells[0])
+						y := e.Read(cells[1])
+						if x == 0 {
+							continue
+						}
+						if e.DCAS(cells[0], cells[1], x, y, x-1, y+1) {
+							succ[w]++
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var wins int64
+			for _, s := range succ {
+				wins += s
+			}
+			x, y := e.Read(cells[0]), e.Read(cells[1])
+			if x+y != total {
+				t.Errorf("sum invariant broken: %d + %d != %d", x, y, total)
+			}
+			if y != uint64(wins) {
+				t.Errorf("cell1 = %d, want number of successful DCAS = %d", y, wins)
+			}
+		})
+	}
+}
+
+// TestConcurrentRandomPairsDCAS has workers DCAS-increment random pairs from
+// a pool of cells. Each success adds exactly 1 to each of two cells, so the
+// grand total must equal 2 × successes; additionally no read may ever
+// observe a descriptor-tagged value.
+func TestConcurrentRandomPairsDCAS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range engineFactories() {
+		t.Run(name, func(t *testing.T) {
+			h := mem.NewHeap()
+			e := mk(h)
+			cells := newCells(t, h, 8)
+
+			const workers, perW = 8, 3000
+			succ := make([]int64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w) + 1))
+					for i := 0; i < perW; i++ {
+						i0 := rng.Intn(len(cells))
+						i1 := rng.Intn(len(cells))
+						if i0 == i1 {
+							i1 = (i1 + 1) % len(cells)
+						}
+						a0, a1 := cells[i0], cells[i1]
+						x := e.Read(a0)
+						y := e.Read(a1)
+						if !isValue(x) || !isValue(y) {
+							t.Errorf("Read returned a descriptor: %#x %#x", x, y)
+							return
+						}
+						if e.DCAS(a0, a1, x, y, x+1, y+1) {
+							succ[w]++
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var wins int64
+			for _, s := range succ {
+				wins += s
+			}
+			var sum uint64
+			for _, a := range cells {
+				v := e.Read(a)
+				if !isValue(v) {
+					t.Fatalf("descriptor left in cell: %#x", v)
+				}
+				sum += v
+			}
+			if sum != 2*uint64(wins) {
+				t.Errorf("sum = %d, want 2×successes = %d", sum, 2*wins)
+			}
+		})
+	}
+}
+
+func isValue(v uint64) bool { return !isDescriptor(v) }
+
+// TestMCASSmallPool forces heavy descriptor-slot contention: with a pool of
+// just two slots and eight workers, operations must still complete and stay
+// exact.
+func TestMCASSmallPool(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	h := mem.NewHeap()
+	e := NewMCAS(h, WithPoolSize(2))
+	cells := newCells(t, h, 2)
+
+	const workers, perW = 8, 500
+	succ := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				for {
+					x := e.Read(cells[0])
+					y := e.Read(cells[1])
+					if e.DCAS(cells[0], cells[1], x, y, x+1, y+1) {
+						succ[w]++
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := uint64(workers * perW)
+	if x := e.Read(cells[0]); x != want {
+		t.Errorf("cell0 = %d, want %d", x, want)
+	}
+	if y := e.Read(cells[1]); y != want {
+		t.Errorf("cell1 = %d, want %d", y, want)
+	}
+}
+
+// TestMCASMixedSingleAndDouble mixes single CAS, DCAS and writes on
+// overlapping cells and then checks a conservation invariant: cell0 is only
+// ever moved in lockstep with cell1 by DCAS, while CAS increments cell2.
+func TestMCASMixedSingleAndDouble(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	h := mem.NewHeap()
+	e := NewMCAS(h)
+	cells := newCells(t, h, 3)
+
+	const workers, perW = 6, 2000
+	var wg sync.WaitGroup
+	dcasWins := make([]int64, workers)
+	casWins := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if i%2 == 0 {
+					x := e.Read(cells[0])
+					y := e.Read(cells[1])
+					if e.DCAS(cells[0], cells[1], x, y, x+1, y+1) {
+						dcasWins[w]++
+					}
+				} else {
+					z := e.Read(cells[2])
+					if e.CAS(cells[2], z, z+1) {
+						casWins[w]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var dw, cw int64
+	for w := 0; w < workers; w++ {
+		dw += dcasWins[w]
+		cw += casWins[w]
+	}
+	if x, y := e.Read(cells[0]), e.Read(cells[1]); x != y || x != uint64(dw) {
+		t.Errorf("cells0/1 = %d/%d, want both %d", x, y, dw)
+	}
+	if z := e.Read(cells[2]); z != uint64(cw) {
+		t.Errorf("cell2 = %d, want %d", z, cw)
+	}
+}
+
+// TestEnginesAgreeSequentially replays an identical random operation script
+// against both engines and requires identical results and final state: the
+// lock-free construction must be observationally equivalent to the modeled
+// hardware.
+func TestEnginesAgreeSequentially(t *testing.T) {
+	f := func(seed int64) bool {
+		const nCells = 6
+		run := func(e Engine, h *mem.Heap, cells []mem.Addr) ([]bool, []uint64) {
+			rng := rand.New(rand.NewSource(seed))
+			var outcomes []bool
+			for i := 0; i < 200; i++ {
+				op := rng.Intn(3)
+				a0 := cells[rng.Intn(nCells)]
+				a1 := cells[rng.Intn(nCells)]
+				v0 := uint64(rng.Intn(4))
+				v1 := uint64(rng.Intn(4))
+				n0 := uint64(rng.Intn(4))
+				n1 := uint64(rng.Intn(4))
+				switch op {
+				case 0:
+					e.Write(a0, n0)
+				case 1:
+					outcomes = append(outcomes, e.CAS(a0, v0, n0))
+				case 2:
+					outcomes = append(outcomes, e.DCAS(a0, a1, v0, v1, n0, n1))
+				}
+			}
+			final := make([]uint64, nCells)
+			for i, a := range cells {
+				final[i] = e.Read(a)
+			}
+			return outcomes, final
+		}
+
+		h1 := mem.NewHeap()
+		id1 := h1.MustRegisterType(mem.TypeDesc{Name: "c", NumFields: nCells})
+		r1 := h1.MustAlloc(id1)
+		cells1 := make([]mem.Addr, nCells)
+		for i := range cells1 {
+			cells1[i] = h1.FieldAddr(r1, i)
+		}
+		h2 := mem.NewHeap()
+		id2 := h2.MustRegisterType(mem.TypeDesc{Name: "c", NumFields: nCells})
+		r2 := h2.MustAlloc(id2)
+		cells2 := make([]mem.Addr, nCells)
+		for i := range cells2 {
+			cells2[i] = h2.FieldAddr(r2, i)
+		}
+
+		o1, f1 := run(NewLocking(h1), h1, cells1)
+		o2, f2 := run(NewMCAS(h2), h2, cells2)
+		if len(o1) != len(o2) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

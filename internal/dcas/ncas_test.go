@@ -1,0 +1,213 @@
+package dcas
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lfrc/internal/mem"
+)
+
+// multiFactories enumerates the NCAS-capable engines.
+func multiFactories() map[string]func(h *mem.Heap) MultiEngine {
+	return map[string]func(h *mem.Heap) MultiEngine{
+		"locking": func(h *mem.Heap) MultiEngine { return NewLocking(h) },
+		"mcas":    func(h *mem.Heap) MultiEngine { return NewMCAS(h) },
+	}
+}
+
+func TestNCASSemantics(t *testing.T) {
+	for name, mk := range multiFactories() {
+		t.Run(name, func(t *testing.T) {
+			h := mem.NewHeap()
+			e := mk(h)
+			cells := newCells(t, h, 4)
+			reset := func(vals ...uint64) {
+				for i, v := range vals {
+					e.Write(cells[i], v)
+				}
+			}
+
+			// Three-word success.
+			reset(1, 2, 3, 4)
+			if !e.NCAS(cells[:3], []uint64{1, 2, 3}, []uint64{10, 20, 30}) {
+				t.Fatal("3-word NCAS with matching olds failed")
+			}
+			for i, want := range []uint64{10, 20, 30, 4} {
+				if got := e.Read(cells[i]); got != want {
+					t.Errorf("cell %d = %d, want %d", i, got, want)
+				}
+			}
+
+			// Four-word failure on the last comparand leaves all cells.
+			reset(1, 2, 3, 4)
+			if e.NCAS(cells[:4], []uint64{1, 2, 3, 9}, []uint64{0, 0, 0, 0}) {
+				t.Fatal("4-word NCAS with a mismatch succeeded")
+			}
+			for i, want := range []uint64{1, 2, 3, 4} {
+				if got := e.Read(cells[i]); got != want {
+					t.Errorf("cell %d = %d after failed NCAS, want %d", i, got, want)
+				}
+			}
+
+			// One-word degenerates to CAS.
+			reset(5)
+			if !e.NCAS(cells[:1], []uint64{5}, []uint64{6}) {
+				t.Fatal("1-word NCAS failed")
+			}
+			if got := e.Read(cells[0]); got != 6 {
+				t.Errorf("cell0 = %d, want 6", got)
+			}
+		})
+	}
+}
+
+func TestNCASRejectsBadArguments(t *testing.T) {
+	for name, mk := range multiFactories() {
+		t.Run(name, func(t *testing.T) {
+			h := mem.NewHeap()
+			e := mk(h)
+			cells := newCells(t, h, 5)
+
+			if e.NCAS(nil, nil, nil) {
+				t.Error("empty NCAS succeeded")
+			}
+			if e.NCAS(cells[:2], []uint64{0}, []uint64{1, 1}) {
+				t.Error("mismatched slice lengths accepted")
+			}
+			if e.NCAS(cells[:5], make([]uint64, 5), make([]uint64, 5)) {
+				t.Error("5-word NCAS accepted (max is 4)")
+			}
+			dup := []mem.Addr{cells[0], cells[1], cells[0]}
+			if e.NCAS(dup, make([]uint64, 3), []uint64{1, 1, 2}) {
+				t.Error("duplicate address accepted")
+			}
+			// Arguments in any order are honoured positionally.
+			e.Write(cells[0], 1)
+			e.Write(cells[1], 2)
+			if !e.NCAS([]mem.Addr{cells[1], cells[0]}, []uint64{2, 1}, []uint64{20, 10}) {
+				t.Fatal("reversed-order NCAS failed")
+			}
+			if e.Read(cells[0]) != 10 || e.Read(cells[1]) != 20 {
+				t.Error("reversed-order NCAS applied values to wrong cells")
+			}
+		})
+	}
+}
+
+// TestNCASEnginesAgree replays identical random NCAS scripts on both
+// engines; outcomes and final states must match.
+func TestNCASEnginesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		const nCells = 5
+		run := func(mk func(h *mem.Heap) MultiEngine) ([]bool, []uint64) {
+			h := mem.NewHeap()
+			id := h.MustRegisterType(mem.TypeDesc{Name: "c", NumFields: nCells})
+			r := h.MustAlloc(id)
+			cells := make([]mem.Addr, nCells)
+			for i := range cells {
+				cells[i] = h.FieldAddr(r, i)
+			}
+			e := mk(h)
+			rng := rand.New(rand.NewSource(seed))
+			var outcomes []bool
+			for i := 0; i < 150; i++ {
+				n := rng.Intn(4) + 1
+				perm := rng.Perm(nCells)[:n]
+				addrs := make([]mem.Addr, n)
+				olds := make([]uint64, n)
+				news := make([]uint64, n)
+				for j, idx := range perm {
+					addrs[j] = cells[idx]
+					olds[j] = uint64(rng.Intn(3))
+					news[j] = uint64(rng.Intn(3))
+				}
+				outcomes = append(outcomes, e.NCAS(addrs, olds, news))
+			}
+			final := make([]uint64, nCells)
+			for i, a := range cells {
+				final[i] = e.Read(a)
+			}
+			return outcomes, final
+		}
+		o1, f1 := run(func(h *mem.Heap) MultiEngine { return NewLocking(h) })
+		o2, f2 := run(func(h *mem.Heap) MultiEngine { return NewMCAS(h) })
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNCASConcurrentRotation has workers NCAS-rotate a 3-cell ring; every
+// success preserves the multiset {0,1,2}, and the success count must equal
+// the number of net rotations observed.
+func TestNCASConcurrentRotation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range multiFactories() {
+		t.Run(name, func(t *testing.T) {
+			h := mem.NewHeap()
+			e := mk(h)
+			cells := newCells(t, h, 3)
+			for i, v := range []uint64{0, 1, 2} {
+				e.Write(cells[i], v)
+			}
+
+			const workers, perW = 6, 2000
+			var wg sync.WaitGroup
+			wins := make([]int64, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						a := e.Read(cells[0])
+						b := e.Read(cells[1])
+						c := e.Read(cells[2])
+						if e.NCAS(cells, []uint64{a, b, c}, []uint64{c, a, b}) {
+							wins[w]++
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			got := map[uint64]bool{}
+			for _, a := range cells {
+				got[e.Read(a)] = true
+			}
+			for v := uint64(0); v < 3; v++ {
+				if !got[v] {
+					t.Errorf("value %d lost from the ring (multiset broken)", v)
+				}
+			}
+			var total int64
+			for _, w := range wins {
+				total += w
+			}
+			// Rotation count mod 3 must match the final configuration.
+			rot := 0
+			for r := 0; r < 3; r++ {
+				if e.Read(cells[0]) == uint64((3-r)%3) {
+					rot = r
+				}
+			}
+			if int(total%3) != rot {
+				t.Errorf("success count %d (mod 3 = %d) inconsistent with final rotation %d",
+					total, total%3, rot)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package dlist
+
+import (
+	"testing"
+
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+)
+
+// FuzzSetModel interprets the fuzz input as (op, key) pairs and runs them
+// against a map model on both engines, checking results, ordering, leak
+// freedom, and heap integrity.
+func FuzzSetModel(f *testing.F) {
+	f.Add([]byte{0, 5, 2, 5, 1, 5, 2, 5})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 2, 1, 2, 2, 2, 3})
+	f.Add([]byte{0, 9, 0, 9, 1, 9, 1, 9})
+	f.Add([]byte{1, 0, 2, 0})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		for _, engine := range []func(h *mem.Heap) dcas.Engine{
+			func(h *mem.Heap) dcas.Engine { return dcas.NewLocking(h) },
+			func(h *mem.Heap) dcas.Engine { return dcas.NewMCAS(h) },
+		} {
+			h := mem.NewHeap()
+			rc := core.New(h, engine(h))
+			l, err := New(rc, MustRegisterTypes(h))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+
+			model := map[Key]bool{}
+			for i := 0; i+1 < len(script); i += 2 {
+				op, k := script[i]%3, Key(script[i+1]%32)
+				switch op {
+				case 0:
+					ok, err := l.Insert(k)
+					if err != nil {
+						t.Fatalf("Insert: %v", err)
+					}
+					if ok == model[k] {
+						t.Fatalf("Insert(%d) = %v, model has %v", k, ok, model[k])
+					}
+					model[k] = true
+				case 1:
+					if got := l.Delete(k); got != model[k] {
+						t.Fatalf("Delete(%d) = %v, model has %v", k, got, model[k])
+					}
+					delete(model, k)
+				case 2:
+					if got := l.Contains(k); got != model[k] {
+						t.Fatalf("Contains(%d) = %v, model has %v", k, got, model[k])
+					}
+				}
+			}
+			if got := l.Len(); got != len(model) {
+				t.Fatalf("Len = %d, model %d", got, len(model))
+			}
+			keys := l.Keys()
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					t.Fatalf("Keys not strictly ascending: %v", keys)
+				}
+			}
+			l.Close()
+			if got := h.Stats().LiveObjects; got != 0 {
+				t.Fatalf("leaked %d objects", got)
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+)
+
+// This file model-checks the software MCAS engine itself: the CellScenario
+// instrumentation interleaves every *internal* Load/Store/CAS of the
+// RDCSS/MCAS protocol, so the preemption-bounded DFS exercises descriptor
+// installation, helping, and removal at every explored switch point. The
+// oracle is permutation-based: because the engine's operations must be
+// linearizable and every thread runs exactly one (or two sequential)
+// operations, the observed (results, final cells) must equal the outcome of
+// SOME sequential order of the operations.
+
+// memOp is one engine operation a thread performs.
+type memOp struct {
+	kind             int // 0 = CAS, 1 = DCAS, 2 = Read, 3 = Write, 4 = 3-word NCAS
+	a0, a1, a2       int // cell indices
+	old0, old1, old2 uint64
+	new0, new1, new2 uint64
+}
+
+// applySeq runs an op sequentially against a model memory, returning the
+// boolean outcome (CAS/DCAS) or the value read (Read; reported via val).
+func (op memOp) applySeq(cells []uint64) (ok bool, val uint64) {
+	switch op.kind {
+	case 0:
+		if cells[op.a0] == op.old0 {
+			cells[op.a0] = op.new0
+			return true, 0
+		}
+		return false, 0
+	case 1:
+		if cells[op.a0] == op.old0 && cells[op.a1] == op.old1 {
+			cells[op.a0] = op.new0
+			cells[op.a1] = op.new1
+			return true, 0
+		}
+		return false, 0
+	case 2:
+		return true, cells[op.a0]
+	case 4:
+		if cells[op.a0] == op.old0 && cells[op.a1] == op.old1 && cells[op.a2] == op.old2 {
+			cells[op.a0] = op.new0
+			cells[op.a1] = op.new1
+			cells[op.a2] = op.new2
+			return true, 0
+		}
+		return false, 0
+	default:
+		cells[op.a0] = op.new0
+		return true, 0
+	}
+}
+
+// outcome captures one run's observable behaviour.
+type outcome struct {
+	results string // per-thread op results, encoded
+	final   string // final cell values, encoded
+}
+
+// legalOutcomes enumerates every interleaving-as-permutation of the threads'
+// op streams (respecting per-thread order) and collects the legal outcomes.
+func legalOutcomes(nCells int, threads [][]memOp) map[outcome]bool {
+	legal := map[outcome]bool{}
+	idx := make([]int, len(threads))
+	results := make([][]string, len(threads))
+	for i := range results {
+		results[i] = make([]string, len(threads[i]))
+	}
+	cells := make([]uint64, nCells)
+
+	var rec func()
+	rec = func() {
+		doneAll := true
+		for t := range threads {
+			if idx[t] < len(threads[t]) {
+				doneAll = false
+				// Take thread t's next op.
+				op := threads[t][idx[t]]
+				saved := append([]uint64(nil), cells...)
+				ok, val := op.applySeq(cells)
+				results[t][idx[t]] = fmt.Sprint(ok, val)
+				idx[t]++
+				rec()
+				idx[t]--
+				copy(cells, saved)
+			}
+		}
+		if doneAll {
+			legal[outcome{results: fmt.Sprint(results), final: fmt.Sprint(cells)}] = true
+		}
+	}
+	rec()
+	return legal
+}
+
+// mcasCellScenario builds the engine over instrumented cells and runs the
+// threads' op streams, checking the observed outcome against the oracle.
+func mcasCellScenario(nCells int, threads [][]memOp, legal map[outcome]bool) CellScenario {
+	return func(instrument func(dcas.CellStore) dcas.CellStore) ([]func(), func() error) {
+		h := mem.NewHeap()
+		id := h.MustRegisterType(mem.TypeDesc{Name: "cells", NumFields: nCells})
+		r := h.MustAlloc(id)
+		addr := make([]mem.Addr, nCells)
+		for i := range addr {
+			addr[i] = h.FieldAddr(r, i)
+		}
+		e := dcas.NewMCAS(instrument(h), dcas.WithPoolSize(8))
+
+		results := make([][]string, len(threads))
+		for i := range results {
+			results[i] = make([]string, len(threads[i]))
+		}
+		bodies := make([]func(), len(threads))
+		for t, ops := range threads {
+			t, ops := t, ops
+			bodies[t] = func() {
+				for i, op := range ops {
+					var ok bool
+					var val uint64
+					switch op.kind {
+					case 0:
+						ok = e.CAS(addr[op.a0], op.old0, op.new0)
+					case 1:
+						ok = e.DCAS(addr[op.a0], addr[op.a1], op.old0, op.old1, op.new0, op.new1)
+					case 2:
+						ok, val = true, e.Read(addr[op.a0])
+					case 4:
+						ok = e.NCAS(
+							[]mem.Addr{addr[op.a0], addr[op.a1], addr[op.a2]},
+							[]uint64{op.old0, op.old1, op.old2},
+							[]uint64{op.new0, op.new1, op.new2})
+					default:
+						ok = true
+						e.Write(addr[op.a0], op.new0)
+					}
+					results[t][i] = fmt.Sprint(ok, val)
+				}
+			}
+		}
+		check := func() error {
+			final := make([]uint64, nCells)
+			for i := range final {
+				final[i] = e.Read(addr[i])
+			}
+			got := outcome{results: fmt.Sprint(results), final: fmt.Sprint(final)}
+			if !legal[got] {
+				return fmt.Errorf("outcome %+v not in the %d legal sequential outcomes", got, len(legal))
+			}
+			return nil
+		}
+		return bodies, check
+	}
+}
+
+// checkMCASLinearizable explores the scenario and fails on any outcome
+// outside the sequential-oracle set.
+func checkMCASLinearizable(t *testing.T, name string, nCells int, threads [][]memOp, preemptions, maxRuns int) {
+	t.Helper()
+	legal := legalOutcomes(nCells, threads)
+	s := mcasCellScenario(nCells, threads, legal)
+	res := RunDFS(s, preemptions, maxRuns, 100_000)
+	if res.Violations != 0 {
+		t.Errorf("%s: %d non-linearizable outcomes in %d schedules; first: %v (trace %v)",
+			name, res.Violations, res.Runs, res.FirstError, res.FirstViolation)
+	}
+	if res.Incomplete != 0 {
+		t.Errorf("%s: %d runs hit the step cap (livelock?)", name, res.Incomplete)
+	}
+	t.Logf("%s: %d schedules explored, %d legal outcomes, all conform", name, res.Runs, len(legal))
+}
+
+func cas(a int, old, new uint64) memOp { return memOp{kind: 0, a0: a, old0: old, new0: new} }
+func read(a int) memOp                 { return memOp{kind: 2, a0: a} }
+func write(a int, v uint64) memOp      { return memOp{kind: 3, a0: a, new0: v} }
+func dcasOp(a0, a1 int, o0, o1, n0, n1 uint64) memOp {
+	return memOp{kind: 1, a0: a0, a1: a1, old0: o0, old1: o1, new0: n0, new1: n1}
+}
+
+func TestMCASModelCheckCompetingDCAS(t *testing.T) {
+	checkMCASLinearizable(t, "two DCAS same cells", 2, [][]memOp{
+		{dcasOp(0, 1, 0, 0, 1, 1)},
+		{dcasOp(0, 1, 0, 0, 2, 2)},
+	}, 3, 50_000)
+}
+
+func TestMCASModelCheckDCASvsCAS(t *testing.T) {
+	checkMCASLinearizable(t, "DCAS vs CAS on shared cell", 2, [][]memOp{
+		{dcasOp(0, 1, 0, 0, 1, 1)},
+		{cas(1, 0, 5)},
+	}, 3, 50_000)
+}
+
+func TestMCASModelCheckChainedOverlap(t *testing.T) {
+	checkMCASLinearizable(t, "chained DCAS overlap", 3, [][]memOp{
+		{dcasOp(0, 1, 0, 0, 1, 1)},
+		{dcasOp(1, 2, 1, 0, 2, 2)},
+	}, 3, 50_000)
+}
+
+func TestMCASModelCheckReaderDuringDCAS(t *testing.T) {
+	checkMCASLinearizable(t, "reader during DCAS", 2, [][]memOp{
+		{dcasOp(0, 1, 0, 0, 7, 7)},
+		{read(0), read(1)},
+	}, 3, 50_000)
+}
+
+func TestMCASModelCheckWriterInterference(t *testing.T) {
+	checkMCASLinearizable(t, "writer vs DCAS", 2, [][]memOp{
+		{dcasOp(0, 1, 0, 0, 1, 1)},
+		{write(0, 9)},
+	}, 2, 50_000)
+}
+
+func TestMCASModelCheckThreeWay(t *testing.T) {
+	checkMCASLinearizable(t, "three-way contention", 2, [][]memOp{
+		{dcasOp(0, 1, 0, 0, 1, 1)},
+		{dcasOp(0, 1, 0, 0, 2, 2)},
+		{cas(0, 0, 3)},
+	}, 2, 60_000)
+}
+
+// ncas3 is a three-word NCAS op (kind 4).
+func ncas3(a0, a1, a2 int, o [3]uint64, n [3]uint64) memOp {
+	return memOp{kind: 4, a0: a0, a1: a1, a2: a2, old0: o[0], old1: o[1], old2: o[2],
+		new0: n[0], new1: n[1], new2: n[2]}
+}
+
+func TestMCASModelCheckThreeWordNCAS(t *testing.T) {
+	checkMCASLinearizable(t, "3-word NCAS vs DCAS", 3, [][]memOp{
+		{ncas3(0, 1, 2, [3]uint64{0, 0, 0}, [3]uint64{1, 1, 1})},
+		{dcasOp(1, 2, 0, 0, 2, 2)},
+	}, 2, 60_000)
+}
+
+func TestMCASModelCheckTwoThreeWordNCAS(t *testing.T) {
+	checkMCASLinearizable(t, "competing 3-word NCAS", 3, [][]memOp{
+		{ncas3(0, 1, 2, [3]uint64{0, 0, 0}, [3]uint64{1, 1, 1})},
+		{ncas3(0, 1, 2, [3]uint64{0, 0, 0}, [3]uint64{2, 2, 2})},
+	}, 2, 60_000)
+}

@@ -1,0 +1,218 @@
+package gcdep
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPops(t *testing.T) {
+	d := New()
+	if _, ok := d.PopLeft(); ok {
+		t.Error("PopLeft on empty deque reported a value")
+	}
+	if _, ok := d.PopRight(); ok {
+		t.Error("PopRight on empty deque reported a value")
+	}
+}
+
+func TestAllFourOpCombinations(t *testing.T) {
+	tests := []struct {
+		name string
+		push func(d *Deque, v Value)
+		pop  func(d *Deque) (Value, bool)
+		want []Value
+	}{
+		{name: "pushR popR", push: (*Deque).PushRight, pop: (*Deque).PopRight, want: []Value{3, 2, 1}},
+		{name: "pushR popL", push: (*Deque).PushRight, pop: (*Deque).PopLeft, want: []Value{1, 2, 3}},
+		{name: "pushL popR", push: (*Deque).PushLeft, pop: (*Deque).PopRight, want: []Value{1, 2, 3}},
+		{name: "pushL popL", push: (*Deque).PushLeft, pop: (*Deque).PopLeft, want: []Value{3, 2, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := New()
+			for v := Value(1); v <= 3; v++ {
+				tt.push(d, v)
+			}
+			for _, want := range tt.want {
+				v, ok := tt.pop(d)
+				if !ok || v != want {
+					t.Fatalf("pop = (%d,%v), want (%d,true)", v, ok, want)
+				}
+			}
+			if _, ok := tt.pop(d); ok {
+				t.Error("deque not empty at end")
+			}
+		})
+	}
+}
+
+// TestSequentialModelEquivalence property-tests the GC-dependent deque
+// against a slice model, exactly as the LFRC variant is tested — the
+// methodology demands the transformation preserve semantics (E9).
+func TestSequentialModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New()
+		var model []Value
+		next := Value(1)
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				d.PushLeft(next)
+				model = append([]Value{next}, model...)
+				next++
+			case 1:
+				d.PushRight(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := d.PopLeft()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PopRight()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+		}
+		for _, want := range model {
+			v, ok := d.PopLeft()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := d.PopLeft()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefillAfterEmpty(t *testing.T) {
+	d := New()
+	for round := 0; round < 5; round++ {
+		for v := Value(0); v < 10; v++ {
+			if v%2 == 0 {
+				d.PushLeft(v)
+			} else {
+				d.PushRight(v)
+			}
+		}
+		got := map[Value]bool{}
+		for i := 0; i < 10; i++ {
+			var v Value
+			var ok bool
+			if i%2 == 0 {
+				v, ok = d.PopRight()
+			} else {
+				v, ok = d.PopLeft()
+			}
+			if !ok {
+				t.Fatalf("round %d: premature empty", round)
+			}
+			if got[v] {
+				t.Fatalf("round %d: duplicate %d", round, v)
+			}
+			got[v] = true
+		}
+	}
+}
+
+// TestConcurrentStressClaiming mirrors the LFRC deque's exact-semantics
+// stress on the GC-dependent baseline.
+func TestConcurrentStressClaiming(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	d := New(WithValueClaiming())
+
+	const (
+		pushers   = 4
+		poppers   = 4
+		perPusher = 2000
+	)
+	var (
+		mu     sync.Mutex
+		popped = make(map[Value]int)
+		done   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer done.Add(1)
+			for i := 0; i < perPusher; i++ {
+				v := Value(p*perPusher + i + 1)
+				if (p+i)%2 == 0 {
+					d.PushRight(v)
+				} else {
+					d.PushLeft(v)
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < poppers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			record := func(v Value) {
+				mu.Lock()
+				popped[v]++
+				mu.Unlock()
+			}
+			for {
+				var v Value
+				var ok bool
+				if c%2 == 0 {
+					v, ok = d.PopLeft()
+				} else {
+					v, ok = d.PopRight()
+				}
+				if ok {
+					record(v)
+					continue
+				}
+				if done.Load() == pushers {
+					if v, ok := d.PopLeft(); ok {
+						record(v)
+						continue
+					}
+					if v, ok := d.PopRight(); ok {
+						record(v)
+						continue
+					}
+					return
+				}
+				runtime.Gosched()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(popped) != pushers*perPusher {
+		t.Errorf("popped %d distinct values, want %d", len(popped), pushers*perPusher)
+	}
+	for v, n := range popped {
+		if n != 1 {
+			t.Errorf("value %d popped %d times", v, n)
+		}
+	}
+}

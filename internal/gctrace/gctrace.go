@@ -1,0 +1,164 @@
+// Package gctrace implements a stop-the-world mark–sweep collector over the
+// simulated heap.
+//
+// The LFRC paper's §7 names the one reclamation gap of reference counting —
+// cyclic garbage — and proposes "to integrate a tracing collector that can
+// be invoked occasionally in order to identify and collect cyclic garbage".
+// This package is that collector. It is deliberately stop-the-world: the
+// paper positions it as an occasional backup pass run at quiescence, not as
+// a concurrent collector (making *it* lock-free is exactly the future work
+// the paper leaves open).
+//
+// Collect marks every object reachable from the registered roots through
+// registered pointer fields, then sweeps: unreachable live objects are freed
+// regardless of their reference counts (a garbage cycle's counts never reach
+// zero — that is the point), and any references such objects held into the
+// surviving graph are subtracted from the survivors' counts so ordinary LFRC
+// reclamation stays exact afterwards.
+package gctrace
+
+import (
+	"sync"
+
+	"lfrc/internal/mem"
+)
+
+// Collector performs stop-the-world mark–sweep passes over one heap.
+// Methods are mutually excluded; the heap itself must be quiescent (no
+// running mutators) for the duration of Collect.
+type Collector struct {
+	h *mem.Heap
+
+	mu    sync.Mutex
+	roots map[mem.Ref]int // ref -> registration count
+}
+
+// New creates a collector for h.
+func New(h *mem.Heap) *Collector {
+	return &Collector{h: h, roots: make(map[mem.Ref]int)}
+}
+
+// AddRoot registers a root reference: an object the mutator side holds alive
+// outside the heap (for example a deque's anchor). Roots may be registered
+// multiple times; each AddRoot needs a matching RemoveRoot.
+func (c *Collector) AddRoot(r mem.Ref) {
+	if r == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roots[r]++
+}
+
+// RemoveRoot unregisters a root previously added with AddRoot.
+func (c *Collector) RemoveRoot(r mem.Ref) {
+	if r == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.roots[r] <= 1 {
+		delete(c.roots, r)
+	} else {
+		c.roots[r]--
+	}
+}
+
+// Roots returns a snapshot of the registered roots and their registration
+// counts (one registration per external handle).
+func (c *Collector) Roots() map[mem.Ref]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[mem.Ref]int64, len(c.roots))
+	for r, n := range c.roots {
+		out[r] = int64(n)
+	}
+	return out
+}
+
+// Result describes one collection pass.
+type Result struct {
+	// Marked is the number of live objects reachable from the roots.
+	Marked int
+
+	// Freed is the number of unreachable live objects reclaimed — with a
+	// correct mutator these are exactly the cyclic-garbage objects LFRC
+	// cannot reclaim on its own.
+	Freed int
+
+	// RCAdjusted counts survivor reference counts that were decremented
+	// because a swept object pointed at them.
+	RCAdjusted int
+}
+
+// Collect runs one stop-the-world mark–sweep pass and returns its result.
+// The heap must be quiescent.
+func (c *Collector) Collect() Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Mark phase: BFS from the roots through registered pointer fields.
+	marked := make(map[mem.Ref]bool, len(c.roots)*4)
+	stack := make([]mem.Ref, 0, len(c.roots))
+	for r := range c.roots {
+		if !c.h.IsFreed(r) && !marked[r] {
+			marked[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d, err := c.h.Type(c.h.TypeOf(p))
+		if err != nil {
+			continue
+		}
+		for _, f := range d.PtrFields {
+			t := mem.Ref(c.h.Load(c.h.FieldAddr(p, f)))
+			if t == 0 || marked[t] || c.h.IsFreed(t) {
+				continue
+			}
+			marked[t] = true
+			stack = append(stack, t)
+		}
+	}
+
+	// Sweep phase: gather unreachable live objects first, then adjust
+	// survivor counts, then free.
+	var garbage []mem.Ref
+	c.h.Walk(func(r mem.Ref, freed bool) bool {
+		if !freed && !marked[r] {
+			garbage = append(garbage, r)
+		}
+		return true
+	})
+
+	res := Result{Marked: len(marked)}
+	for _, g := range garbage {
+		d, err := c.h.Type(c.h.TypeOf(g))
+		if err != nil {
+			continue
+		}
+		for _, f := range d.PtrFields {
+			t := mem.Ref(c.h.Load(c.h.FieldAddr(g, f)))
+			if t == 0 || !marked[t] {
+				continue // fellow garbage needs no bookkeeping
+			}
+			// Subtract the reference the dying object held.
+			a := c.h.RCAddr(t)
+			for {
+				old := c.h.Load(a)
+				if old == 0 || c.h.CAS(a, old, old-1) {
+					break
+				}
+			}
+			res.RCAdjusted++
+		}
+	}
+	for _, g := range garbage {
+		if err := c.h.Free(g); err == nil {
+			res.Freed++
+		}
+	}
+	return res
+}

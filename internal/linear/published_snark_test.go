@@ -1,0 +1,75 @@
+package linear
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+	"lfrc/internal/snark"
+)
+
+// TestPublishedSnarkHistories runs the *published* Snark algorithm (no
+// value claiming) through the linearizability checker on pop-heavy,
+// near-empty workloads -- the neighbourhood of the two races Doherty et al.
+// (SPAA 2004) later proved exist in the published algorithm. The races
+// required a model checker to find originally and have never manifested
+// under this harness's natural scheduling; a non-zero count here would be a
+// reproduction of that result, so it is logged rather than asserted. The
+// WithValueClaiming variant is the one the exact-semantics tests assert on.
+func TestPublishedSnarkHistories(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	violations := 0
+	rounds := 300
+	for r := 0; r < rounds; r++ {
+		h := mem.NewHeap()
+		rc := core.New(h, dcas.NewLocking(h))
+		d, err := snark.New(rc, snark.MustRegisterTypes(h)) // published, no claiming
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := NewRecorder(3)
+		var wg sync.WaitGroup
+		var next struct {
+			sync.Mutex
+			v uint64
+		}
+		next.v = 1
+		fresh := func() uint64 { next.Lock(); defer next.Unlock(); v := next.v; next.v++; return v }
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(r*31 + w)))
+				for i := 0; i < 120; i++ {
+					rec.Record(func() Op {
+						// pop-heavy: hover near empty where the races live
+						switch rng.Intn(5) {
+						case 0:
+							v := fresh()
+							return Op{Action: ActPushLeft, Input: v, OK: d.PushLeft(v) == nil}
+						case 1:
+							v := fresh()
+							return Op{Action: ActPushRight, Input: v, OK: d.PushRight(v) == nil}
+						case 2, 3:
+							v, ok := d.PopLeft()
+							return Op{Action: ActPopLeft, Output: v, OK: ok}
+						default:
+							v, ok := d.PopRight()
+							return Op{Action: ActPopRight, Output: v, OK: ok}
+						}
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		if _, err := Check(DequeSpec{}, rec.History()); err != nil {
+			violations++
+		}
+		d.Close()
+	}
+	t.Logf("published Snark: %d/%d histories non-linearizable", violations, rounds)
+}

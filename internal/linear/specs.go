@@ -1,0 +1,139 @@
+package linear
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Action codes shared by the bundled specs.
+const (
+	ActPushLeft = iota + 1
+	ActPushRight
+	ActPopLeft
+	ActPopRight
+	ActInsert
+	ActDelete
+	ActContains
+)
+
+// DequeSpec is the sequential double-ended queue specification. It also
+// serves queues (PushRight/PopLeft) and stacks (PushRight/PopRight), which
+// are action-restricted deques.
+type DequeSpec struct{}
+
+var _ Spec = DequeSpec{}
+
+// dequeState is an immutable value sequence.
+type dequeState struct {
+	vals []uint64
+}
+
+// Key implements State.
+func (s dequeState) Key() string { return fmt.Sprint(s.vals) }
+
+// Init implements Spec.
+func (DequeSpec) Init() State { return dequeState{} }
+
+// Apply implements Spec.
+func (DequeSpec) Apply(st State, op Op) (bool, State) {
+	s := st.(dequeState)
+	switch op.Action {
+	case ActPushLeft:
+		if !op.OK {
+			return false, nil // pushes in these tests never fail
+		}
+		next := make([]uint64, 0, len(s.vals)+1)
+		next = append(next, op.Input)
+		next = append(next, s.vals...)
+		return true, dequeState{vals: next}
+	case ActPushRight:
+		if !op.OK {
+			return false, nil
+		}
+		next := make([]uint64, len(s.vals), len(s.vals)+1)
+		copy(next, s.vals)
+		next = append(next, op.Input)
+		return true, dequeState{vals: next}
+	case ActPopLeft:
+		if !op.OK {
+			return len(s.vals) == 0, s
+		}
+		if len(s.vals) == 0 || s.vals[0] != op.Output {
+			return false, nil
+		}
+		return true, dequeState{vals: append([]uint64(nil), s.vals[1:]...)}
+	case ActPopRight:
+		if !op.OK {
+			return len(s.vals) == 0, s
+		}
+		if len(s.vals) == 0 || s.vals[len(s.vals)-1] != op.Output {
+			return false, nil
+		}
+		return true, dequeState{vals: append([]uint64(nil), s.vals[:len(s.vals)-1]...)}
+	default:
+		return false, nil
+	}
+}
+
+// SetSpec is the sequential set specification.
+type SetSpec struct{}
+
+var _ Spec = SetSpec{}
+
+type setState struct {
+	keys map[uint64]bool
+}
+
+// Key implements State.
+func (s setState) Key() string {
+	ks := make([]uint64, 0, len(s.keys))
+	for k := range s.keys {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return fmt.Sprint(ks)
+}
+
+// Init implements Spec.
+func (SetSpec) Init() State { return setState{keys: map[uint64]bool{}} }
+
+// Apply implements Spec.
+func (SetSpec) Apply(st State, op Op) (bool, State) {
+	s := st.(setState)
+	present := s.keys[op.Input]
+	clone := func(add, del bool) setState {
+		next := make(map[uint64]bool, len(s.keys)+1)
+		for k := range s.keys {
+			next[k] = true
+		}
+		if add {
+			next[op.Input] = true
+		}
+		if del {
+			delete(next, op.Input)
+		}
+		return setState{keys: next}
+	}
+	switch op.Action {
+	case ActInsert:
+		if op.OK == present {
+			return false, nil // insert succeeds iff absent
+		}
+		if op.OK {
+			return true, clone(true, false)
+		}
+		return true, s
+	case ActDelete:
+		if op.OK != present {
+			return false, nil // delete succeeds iff present
+		}
+		if op.OK {
+			return true, clone(false, true)
+		}
+		return true, s
+	case ActContains:
+		return op.OK == present, s
+	default:
+		return false, nil
+	}
+}

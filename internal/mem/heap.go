@@ -1,0 +1,225 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	segBits  = 16
+	segWords = 1 << segBits
+	segMask  = segWords - 1
+	maxSegs  = 1024
+
+	// firstAddr is where bump allocation starts; low addresses are
+	// reserved so that 0 remains the null reference.
+	firstAddr = 8
+)
+
+type segment [segWords]uint64
+
+// Heap is the simulated shared heap. All methods are safe for concurrent use
+// unless noted otherwise; cell accesses are individually atomic.
+type Heap struct {
+	segs  [maxSegs]atomic.Pointer[segment]
+	next  atomic.Uint64 // bump pointer (word index)
+	limit uint64        // arena size in words
+
+	// Free lists, one Treiber stack per object size in words. The head
+	// packs a 32-bit pop counter (high) and a 32-bit object address
+	// (low); the counter defeats ABA on pop.
+	freeLists [maxObjWords + 1]atomic.Uint64
+
+	typeMu    sync.Mutex
+	typeCount atomic.Uint32
+	types     [maxTypes]TypeDesc
+
+	poisonCheck bool
+
+	stats statCounters
+}
+
+// Option configures a Heap.
+type Option func(*heapConfig)
+
+type heapConfig struct {
+	maxWords    uint64
+	poisonCheck bool
+}
+
+// WithMaxWords caps the arena at n 64-bit words. The default is 64Mi words
+// (512 MiB of simulated memory).
+func WithMaxWords(n uint64) Option {
+	return func(c *heapConfig) { c.maxWords = n }
+}
+
+// WithPoisonCheck enables or disables verification, at allocation time, that
+// a recycled slot's poison pattern is intact. It is enabled by default; the
+// check is how experiment E1 observes use-after-free corruption.
+func WithPoisonCheck(on bool) Option {
+	return func(c *heapConfig) { c.poisonCheck = on }
+}
+
+// NewHeap creates an empty heap.
+func NewHeap(opts ...Option) *Heap {
+	cfg := heapConfig{
+		maxWords:    64 << 20,
+		poisonCheck: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxWords > uint64(maxSegs)*segWords {
+		cfg.maxWords = uint64(maxSegs) * segWords
+	}
+	if cfg.maxWords < segWords {
+		cfg.maxWords = segWords
+	}
+	h := &Heap{
+		limit:       cfg.maxWords,
+		poisonCheck: cfg.poisonCheck,
+	}
+	h.next.Store(firstAddr)
+	h.ensureSegment(0)
+	return h
+}
+
+// ensureSegment lazily installs the backing array for segment i.
+func (h *Heap) ensureSegment(i uint32) *segment {
+	if s := h.segs[i].Load(); s != nil {
+		return s
+	}
+	s := new(segment)
+	if h.segs[i].CompareAndSwap(nil, s) {
+		return s
+	}
+	return h.segs[i].Load()
+}
+
+// cell returns the storage cell for address a. The address must lie within
+// the allocated arena.
+func (h *Heap) cell(a Addr) *uint64 {
+	seg := h.segs[uint32(a)>>segBits].Load()
+	if seg == nil {
+		panic(fmt.Sprintf("mem: access to unmapped address %#x", a))
+	}
+	return &seg[uint32(a)&segMask]
+}
+
+// Load atomically reads the cell at a.
+func (h *Heap) Load(a Addr) uint64 {
+	return atomic.LoadUint64(h.cell(a))
+}
+
+// Store atomically writes v into the cell at a.
+func (h *Heap) Store(a Addr, v uint64) {
+	atomic.StoreUint64(h.cell(a), v)
+}
+
+// CAS atomically compares-and-swaps the cell at a.
+func (h *Heap) CAS(a Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(h.cell(a), old, new)
+}
+
+// RCAddr returns the address of an object's reference-count cell.
+func (h *Heap) RCAddr(r Ref) Addr { return r + 1 }
+
+// AuxAddr returns the address of an object's aux cell (free-list link while
+// the object is freed; available to reclamation machinery while it is live).
+func (h *Heap) AuxAddr(r Ref) Addr { return r + 2 }
+
+// FieldAddr returns the address of payload field i of object r. It does not
+// validate i against the object's type; callers index within the TypeDesc
+// they registered.
+func (h *Heap) FieldAddr(r Ref, i int) Addr { return r + HeaderWords + Addr(i) }
+
+// RegisterType adds a type descriptor and returns its TypeID. Registration
+// is serialized and must complete before the heap is used concurrently with
+// the new type; lookups by running threads never block.
+func (h *Heap) RegisterType(d TypeDesc) (TypeID, error) {
+	if err := d.validate(); err != nil {
+		return 0, err
+	}
+	h.typeMu.Lock()
+	defer h.typeMu.Unlock()
+	n := h.typeCount.Load()
+	if n >= maxTypes {
+		return 0, ErrTooManyTypes
+	}
+	d.PtrFields = append([]int(nil), d.PtrFields...)
+	h.types[n] = d
+	h.typeCount.Store(n + 1)
+	return TypeID(n), nil
+}
+
+// MustRegisterType is RegisterType for static setup code; it panics on error.
+func (h *Heap) MustRegisterType(d TypeDesc) TypeID {
+	t, err := h.RegisterType(d)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Type returns the descriptor for id. The returned descriptor shares the
+// registered PtrFields slice; callers must not modify it.
+func (h *Heap) Type(id TypeID) (TypeDesc, error) {
+	if uint32(id) >= h.typeCount.Load() {
+		return TypeDesc{}, fmt.Errorf("%w: unknown type id %d", ErrBadType, id)
+	}
+	return h.types[id], nil
+}
+
+// typeOf is the fast internal lookup; the id comes from a header we wrote.
+func (h *Heap) typeOf(id TypeID) *TypeDesc { return &h.types[id] }
+
+// Header introspection -------------------------------------------------------
+
+// SizeOf returns the total size in words of the object at r.
+func (h *Heap) SizeOf(r Ref) int { return headerSize(h.Load(r)) }
+
+// TypeOf returns the TypeID of the object at r.
+func (h *Heap) TypeOf(r Ref) TypeID { return headerType(h.Load(r)) }
+
+// IsFreed reports whether the object at r currently has its freed bit set.
+func (h *Heap) IsFreed(r Ref) bool { return headerFreed(h.Load(r)) }
+
+// Generation returns the allocation generation of the slot at r. It
+// increments every time the slot is reallocated, which lets diagnostics
+// detect stale references.
+func (h *Heap) Generation(r Ref) uint32 { return headerGen(h.Load(r)) }
+
+// InArena reports whether a names a word inside the currently carved arena.
+func (h *Heap) InArena(a Addr) bool {
+	return a >= firstAddr && uint64(a) < h.next.Load()
+}
+
+// Walk visits every object slot ever carved from the arena, live or freed,
+// in address order, until fn returns false. The heap must be quiescent (no
+// concurrent allocation) for the traversal to be coherent; it exists for the
+// stop-the-world tracing collector and the invariant auditors.
+func (h *Heap) Walk(fn func(r Ref, freed bool) bool) {
+	end := h.next.Load()
+	a := uint64(firstAddr)
+	for a < end {
+		// Bump allocation never splits an object across a segment
+		// boundary; skip any tail padding.
+		if seg := a >> segBits; (a+HeaderWords-1)>>segBits != seg {
+			a = (seg + 1) << segBits
+			continue
+		}
+		hdr := h.Load(Addr(a))
+		size := headerSize(hdr)
+		if size < HeaderWords || size > maxObjWords {
+			// Padding before a segment boundary (never written) or
+			// a slot caught mid-carve; skip to the next segment.
+			a = (a>>segBits + 1) << segBits
+			continue
+		}
+		if !fn(Ref(a), headerFreed(hdr)) {
+			return
+		}
+		a += uint64(size)
+	}
+}

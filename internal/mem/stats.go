@@ -1,0 +1,62 @@
+package mem
+
+import "sync/atomic"
+
+// statCounters holds the heap's atomic accounting.
+type statCounters struct {
+	allocs        atomic.Int64
+	frees         atomic.Int64
+	recycles      atomic.Int64
+	liveObjects   atomic.Int64
+	liveWords     atomic.Int64
+	highWater     atomic.Int64
+	doubleFrees   atomic.Int64
+	corruptions   atomic.Int64
+	allocFailures atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of heap accounting. Individual counters
+// are read atomically but the snapshot as a whole is not; take it at
+// quiescence when exact cross-counter invariants matter.
+type Stats struct {
+	// Allocs and Frees count successful Alloc and Free calls.
+	Allocs, Frees int64
+
+	// Recycles counts Allocs satisfied from a free list rather than by
+	// carving new arena words.
+	Recycles int64
+
+	// LiveObjects and LiveWords describe currently allocated storage.
+	// LiveWords is the metric experiment E3 plots: it grows and shrinks
+	// with the data structure, unlike a type-stable free-list scheme's
+	// footprint.
+	LiveObjects, LiveWords int64
+
+	// HighWater is the largest arena extent ever carved, in words.
+	HighWater int64
+
+	// DoubleFrees counts Free calls on already-freed objects.
+	DoubleFrees int64
+
+	// Corruptions counts recycled slots whose poison pattern had been
+	// overwritten — evidence that some thread wrote to freed memory.
+	Corruptions int64
+
+	// AllocFailures counts Allocs that returned ErrOutOfMemory.
+	AllocFailures int64
+}
+
+// Stats returns a snapshot of the heap's counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Allocs:        h.stats.allocs.Load(),
+		Frees:         h.stats.frees.Load(),
+		Recycles:      h.stats.recycles.Load(),
+		LiveObjects:   h.stats.liveObjects.Load(),
+		LiveWords:     h.stats.liveWords.Load(),
+		HighWater:     h.stats.highWater.Load(),
+		DoubleFrees:   h.stats.doubleFrees.Load(),
+		Corruptions:   h.stats.corruptions.Load(),
+		AllocFailures: h.stats.allocFailures.Load(),
+	}
+}

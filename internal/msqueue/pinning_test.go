@@ -1,0 +1,66 @@
+package msqueue
+
+import (
+	"testing"
+
+	"lfrc/internal/mem"
+)
+
+// TestStragglerPinsRetiredChain pins down a real property of reference
+// counting applied to the Michael–Scott queue: every retired dummy's next
+// pointer references the node retired after it, so a single straggler
+// holding a counted reference to one old dummy transitively keeps *every*
+// subsequently retired node live. Reclamation is only deferred — releasing
+// the straggler's reference cascades the whole chain — but the transient
+// footprint is unbounded in the straggler's delay.
+//
+// The Snark deque does not have this amplification: its pops explicitly
+// redirect the popped node's outgoing pointer to Dummy ("rh->R = Dummy"),
+// severing garbage chains; see TestSnarkPopsDoNotChainGarbage in package
+// snark for the contrast. For the queue this hygiene cannot be added
+// without strengthening the enqueue's link CAS (a stale tail could link
+// into a severed node), so the behaviour is documented rather than papered
+// over.
+func TestStragglerPinsRetiredChain(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			q := newQueue(t, w)
+
+			// The straggler takes (and holds) a counted reference to
+			// the current dummy node.
+			var pin mem.Ref
+			w.rc.Load(w.h.FieldAddr(q.Anchor(), aHead), &pin)
+			if pin == 0 {
+				t.Fatal("no dummy to pin")
+			}
+
+			// Churn: every enqueue+dequeue retires one node.
+			const churn = 1000
+			for i := 0; i < churn; i++ {
+				if err := q.Enqueue(uint64(i + 1)); err != nil {
+					t.Fatal(err)
+				}
+				q.Dequeue()
+			}
+
+			pinned := w.h.Stats().LiveObjects
+			if pinned < churn {
+				t.Fatalf("straggler pinned %d live objects, expected >= %d (the whole retired chain)",
+					pinned, churn)
+			}
+
+			// Releasing the single straggler reference cascades the
+			// entire chain.
+			w.rc.Destroy(pin)
+			after := w.h.Stats().LiveObjects
+			if after > 3 { // anchor + dummy + at most one in-flight node
+				t.Errorf("after releasing the straggler, %d objects remain live", after)
+			}
+			q.Close()
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", got)
+			}
+		})
+	}
+}

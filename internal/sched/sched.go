@@ -1,0 +1,260 @@
+// Package sched is a work-stealing task pool built on the LFRC Snark
+// deques — the application that motivated DCAS-based deques in the first
+// place (Arora-Blumofe-Plaxton-style scheduling). Each worker owns a deque
+// it uses as a LIFO stack (push/pop on the right), while idle workers steal
+// from the opposite end (FIFO on the left), which preserves locality for
+// the owner and steals the oldest — typically largest — tasks.
+//
+// The pool demonstrates the LFRC structures as an embedded substrate: all
+// task-queue memory lives on the simulated manual heap and is reclaimed by
+// reference counts, so Close tears the pool down to zero live objects with
+// no garbage collector involved. Value claiming gives exactly-once task
+// execution.
+//
+// Tasks are identified by uint64 payloads chosen by the caller (at most
+// lfrc's MaxValue); the pool maps them to the registered handler. Tasks may
+// submit further tasks (fork), and Wait blocks until the task graph
+// quiesces.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lfrc/internal/core"
+	"lfrc/internal/snark"
+)
+
+// Handler processes one task payload on some worker. It may call
+// Pool.Submit to fork further tasks. A non-nil error stops the pool and is
+// returned from Wait.
+type Handler func(w *Worker, task uint64) error
+
+// Config configures a Pool.
+type Config struct {
+	// Workers is the number of worker goroutines (default
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+
+	// StealTries bounds the random victim probes per idle round
+	// (default: 2×Workers).
+	StealTries int
+}
+
+// Pool is a work-stealing task pool.
+type Pool struct {
+	rc      *core.RC
+	ts      snark.Types
+	handler Handler
+
+	workers []*Worker
+
+	inFlight atomic.Int64 // submitted but not yet completed tasks
+	stopped  atomic.Bool
+	failure  atomic.Pointer[error]
+
+	wg     sync.WaitGroup
+	wake   chan struct{}
+	stopCh chan struct{}
+	closed bool
+
+	stats poolCounters
+}
+
+// Worker is one scheduling context; handlers receive the worker that runs
+// them and submit forked tasks through it for locality.
+type Worker struct {
+	pool *Pool
+	id   int
+	dq   *snark.Deque
+	rng  *rand.Rand
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+type poolCounters struct {
+	executed atomic.Int64
+	steals   atomic.Int64
+	submits  atomic.Int64
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	// Executed counts completed tasks, Steals successful steals, and
+	// Submits total submissions.
+	Executed, Steals, Submits int64
+}
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("sched: pool closed")
+
+// New builds a pool whose task queues live on the given RC's heap. The
+// snark types must already be registered on that heap.
+func New(rc *core.RC, ts snark.Types, handler Handler, cfg Config) (*Pool, error) {
+	if handler == nil {
+		return nil, errors.New("sched: nil handler")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.StealTries <= 0 {
+		cfg.StealTries = 2 * cfg.Workers
+	}
+	p := &Pool{
+		rc:      rc,
+		ts:      ts,
+		handler: handler,
+		wake:    make(chan struct{}, cfg.Workers),
+		stopCh:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		dq, err := snark.New(rc, ts, snark.WithValueClaiming())
+		if err != nil {
+			for _, w := range p.workers {
+				w.dq.Close()
+			}
+			return nil, fmt.Errorf("sched: worker deque: %w", err)
+		}
+		p.workers = append(p.workers, &Worker{
+			pool: p,
+			id:   i,
+			dq:   dq,
+			rng:  rand.New(rand.NewSource(int64(i)*2654435761 + 1)),
+		})
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.run(cfg.StealTries)
+	}
+	return p, nil
+}
+
+// Submit schedules a task on an arbitrary worker's deque. For forked tasks
+// prefer Worker.Submit, which targets the forking worker's own deque.
+func (p *Pool) Submit(task uint64) error {
+	if p.stopped.Load() {
+		return ErrPoolClosed
+	}
+	w := p.workers[int(task)%len(p.workers)]
+	return p.submitTo(w, task)
+}
+
+// Submit schedules a forked task on this worker's own deque (LIFO end).
+func (w *Worker) Submit(task uint64) error {
+	return w.pool.submitTo(w, task)
+}
+
+func (p *Pool) submitTo(w *Worker, task uint64) error {
+	p.inFlight.Add(1)
+	if err := w.dq.PushRight(task); err != nil {
+		p.inFlight.Add(-1)
+		return err
+	}
+	p.stats.submits.Add(1)
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// run is the worker loop: own work LIFO, then steal FIFO, then park.
+func (w *Worker) run(stealTries int) {
+	defer w.pool.wg.Done()
+	p := w.pool
+	for {
+		if p.stopped.Load() {
+			return
+		}
+		if v, ok := w.dq.PopRight(); ok {
+			w.execute(v)
+			continue
+		}
+		stolen := false
+		for try := 0; try < stealTries; try++ {
+			victim := p.workers[w.rng.Intn(len(p.workers))]
+			if victim == w {
+				continue
+			}
+			if v, ok := victim.dq.PopLeft(); ok {
+				p.stats.steals.Add(1)
+				w.execute(v)
+				stolen = true
+				break
+			}
+		}
+		if stolen {
+			continue
+		}
+		if p.inFlight.Load() > 0 {
+			// Work exists somewhere but the probes missed it; spin
+			// briefly rather than park.
+			runtime.Gosched()
+			continue
+		}
+		// Nothing anywhere: park until a submit or shutdown wakes us.
+		// Stranding is impossible: Submit always sends a wake after
+		// raising inFlight, and a woken worker re-checks inFlight
+		// before parking again.
+		select {
+		case <-p.wake:
+		case <-p.stopCh:
+			return
+		}
+	}
+}
+
+func (w *Worker) execute(task uint64) {
+	p := w.pool
+	if err := p.handler(w, task); err != nil {
+		e := err
+		p.failure.CompareAndSwap(nil, &e)
+		p.stopped.Store(true)
+	}
+	p.stats.executed.Add(1)
+	p.inFlight.Add(-1)
+}
+
+// Wait blocks until every submitted task (including forks) has completed,
+// or a handler failed. It does not close the pool; more work may be
+// submitted afterwards.
+func (p *Pool) Wait() error {
+	for {
+		if err := p.failure.Load(); err != nil {
+			return *err
+		}
+		if p.inFlight.Load() == 0 {
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Executed: p.stats.executed.Load(),
+		Steals:   p.stats.steals.Load(),
+		Submits:  p.stats.submits.Load(),
+	}
+}
+
+// Close stops the workers and releases every deque. Pending tasks are
+// discarded. Close is idempotent and must not race with Submit.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.stopped.Store(true)
+	close(p.stopCh)
+	p.wg.Wait()
+	for _, w := range p.workers {
+		w.dq.Close()
+	}
+}

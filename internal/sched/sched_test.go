@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+	"lfrc/internal/snark"
+)
+
+type world struct {
+	h  *mem.Heap
+	rc *core.RC
+	ts snark.Types
+}
+
+func newWorld(t *testing.T, engine string) *world {
+	t.Helper()
+	h := mem.NewHeap()
+	var e dcas.Engine
+	if engine == "mcas" {
+		e = dcas.NewMCAS(h)
+	} else {
+		e = dcas.NewLocking(h)
+	}
+	return &world{h: h, rc: core.New(h, e), ts: snark.MustRegisterTypes(h)}
+}
+
+func TestPoolExecutesEveryTaskOnce(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, engine := range []string{"locking", "mcas"} {
+		t.Run(engine, func(t *testing.T) {
+			w := newWorld(t, engine)
+			const n = 5000
+			var counts [n]atomic.Int32
+			p, err := New(w.rc, w.ts, func(_ *Worker, task uint64) error {
+				counts[task].Add(1)
+				return nil
+			}, Config{Workers: 4})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			for i := uint64(0); i < n; i++ {
+				if err := p.Submit(i); err != nil {
+					t.Fatalf("Submit: %v", err)
+				}
+			}
+			if err := p.Wait(); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("task %d executed %d times", i, got)
+				}
+			}
+			s := p.Stats()
+			if s.Executed != n || s.Submits != n {
+				t.Errorf("stats = %+v, want %d executed/submitted", s, n)
+			}
+			p.Close()
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", got)
+			}
+		})
+	}
+}
+
+func TestForkJoinTaskTree(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := newWorld(t, "locking")
+
+	// Task payload encodes remaining depth; depth 0 is a leaf.
+	const depth = 12
+	var leaves atomic.Int64
+	p, err := New(w.rc, w.ts, func(wk *Worker, task uint64) error {
+		if task == 0 {
+			leaves.Add(1)
+			return nil
+		}
+		if err := wk.Submit(task - 1); err != nil {
+			return err
+		}
+		return wk.Submit(task - 1)
+	}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(depth); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got, want := leaves.Load(), int64(1)<<depth; got != want {
+		t.Errorf("leaves = %d, want %d", got, want)
+	}
+	if p.Stats().Steals == 0 {
+		t.Log("note: no steals occurred (possible on an idle machine)")
+	}
+	p.Close()
+	if got := w.h.Stats().LiveObjects; got != 0 {
+		t.Errorf("LiveObjects = %d, want 0", got)
+	}
+}
+
+func TestHandlerErrorStopsPool(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := newWorld(t, "locking")
+	boom := errors.New("boom")
+	p, err := New(w.rc, w.ts, func(_ *Worker, task uint64) error {
+		if task == 13 {
+			return boom
+		}
+		return nil
+	}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := p.Submit(i); err != nil {
+			break // pool may stop mid-submission
+		}
+	}
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Errorf("Wait = %v, want boom", err)
+	}
+	if err := p.Submit(1); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Submit after failure = %v, want ErrPoolClosed", err)
+	}
+	p.Close()
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	w := newWorld(t, "locking")
+	p, err := New(w.rc, w.ts, func(_ *Worker, _ uint64) error { return nil }, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Submit(1); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Submit = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	w := newWorld(t, "locking")
+	if _, err := New(w.rc, w.ts, nil, Config{}); err == nil {
+		t.Error("New accepted a nil handler")
+	}
+}
+
+func TestWaitAllowsResubmission(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := newWorld(t, "locking")
+	var total atomic.Int64
+	p, err := New(w.rc, w.ts, func(_ *Worker, _ uint64) error {
+		total.Add(1)
+		return nil
+	}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 100; i++ {
+			if err := p.Submit(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := total.Load(); got != 300 {
+		t.Errorf("total executed = %d, want 300", got)
+	}
+	p.Close()
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	w := newWorld(t, "locking")
+	var executed atomic.Int64
+	p, err := New(w.rc, w.ts, func(_ *Worker, _ uint64) error {
+		executed.Add(1)
+		return nil
+	}, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitters, perS = 4, 500
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perS; i++ {
+				if err := p.Submit(uint64(s*perS + i)); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != submitters*perS {
+		t.Errorf("executed = %d, want %d", got, submitters*perS)
+	}
+	p.Close()
+	if got := w.h.Stats().LiveObjects; got != 0 {
+		t.Errorf("LiveObjects = %d, want 0", got)
+	}
+}

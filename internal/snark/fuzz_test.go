@@ -1,0 +1,86 @@
+package snark
+
+import (
+	"testing"
+
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+)
+
+// FuzzDequeModel interprets the fuzz input as an operation script and runs
+// it against the slice model, on both engines, checking results, leak
+// freedom, and heap integrity. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzDequeModel ./internal/snark` explores further.
+func FuzzDequeModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 2, 2, 2, 3})
+	f.Add([]byte{1, 3, 1, 3, 1, 2, 0, 2})
+	f.Add([]byte{2, 3, 2, 3}) // pops on empty
+	f.Add([]byte{0, 2, 1, 3, 0, 2, 1, 3, 0, 2, 1, 3})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		for _, engine := range []func(h *mem.Heap) dcas.Engine{
+			func(h *mem.Heap) dcas.Engine { return dcas.NewLocking(h) },
+			func(h *mem.Heap) dcas.Engine { return dcas.NewMCAS(h) },
+		} {
+			h := mem.NewHeap()
+			rc := core.New(h, engine(h))
+			d, err := New(rc, MustRegisterTypes(h))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+
+			var model []Value
+			next := Value(1)
+			for _, op := range script {
+				switch op % 4 {
+				case 0:
+					if err := d.PushLeft(next); err != nil {
+						t.Fatalf("PushLeft: %v", err)
+					}
+					model = append([]Value{next}, model...)
+					next++
+				case 1:
+					if err := d.PushRight(next); err != nil {
+						t.Fatalf("PushRight: %v", err)
+					}
+					model = append(model, next)
+					next++
+				case 2:
+					v, ok := d.PopLeft()
+					if ok != (len(model) > 0) {
+						t.Fatalf("PopLeft ok=%v, model len=%d", ok, len(model))
+					}
+					if ok {
+						if v != model[0] {
+							t.Fatalf("PopLeft = %d, want %d", v, model[0])
+						}
+						model = model[1:]
+					}
+				case 3:
+					v, ok := d.PopRight()
+					if ok != (len(model) > 0) {
+						t.Fatalf("PopRight ok=%v, model len=%d", ok, len(model))
+					}
+					if ok {
+						if v != model[len(model)-1] {
+							t.Fatalf("PopRight = %d, want %d", v, model[len(model)-1])
+						}
+						model = model[:len(model)-1]
+					}
+				}
+			}
+			d.Close()
+			if got := h.Stats().LiveObjects; got != 0 {
+				t.Fatalf("leaked %d objects", got)
+			}
+			if got := h.Stats().Corruptions; got != 0 {
+				t.Fatalf("%d corruptions", got)
+			}
+		}
+	})
+}

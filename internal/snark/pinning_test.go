@@ -1,0 +1,62 @@
+package snark
+
+import (
+	"testing"
+
+	"lfrc/internal/mem"
+)
+
+// TestSnarkPopsDoNotChainGarbage is the counterpart of package msqueue's
+// TestStragglerPinsRetiredChain: Snark's pops explicitly redirect the popped
+// node's outgoing pointer back to Dummy (the original algorithm's
+// "rh->R = Dummy" line, kept by the LFRC transformation), so retired nodes
+// never form chains. A straggler holding one popped node pins exactly that
+// node — transitive pinning is impossible by construction.
+func TestSnarkPopsDoNotChainGarbage(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			d := newDeque(t, w)
+
+			// Straggler: take and hold a counted reference to the
+			// current rightmost node, then churn the deque hard.
+			if err := d.PushRight(999); err != nil {
+				t.Fatal(err)
+			}
+			var pin mem.Ref
+			w.rc.Load(d.rightA, &pin)
+			if pin == 0 {
+				t.Fatal("no node to pin")
+			}
+
+			const churn = 1000
+			// Keep the deque non-trivial so pops take the general path.
+			for i := 0; i < 4; i++ {
+				if err := d.PushLeft(uint64(i + 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < churn; i++ {
+				if err := d.PushLeft(uint64(i + 10)); err != nil {
+					t.Fatal(err)
+				}
+				d.PopLeft()
+			}
+
+			// The straggler pins a bounded residue — not the churned
+			// chain. (The pinned node's own L/R each pin at most one
+			// neighbour at pop time, both redirected to Dummy.)
+			live := w.h.Stats().LiveObjects
+			const bound = 16 // anchor + dummy + deque contents + pinned residue
+			if live > bound {
+				t.Errorf("straggler pinned %d live objects; snark pops should sever chains (bound %d)",
+					live, bound)
+			}
+			w.rc.Destroy(pin)
+			d.Close()
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", got)
+			}
+		})
+	}
+}

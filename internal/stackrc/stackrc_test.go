@@ -1,0 +1,220 @@
+package stackrc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"testing"
+	"testing/quick"
+
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/mem"
+)
+
+type world struct {
+	h  *mem.Heap
+	rc *core.RC
+	ts Types
+}
+
+func worldFactories() map[string]func(t *testing.T) *world {
+	mk := func(engine func(h *mem.Heap) dcas.Engine) func(t *testing.T) *world {
+		return func(t *testing.T) *world {
+			t.Helper()
+			h := mem.NewHeap()
+			return &world{h: h, rc: core.New(h, engine(h)), ts: MustRegisterTypes(h)}
+		}
+	}
+	return map[string]func(t *testing.T) *world{
+		"locking": mk(func(h *mem.Heap) dcas.Engine { return dcas.NewLocking(h) }),
+		"mcas":    mk(func(h *mem.Heap) dcas.Engine { return dcas.NewMCAS(h) }),
+	}
+}
+
+func newStack(t *testing.T, w *world) *Stack {
+	t.Helper()
+	s, err := New(w.rc, w.ts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestEmptyPop(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			s := newStack(t, w)
+			defer s.Close()
+			if _, ok := s.Pop(); ok {
+				t.Error("Pop on empty stack reported a value")
+			}
+		})
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			s := newStack(t, w)
+			defer s.Close()
+
+			for v := Value(1); v <= 100; v++ {
+				if err := s.Push(v); err != nil {
+					t.Fatalf("Push: %v", err)
+				}
+			}
+			for v := Value(100); v >= 1; v-- {
+				got, ok := s.Pop()
+				if !ok || got != v {
+					t.Fatalf("Pop = (%d,%v), want (%d,true)", got, ok, v)
+				}
+			}
+			if _, ok := s.Pop(); ok {
+				t.Error("stack not empty at end")
+			}
+		})
+	}
+}
+
+func TestQuickLIFOModel(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				w := mk(t)
+				s := newStack(t, w)
+				defer s.Close()
+
+				var model []Value
+				next := Value(1)
+				for i := 0; i < 300; i++ {
+					if rng.Intn(2) == 0 {
+						if s.Push(next) != nil {
+							return false
+						}
+						model = append(model, next)
+						next++
+					} else {
+						v, ok := s.Pop()
+						if ok != (len(model) > 0) {
+							return false
+						}
+						if ok {
+							if v != model[len(model)-1] {
+								return false
+							}
+							model = model[:len(model)-1]
+						}
+					}
+				}
+				for len(model) > 0 {
+					v, ok := s.Pop()
+					if !ok || v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+				_, ok := s.Pop()
+				return !ok
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestCloseReclaimsEverything(t *testing.T) {
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			s := newStack(t, w)
+			for v := Value(0); v < 200; v++ {
+				if err := s.Push(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 50; i++ {
+				s.Pop()
+			}
+			s.Close()
+			if got := w.h.Stats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", got)
+			}
+		})
+	}
+}
+
+// TestConcurrentABASafety is the classic Treiber-stack ABA scenario run hot:
+// concurrent pushes and pops with immediate reclamation. Under LFRC the
+// freed-node recycling that breaks naive CAS stacks must cause no
+// corruption, no double free, and exact value conservation.
+func TestConcurrentABASafety(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range worldFactories() {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			s := newStack(t, w)
+
+			const workers, perW = 6, 1500
+			var (
+				mu  sync.Mutex
+				got = make(map[Value]int)
+				wg  sync.WaitGroup
+			)
+			for p := 0; p < workers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						v := Value(p*perW + i + 1)
+						if err := s.Push(v); err != nil {
+							t.Errorf("Push: %v", err)
+							return
+						}
+						// Pop immediately half the time to force
+						// node churn (recycling pressure).
+						if i%2 == 0 {
+							if v, ok := s.Pop(); ok {
+								mu.Lock()
+								got[v]++
+								mu.Unlock()
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			for {
+				v, ok := s.Pop()
+				if !ok {
+					break
+				}
+				got[v]++
+			}
+
+			if len(got) != workers*perW {
+				t.Errorf("got %d distinct values, want %d", len(got), workers*perW)
+			}
+			for v, n := range got {
+				if n != 1 {
+					t.Errorf("value %d delivered %d times", v, n)
+				}
+			}
+			s.Close()
+
+			hs := w.h.Stats()
+			if hs.LiveObjects != 0 || hs.Corruptions != 0 || hs.DoubleFrees != 0 {
+				t.Errorf("Live=%d Corruptions=%d DoubleFrees=%d, want 0/0/0",
+					hs.LiveObjects, hs.Corruptions, hs.DoubleFrees)
+			}
+			if hs.Recycles == 0 {
+				t.Error("no recycling occurred; ABA scenario not exercised")
+			}
+		})
+	}
+}

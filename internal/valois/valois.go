@@ -1,0 +1,366 @@
+// Package valois implements the CAS-only reference-counting scheme of
+// Valois ("Lock-Free Linked Lists Using Compare-and-Swap", PODC 1995, with
+// the corrections of Michael & Scott) applied to a Michael–Scott queue.
+//
+// This is the LFRC paper's foil (§1 and §5): because a CAS-only SafeRead
+// increments a node's count in a separate step from reading the pointer, the
+// increment can land after the node was reclaimed. Valois's scheme tolerates
+// that only by making node memory *type-stable* — reclaimed nodes go onto a
+// permanent free list and are never returned to the general heap, "thereby
+// preventing the space consumption of a list from shrinking over time"
+// (paper §5). Experiment E3 plots exactly this: the valois queue's live
+// words ratchet up to the high-water mark and never come back down, while
+// the LFRC queue's footprint tracks its contents.
+//
+// Reference counts live in each node's count cell in units of two, with the
+// low bit as Valois's claim bit: a node whose count reaches zero is claimed
+// by a single releaser (CAS 0 -> 1) and pushed onto the pool. Spurious
+// increments from racing SafeReads are benign precisely because the cell is
+// always a live count cell — the property the general heap cannot offer.
+package valois
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lfrc/internal/mem"
+)
+
+// Value is the payload type. Values must be at most mem.ValueMask.
+type Value = uint64
+
+// Node field indices.
+const (
+	fNext = 0 // next node (pointer)
+	fV    = 1 // payload (scalar)
+)
+
+// Anchor field indices.
+const (
+	aHead = 0
+	aTail = 1
+)
+
+// Types holds the heap type ids the queue uses; register once per heap.
+type Types struct {
+	Node   mem.TypeID
+	Anchor mem.TypeID
+}
+
+// RegisterTypes registers the queue's node and anchor types on h.
+func RegisterTypes(h *mem.Heap) (Types, error) {
+	node, err := h.RegisterType(mem.TypeDesc{
+		Name:      "valois.Node",
+		NumFields: 2,
+		PtrFields: []int{fNext},
+	})
+	if err != nil {
+		return Types{}, fmt.Errorf("valois: register node: %w", err)
+	}
+	anchor, err := h.RegisterType(mem.TypeDesc{
+		Name:      "valois.Anchor",
+		NumFields: 2,
+		PtrFields: []int{aHead, aTail},
+	})
+	if err != nil {
+		return Types{}, fmt.Errorf("valois: register anchor: %w", err)
+	}
+	return Types{Node: node, Anchor: anchor}, nil
+}
+
+// MustRegisterTypes is RegisterTypes for static setup; it panics on error.
+func MustRegisterTypes(h *mem.Heap) Types {
+	ts, err := RegisterTypes(h)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// Queue is a Michael–Scott queue reclaimed by Valois-style CAS-only
+// reference counting over a type-stable node pool.
+type Queue struct {
+	h  *mem.Heap
+	ts Types
+
+	anchor mem.Ref
+	headA  mem.Addr
+	tailA  mem.Addr
+
+	// pool is the permanent free list: a Treiber stack of claimed nodes
+	// linked through their aux words, its head packing a pop counter and
+	// a node address.
+	pool          atomic.Uint64
+	poolSize      atomic.Int64
+	poolHighWater atomic.Int64
+	nodesCreated  atomic.Int64
+
+	closed bool
+}
+
+// New builds an empty queue with a dummy node.
+func New(h *mem.Heap, ts Types) (*Queue, error) {
+	q := &Queue{h: h, ts: ts}
+	anchor, err := h.Alloc(ts.Anchor)
+	if err != nil {
+		return nil, fmt.Errorf("valois: allocate anchor: %w", err)
+	}
+	q.anchor = anchor
+	q.headA = h.FieldAddr(anchor, aHead)
+	q.tailA = h.FieldAddr(anchor, aTail)
+
+	dummy, err := q.allocNode()
+	if err != nil {
+		return nil, fmt.Errorf("valois: allocate dummy: %w", err)
+	}
+	// The dummy is referenced by both Head and Tail: its local reference
+	// becomes the Head link, and Tail adds one more.
+	q.incRC(dummy)
+	h.Store(q.headA, uint64(dummy))
+	h.Store(q.tailA, uint64(dummy))
+	return q, nil
+}
+
+func (q *Queue) rcA(n mem.Ref) mem.Addr   { return q.h.RCAddr(n) }
+func (q *Queue) nextA(n mem.Ref) mem.Addr { return q.h.FieldAddr(n, fNext) }
+func (q *Queue) vA(n mem.Ref) mem.Addr    { return q.h.FieldAddr(n, fV) }
+
+// incRC adds one reference (two count units).
+func (q *Queue) incRC(n mem.Ref) {
+	a := q.rcA(n)
+	for {
+		old := q.h.Load(a)
+		if q.h.CAS(a, old, old+2) {
+			return
+		}
+	}
+}
+
+// release drops one reference; the releaser that takes the count to zero
+// claims the node (CAS 0 -> 1), releases the reference held by the node's
+// own next pointer — Valois's analogue of LFRCDestroy's recursion — and
+// returns the node to the type-stable pool.
+func (q *Queue) release(n mem.Ref) {
+	if n == 0 {
+		return
+	}
+	a := q.rcA(n)
+	for {
+		old := q.h.Load(a)
+		if q.h.CAS(a, old, old-2) {
+			if old-2 == 0 && q.h.CAS(a, 0, 1) {
+				nx := mem.Ref(q.h.Load(q.nextA(n)))
+				q.h.Store(q.nextA(n), 0)
+				q.pushPool(n)
+				q.release(nx)
+			}
+			return
+		}
+	}
+}
+
+// safeRead is Valois's SafeRead: load a shared pointer, conservatively
+// increment the target's count, and validate that the pointer is unchanged;
+// retry otherwise. The increment may hit a pooled (reclaimed) node — that is
+// safe here, and only here, because nodes are type-stable.
+func (q *Queue) safeRead(a mem.Addr) mem.Ref {
+	for {
+		p := mem.Ref(q.h.Load(a))
+		if p == 0 {
+			return 0
+		}
+		q.incRC(p)
+		if mem.Ref(q.h.Load(a)) == p {
+			return p
+		}
+		q.release(p)
+	}
+}
+
+// allocNode recycles a pooled node or carves a new one. The returned node
+// carries one (local) reference.
+func (q *Queue) allocNode() (mem.Ref, error) {
+	if n := q.popPool(); n != 0 {
+		// The node sits claimed at count 2k+1 (k = racing spurious
+		// SafeRead references). Add our reference, then clear the
+		// claim bit atomically with a plain decrement — both survive
+		// arbitrary concurrent spurious increments/releases.
+		a := q.rcA(n)
+		for {
+			old := q.h.Load(a)
+			if q.h.CAS(a, old, old+2-1) {
+				break
+			}
+		}
+		q.h.Store(q.nextA(n), 0)
+		return n, nil
+	}
+	n, err := q.h.Alloc(q.ts.Node)
+	if err != nil {
+		return 0, err
+	}
+	// Fresh arena words: no thread can hold a stale reference, so a
+	// plain store is safe exactly once.
+	q.h.Store(q.rcA(n), 2)
+	q.nodesCreated.Add(1)
+	return n, nil
+}
+
+// pushPool adds a claimed node to the permanent pool.
+func (q *Queue) pushPool(n mem.Ref) {
+	for {
+		old := q.pool.Load()
+		q.h.Store(q.h.AuxAddr(n), old&0xFFFF_FFFF)
+		if q.pool.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(n)) {
+			size := q.poolSize.Add(1)
+			for {
+				hw := q.poolHighWater.Load()
+				if size <= hw || q.poolHighWater.CompareAndSwap(hw, size) {
+					break
+				}
+			}
+			return
+		}
+	}
+}
+
+// popPool removes a node from the pool, or returns 0 if it is empty.
+func (q *Queue) popPool() mem.Ref {
+	for {
+		old := q.pool.Load()
+		n := mem.Ref(old & 0xFFFF_FFFF)
+		if n == 0 {
+			return 0
+		}
+		next := q.h.Load(q.h.AuxAddr(n)) & 0xFFFF_FFFF
+		cnt := (old >> 32) + 1
+		if q.pool.CompareAndSwap(old, cnt<<32|next) {
+			q.poolSize.Add(-1)
+			return n
+		}
+	}
+}
+
+// Enqueue appends v at the tail.
+func (q *Queue) Enqueue(v Value) error {
+	if v > mem.ValueMask {
+		return fmt.Errorf("valois: value %#x out of range", v)
+	}
+	n, err := q.allocNode()
+	if err != nil {
+		return fmt.Errorf("valois: %w", err)
+	}
+	q.h.Store(q.vA(n), v)
+
+	for {
+		t := q.safeRead(q.tailA)
+		nx := q.safeRead(q.nextA(t))
+		if nx == 0 {
+			q.incRC(n) // prospective next link
+			if q.h.CAS(q.nextA(t), 0, uint64(n)) {
+				q.incRC(n) // prospective tail link
+				if q.h.CAS(q.tailA, uint64(t), uint64(n)) {
+					q.release(t) // tail cell's displaced reference
+				} else {
+					q.release(n) // compensate
+				}
+				q.release(t) // local
+				q.release(n) // local
+				return nil
+			}
+			q.release(n) // compensate failed link
+		} else {
+			// Tail lags: help swing it to nx.
+			q.incRC(nx)
+			if q.h.CAS(q.tailA, uint64(t), uint64(nx)) {
+				q.release(t)
+			} else {
+				q.release(nx)
+			}
+			q.release(nx) // local
+		}
+		q.release(t) // local
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue) Dequeue() (v Value, ok bool) {
+	for {
+		hd := q.safeRead(q.headA)
+		t := q.safeRead(q.tailA)
+		nx := q.safeRead(q.nextA(hd))
+		if hd == t {
+			if nx == 0 {
+				q.release(hd)
+				q.release(t)
+				return 0, false
+			}
+			q.incRC(nx)
+			if q.h.CAS(q.tailA, uint64(t), uint64(nx)) {
+				q.release(t)
+			} else {
+				q.release(nx)
+			}
+		} else if nx != 0 {
+			value := q.h.Load(q.vA(nx))
+			q.incRC(nx) // prospective head link
+			if q.h.CAS(q.headA, uint64(hd), uint64(nx)) {
+				q.release(hd) // head cell's displaced reference
+				q.release(hd) // local
+				q.release(t)
+				q.release(nx)
+				return value, true
+			}
+			q.release(nx) // compensate
+		}
+		q.release(hd)
+		q.release(t)
+		q.release(nx)
+	}
+}
+
+// Close drains the queue and severs the anchor. Pooled nodes remain live
+// forever — that is the scheme's documented cost. Must not run concurrently
+// with other operations.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+	// Release the dummy's two anchor references, sending it to the pool.
+	dummy := mem.Ref(q.h.Load(q.headA))
+	q.h.Store(q.headA, 0)
+	q.h.Store(q.tailA, 0)
+	q.release(dummy)
+	q.release(dummy)
+	// The anchor itself is ordinary heap memory.
+	_ = q.h.Free(q.anchor)
+	q.anchor = 0
+}
+
+// PoolStats describes the type-stable pool's footprint.
+type PoolStats struct {
+	// Size is the number of nodes currently parked in the pool.
+	Size int64
+
+	// HighWater is the largest Size ever observed.
+	HighWater int64
+
+	// NodesCreated is the number of nodes ever carved from the arena;
+	// none are ever returned to it.
+	NodesCreated int64
+}
+
+// PoolStats returns a snapshot of the pool's accounting.
+func (q *Queue) PoolStats() PoolStats {
+	return PoolStats{
+		Size:         q.poolSize.Load(),
+		HighWater:    q.poolHighWater.Load(),
+		NodesCreated: q.nodesCreated.Load(),
+	}
+}

@@ -1,0 +1,242 @@
+package valois
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"lfrc/internal/mem"
+)
+
+func newWorld(t *testing.T) (*mem.Heap, *Queue) {
+	t.Helper()
+	h := mem.NewHeap()
+	q, err := New(h, MustRegisterTypes(h))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h, q
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	_, q := newWorld(t)
+	defer q.Close()
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty queue reported a value")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	_, q := newWorld(t)
+	defer q.Close()
+	for v := Value(1); v <= 100; v++ {
+		if err := q.Enqueue(v); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	for v := Value(1); v <= 100; v++ {
+		got, ok := q.Dequeue()
+		if !ok || got != v {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", got, ok, v)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("queue not empty at end")
+	}
+}
+
+func TestQuickFIFOModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, q := newWorld(t)
+		defer q.Close()
+
+		var model []Value
+		next := Value(1)
+		for i := 0; i < 300; i++ {
+			if rng.Intn(2) == 0 {
+				if q.Enqueue(next) != nil {
+					return false
+				}
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		for _, want := range model {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoolNeverShrinks pins the cost the LFRC paper criticizes in §1/§5:
+// nodes reclaimed by the CAS-only scheme stay in the type-stable pool, so
+// the heap footprint ratchets to the high-water mark even after the queue
+// drains. (Contrast with msqueue.TestCloseReclaimsEverything.)
+func TestPoolNeverShrinks(t *testing.T) {
+	h, q := newWorld(t)
+
+	const n = 1000
+	for v := Value(0); v < n; v++ {
+		if err := q.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := h.Stats().LiveObjects
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+
+	// Every node is still live (in the pool), none returned to the heap.
+	afterDrain := h.Stats().LiveObjects
+	if afterDrain != grown {
+		t.Errorf("LiveObjects after drain = %d, want unchanged %d", afterDrain, grown)
+	}
+	ps := q.PoolStats()
+	if ps.Size < n {
+		t.Errorf("pool size = %d, want at least %d drained nodes", ps.Size, n)
+	}
+	if got := h.Stats().Frees; got != 0 {
+		t.Errorf("heap Frees = %d, want 0 (type-stable pool never frees)", got)
+	}
+
+	// Refilling reuses pooled nodes without growing the arena.
+	created := q.PoolStats().NodesCreated
+	for v := Value(0); v < n/2; v++ {
+		if err := q.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.PoolStats().NodesCreated; got != created {
+		t.Errorf("refill carved %d new nodes, want 0 new", got-created)
+	}
+	q.Close()
+}
+
+// TestConcurrentExactSemantics checks multiset delivery under concurrency —
+// the Valois scheme is safe (given type-stability), just space-hungry.
+func TestConcurrentExactSemantics(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	h, q := newWorld(t)
+
+	const producers, consumers, perP = 4, 4, 1500
+	var (
+		mu   sync.Mutex
+		got  = make(map[Value]int)
+		done atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer done.Add(1)
+			for i := 0; i < perP; i++ {
+				if err := q.Enqueue(Value(p*perP + i + 1)); err != nil {
+					t.Errorf("Enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if ok {
+					mu.Lock()
+					got[v]++
+					mu.Unlock()
+					continue
+				}
+				if done.Load() == producers {
+					if v, ok := q.Dequeue(); ok {
+						mu.Lock()
+						got[v]++
+						mu.Unlock()
+						continue
+					}
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(got) != producers*perP {
+		t.Errorf("got %d distinct values, want %d", len(got), producers*perP)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Errorf("value %d delivered %d times", v, n)
+		}
+	}
+	q.Close()
+
+	hs := h.Stats()
+	if hs.Corruptions != 0 || hs.DoubleFrees != 0 {
+		t.Errorf("Corruptions=%d DoubleFrees=%d, want 0/0", hs.Corruptions, hs.DoubleFrees)
+	}
+}
+
+// TestRefCountQuiescentAudit checks that after quiescence, every node's
+// count equals twice the number of shared pointers to it (no claim bits on
+// live nodes, no lost or extra references).
+func TestRefCountQuiescentAudit(t *testing.T) {
+	h, q := newWorld(t)
+	defer q.Close()
+
+	for v := Value(0); v < 50; v++ {
+		if err := q.Enqueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		q.Dequeue()
+	}
+
+	// Count in-structure references: head cell, tail cell, and each
+	// linked node's next pointer.
+	refs := map[mem.Ref]int{}
+	refs[mem.Ref(h.Load(q.headA))] += 2
+	refs[mem.Ref(h.Load(q.tailA))] += 2
+	for n := mem.Ref(h.Load(q.headA)); n != 0; n = mem.Ref(h.Load(q.nextA(n))) {
+		if nx := mem.Ref(h.Load(q.nextA(n))); nx != 0 {
+			refs[nx] += 2
+		}
+	}
+	for n, want := range refs {
+		if n == 0 {
+			continue
+		}
+		if got := h.Load(q.rcA(n)); got != uint64(want) {
+			t.Errorf("node %d count = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package workload provides the shared experiment harness for the
+// reproduction: a common deque interface over the three implementations
+// (LFRC Snark, GC-dependent Snark, mutex-based), operation-mix runners with
+// stall injection, and one driver per experiment in EXPERIMENTS.md. The
+// drivers are used both by cmd/lfrcbench (which prints the tables) and by
+// the repository-level benchmarks.
+package workload
+
+import (
+	"sync"
+
+	"lfrc/internal/gcdep"
+	"lfrc/internal/snark"
+)
+
+// Deque is the common face of the deque implementations under test.
+type Deque interface {
+	PushLeft(v uint64) error
+	PushRight(v uint64) error
+	PopLeft() (uint64, bool)
+	PopRight() (uint64, bool)
+}
+
+// SnarkAdapter adapts the LFRC snark deque (already error-returning).
+type SnarkAdapter struct {
+	D *snark.Deque
+}
+
+var _ Deque = SnarkAdapter{}
+
+// PushLeft implements Deque.
+func (a SnarkAdapter) PushLeft(v uint64) error { return a.D.PushLeft(v) }
+
+// PushRight implements Deque.
+func (a SnarkAdapter) PushRight(v uint64) error { return a.D.PushRight(v) }
+
+// PopLeft implements Deque.
+func (a SnarkAdapter) PopLeft() (uint64, bool) { return a.D.PopLeft() }
+
+// PopRight implements Deque.
+func (a SnarkAdapter) PopRight() (uint64, bool) { return a.D.PopRight() }
+
+// GcdepAdapter adapts the GC-dependent snark deque.
+type GcdepAdapter struct {
+	D *gcdep.Deque
+}
+
+var _ Deque = GcdepAdapter{}
+
+// PushLeft implements Deque.
+func (a GcdepAdapter) PushLeft(v uint64) error { a.D.PushLeft(v); return nil }
+
+// PushRight implements Deque.
+func (a GcdepAdapter) PushRight(v uint64) error { a.D.PushRight(v); return nil }
+
+// PopLeft implements Deque.
+func (a GcdepAdapter) PopLeft() (uint64, bool) { return a.D.PopLeft() }
+
+// PopRight implements Deque.
+func (a GcdepAdapter) PopRight() (uint64, bool) { return a.D.PopRight() }
+
+// MutexDeque is the lock-based baseline: a slice-backed ring protected by a
+// single mutex. Its HoldingLock hook lets the stall experiment (E4) park a
+// thread while it owns the lock — the failure mode lock-freedom rules out.
+type MutexDeque struct {
+	mu   sync.Mutex
+	buf  []uint64
+	head int // index of leftmost element
+	n    int
+
+	// HoldingLock, when non-nil, runs on every operation while the lock
+	// is held. Set before sharing the deque.
+	HoldingLock func()
+}
+
+var _ Deque = (*MutexDeque)(nil)
+
+// NewMutexDeque builds an empty mutex-protected deque.
+func NewMutexDeque() *MutexDeque {
+	return &MutexDeque{buf: make([]uint64, 16)}
+}
+
+func (d *MutexDeque) hook() {
+	if d.HoldingLock != nil {
+		d.HoldingLock()
+	}
+}
+
+// grow doubles the ring when full. Caller holds the lock.
+func (d *MutexDeque) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	nb := make([]uint64, 2*len(d.buf))
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+// PushLeft implements Deque.
+func (d *MutexDeque) PushLeft(v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook()
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.n++
+	return nil
+}
+
+// PushRight implements Deque.
+func (d *MutexDeque) PushRight(v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook()
+	d.grow()
+	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.n++
+	return nil
+}
+
+// PopLeft implements Deque.
+func (d *MutexDeque) PopLeft() (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook()
+	if d.n == 0 {
+		return 0, false
+	}
+	v := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return v, true
+}
+
+// PopRight implements Deque.
+func (d *MutexDeque) PopRight() (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook()
+	if d.n == 0 {
+		return 0, false
+	}
+	v := d.buf[(d.head+d.n-1)%len(d.buf)]
+	d.n--
+	return v, true
+}
+
+// Len returns the number of elements (tests only).
+func (d *MutexDeque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"time"
+
+	"lfrc/internal/core"
+	"lfrc/internal/mem"
+)
+
+// RunL1 measures the operation-latency distribution of a mixed workload in
+// which a thread periodically drops the last reference to a large structure
+// — the §7 scenario — under eager vs incremental destruction. It is the
+// user-visible form of ablation A2: eager reclamation puts the whole pause
+// into one operation's latency; a budget spreads it across the maintenance
+// drains.
+func RunL1(kind EngineKind, scale Scale) *Table {
+	t := &Table{
+		ID:     "L1",
+		Title:  "op latency distribution with periodic large-structure drops",
+		Claim:  "§7: incremental collection \"would avoid long delays when a thread destroys the last pointer to a large structure\"",
+		Header: []string{"mode", "engine", "ops", "p50", "p99", "p99.9", "max"},
+		Notes: []string{
+			"expected shape: p50 comparable; eager max ~ the full drop pause (grows with chain size), incremental max bounded by the budget (plus host jitter)",
+		},
+	}
+
+	chain := scale.times(20_000)
+	rounds := 6
+	opsPerRound := scale.times(2_000)
+
+	for _, mode := range []string{"eager", "incremental(64)"} {
+		var rcOpts []core.Option
+		if mode != "eager" {
+			rcOpts = append(rcOpts, core.WithIncrementalDestroy(64))
+		}
+		env := NewEnv(kind, rcOpts...)
+		rc, h := env.RC, env.Heap
+		d, err := env.NewDeque()
+		if err != nil {
+			t.Notes = append(t.Notes, "setup failed: "+err.Error())
+			return t
+		}
+
+		var hist Histogram
+		v := uint64(1)
+		for r := 0; r < rounds; r++ {
+			// Build the large structure (untimed: construction cost is
+			// identical in both modes).
+			var head mem.Ref
+			for i := 0; i < chain; i++ {
+				p, err := rc.NewObject(env.SnarkTypes.SNode)
+				if err != nil {
+					t.Notes = append(t.Notes, "allocation failed: "+err.Error())
+					return t
+				}
+				rc.StoreAlloc(h.FieldAddr(p, 0), head)
+				head = p
+			}
+			// Mixed stream: deque ops, maintenance drains, and one
+			// drop of the chain mid-round — every iteration is one
+			// timed "operation".
+			dropAt := opsPerRound / 2
+			for i := 0; i < opsPerRound; i++ {
+				start := time.Now()
+				switch {
+				case i == dropAt:
+					rc.Destroy(head) // the §7 pause (or its bounded slice)
+					head = 0
+				case i%2 == 0:
+					_ = d.PushRight(v)
+					v++
+				default:
+					d.PopLeft()
+				}
+				if mode != "eager" {
+					rc.DrainZombies(64) // amortized maintenance
+				}
+				hist.Observe(time.Since(start))
+			}
+			rc.DrainZombies(0) // settle between rounds (untimed)
+		}
+		d.Close()
+
+		t.AddRow(mode, kind.String(), hist.Count(),
+			hist.Quantile(0.50), hist.Quantile(0.99), hist.Quantile(0.999), hist.Max())
+	}
+	return t
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lfrc/internal/gcsim"
+	"lfrc/internal/snark"
+)
+
+// RunG1 contrasts the two reclamation regimes the paper positions against
+// each other (§1, §6): the same deque workload runs once on a
+// stop-the-world-collected heap (the original GC-dependent Snark with a
+// periodic tracing collector that excludes all mutators) and once under
+// LFRC. The table reports throughput, operation-latency percentiles, and
+// the collector's pause profile.
+func RunG1(kind EngineKind, dur time.Duration) *Table {
+	t := &Table{
+		ID:     "G1",
+		Title:  "stop-the-world GC vs LFRC under identical deque churn",
+		Claim:  "§1: GC environments \"employ excessive synchronization, such as locking and/or stop-the-world mechanisms\"; §6: a delayed collector delays allocation",
+		Header: []string{"regime", "engine", "ops/sec", "op p50", "stw pauses", "max pause", "stopped time", "stopped %"},
+		Notes: []string{
+			"expected shape: stw is cheaper per op (no counts) but spends a growing fraction of wall time with every mutator stalled; lfrc never stops the world",
+			"op-latency tails are omitted: on a 1-CPU host scheduler preemption noise dominates them for both regimes",
+		},
+	}
+	const workers = 4
+
+	type opFn func(rng *rand.Rand, v *uint64)
+	runSide := func(op opFn) (ops int64, hist *Histogram) {
+		var (
+			stop  atomic.Bool
+			wg    sync.WaitGroup
+			hists = make([]Histogram, workers)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w) + 3))
+				v := uint64(w)<<32 + 1
+				for !stop.Load() {
+					start := time.Now()
+					op(rng, &v)
+					hists[w].Observe(time.Since(start))
+				}
+			}(w)
+		}
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		total := &Histogram{}
+		for i := range hists {
+			total.Merge(&hists[i])
+		}
+		return total.Count(), total
+	}
+
+	// Stop-the-world side.
+	{
+		env := NewEnv(kind)
+		world := gcsim.NewWorld(env.Heap, env.Engine)
+		ts := gcsim.MustRegisterTypes(env.Heap)
+		d, err := gcsim.New(world, ts)
+		if err != nil {
+			t.Notes = append(t.Notes, "setup failed: "+err.Error())
+			return t
+		}
+		gcStop := make(chan struct{})
+		gcDone := make(chan struct{})
+		go func() {
+			defer close(gcDone)
+			ticker := time.NewTicker(10 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					world.Collect()
+				case <-gcStop:
+					return
+				}
+			}
+		}()
+		ops, hist := runSide(func(rng *rand.Rand, v *uint64) {
+			switch rng.Intn(4) {
+			case 0:
+				_ = d.PushLeft(*v)
+				*v++
+			case 1:
+				_ = d.PushRight(*v)
+				*v++
+			case 2:
+				d.PopLeft()
+			default:
+				d.PopRight()
+			}
+		})
+		close(gcStop)
+		<-gcDone
+
+		pauses := world.Pauses()
+		var maxPause, totalPause time.Duration
+		for _, p := range pauses {
+			totalPause += p
+			if p > maxPause {
+				maxPause = p
+			}
+		}
+		t.AddRow("stop-the-world", kind.String(),
+			float64(ops)/dur.Seconds(),
+			hist.Quantile(0.50),
+			len(pauses), maxPause.Round(time.Microsecond),
+			totalPause.Round(time.Microsecond),
+			fmt.Sprintf("%.0f%%", 100*totalPause.Seconds()/dur.Seconds()))
+	}
+
+	// LFRC side.
+	{
+		env := NewEnv(kind)
+		d, err := env.NewDeque(snark.WithValueClaiming())
+		if err != nil {
+			t.Notes = append(t.Notes, "setup failed: "+err.Error())
+			return t
+		}
+		ops, hist := runSide(func(rng *rand.Rand, v *uint64) {
+			switch rng.Intn(4) {
+			case 0:
+				_ = d.PushLeft(*v)
+				*v++
+			case 1:
+				_ = d.PushRight(*v)
+				*v++
+			case 2:
+				d.PopLeft()
+			default:
+				d.PopRight()
+			}
+		})
+		t.AddRow("lfrc", kind.String(),
+			float64(ops)/dur.Seconds(),
+			hist.Quantile(0.50),
+			0, "-", "-", "0%")
+		d.Close()
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestG1Shape(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	tab := RunG1(EngineLocking, 150*time.Millisecond)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("G1 rows = %d, want 2:\n%s", len(tab.Rows), tab)
+	}
+	// Row 0: stop-the-world must actually have stopped the world.
+	if pauses := cellInt(t, tab, 0, 4); pauses == 0 {
+		t.Errorf("stw regime recorded no pauses:\n%s", tab)
+	}
+	stoppedPct := cell(t, tab, 0, 7)
+	if stoppedPct == "0%" {
+		t.Errorf("stw stopped%% = %s, want > 0:\n%s", stoppedPct, tab)
+	}
+	// Row 1: lfrc never stops the world.
+	if got := cell(t, tab, 1, 7); got != "0%" {
+		t.Errorf("lfrc stopped%% = %s, want 0%%", got)
+	}
+	if got := cellInt(t, tab, 1, 4); got != 0 {
+		t.Errorf("lfrc pauses = %d, want 0", got)
+	}
+	// Both made progress.
+	for r := 0; r < 2; r++ {
+		if ops := cellFloat(t, tab, r, 2); ops <= 0 {
+			t.Errorf("row %d ops/sec = %f", r, ops)
+		}
+	}
+	if !strings.Contains(tab.Claim, "stop-the-world") {
+		t.Errorf("claim text missing anchor: %q", tab.Claim)
+	}
+}

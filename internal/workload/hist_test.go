@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not zero: %s", h.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast ops, 10 slow ops: p50 must be fast-scale, p99 slow-scale.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got > 10*time.Microsecond {
+		t.Errorf("p50 = %v, want fast-scale", got)
+	}
+	if got := h.Quantile(0.99); got < 100*time.Microsecond {
+		t.Errorf("p99 = %v, want slow-scale", got)
+	}
+	if got := h.Max(); got != time.Millisecond {
+		t.Errorf("max = %v, want 1ms", got)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(time.Second)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Errorf("merged count = %d, want 2", a.Count())
+	}
+	if a.Max() != time.Second {
+		t.Errorf("merged max = %v, want 1s", a.Max())
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second) // clamped
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1.0); got > time.Nanosecond {
+		t.Errorf("all-zero quantile = %v", got)
+	}
+}
+
+// TestQuickHistogramQuantileBounds: the reported quantile is always an
+// upper bound within 2x of some observed sample, and quantiles are
+// monotone in q.
+func TestQuickHistogramQuantileBounds(t *testing.T) {
+	f := func(samplesRaw []uint32) bool {
+		if len(samplesRaw) == 0 {
+			return true
+		}
+		if len(samplesRaw) > 200 {
+			samplesRaw = samplesRaw[:200]
+		}
+		var h Histogram
+		var maxSample time.Duration
+		for _, s := range samplesRaw {
+			d := time.Duration(s)
+			h.Observe(d)
+			if d > maxSample {
+				maxSample = d
+			}
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false // not monotone
+			}
+			prev = v
+		}
+		// The 100th percentile bound must cover the max sample.
+		return h.Quantile(1.0) >= maxSample || h.Quantile(1.0) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1Shape(t *testing.T) {
+	tab := RunL1(EngineLocking, 1)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("L1 rows = %d, want 2:\n%s", len(tab.Rows), tab)
+	}
+	eagerMax, err := time.ParseDuration(cell(t, tab, 0, 6))
+	if err != nil {
+		t.Fatalf("bad eager max %q", cell(t, tab, 0, 6))
+	}
+	incrMax, err := time.ParseDuration(cell(t, tab, 1, 6))
+	if err != nil {
+		t.Fatalf("bad incremental max %q", cell(t, tab, 1, 6))
+	}
+	if incrMax >= eagerMax {
+		t.Errorf("incremental max latency %v not below eager %v:\n%s", incrMax, eagerMax, tab)
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mix is a weighted operation mix. Zero weights omit the operation.
+type Mix struct {
+	PushLeft, PushRight, PopLeft, PopRight int
+}
+
+// Balanced is the default 25/25/25/25 mix.
+var Balanced = Mix{PushLeft: 1, PushRight: 1, PopLeft: 1, PopRight: 1}
+
+// PushHeavy grows the structure (70% pushes).
+var PushHeavy = Mix{PushLeft: 7, PushRight: 7, PopLeft: 3, PopRight: 3}
+
+// PopHeavy shrinks the structure (70% pops).
+var PopHeavy = Mix{PushLeft: 3, PushRight: 3, PopLeft: 7, PopRight: 7}
+
+// pick selects an operation index 0..3 by weight.
+func (m Mix) pick(rng *rand.Rand) int {
+	total := m.PushLeft + m.PushRight + m.PopLeft + m.PopRight
+	n := rng.Intn(total)
+	if n < m.PushLeft {
+		return 0
+	}
+	n -= m.PushLeft
+	if n < m.PushRight {
+		return 1
+	}
+	n -= m.PushRight
+	if n < m.PopLeft {
+		return 2
+	}
+	return 3
+}
+
+// ThroughputResult reports one throughput run.
+type ThroughputResult struct {
+	// Ops is the total completed operations across all workers.
+	Ops int64
+
+	// Duration is the wall-clock measurement window.
+	Duration time.Duration
+}
+
+// OpsPerSec is the headline rate.
+func (r ThroughputResult) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// RunThroughput drives d with workers goroutines applying mix for dur,
+// after prefilling prefill elements. It reports the completed operations.
+func RunThroughput(d Deque, workers int, dur time.Duration, mix Mix, prefill int) ThroughputResult {
+	for i := 0; i < prefill; i++ {
+		_ = d.PushRight(uint64(i + 1))
+	}
+	var (
+		stop atomic.Bool
+		ops  atomic.Int64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			local := int64(0)
+			v := uint64(w)<<32 + 1
+			for !stop.Load() {
+				switch mix.pick(rng) {
+				case 0:
+					if d.PushLeft(v) == nil {
+						v++
+					}
+				case 1:
+					if d.PushRight(v) == nil {
+						v++
+					}
+				case 2:
+					d.PopLeft()
+				case 3:
+					d.PopRight()
+				}
+				local++
+			}
+			ops.Add(local)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return ThroughputResult{Ops: ops.Load(), Duration: time.Since(start)}
+}
+
+// StallResult reports a stall-injection run (experiment E4).
+type StallResult struct {
+	// HealthyOps counts operations completed by non-stalled workers
+	// while the victim was parked.
+	HealthyOps int64
+
+	// Duration is the parked window.
+	Duration time.Duration
+
+	// VictimParked reports whether the victim actually reached its park
+	// point (it always should).
+	VictimParked bool
+}
+
+// OpsPerSec is the healthy workers' rate during the stall.
+func (r StallResult) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.HealthyOps) / r.Duration.Seconds()
+}
+
+// RunWithStall measures the progress of healthy workers while one victim
+// worker is parked mid-operation for dur. The caller supplies:
+//
+//   - arm: installs a park point and returns a release function; the park
+//     point must fire on the victim's next operation (see the deques'
+//     BeforeDCAS / HoldingLock hooks);
+//   - parked: reports whether the victim has reached the park point.
+//
+// The victim issues one operation (which parks); healthy workers run the
+// balanced mix meanwhile.
+func RunWithStall(d Deque, healthy int, dur time.Duration, arm func() (release func()), parked func() bool) StallResult {
+	release := arm()
+
+	var victimWG sync.WaitGroup
+	victimWG.Add(1)
+	go func() {
+		defer victimWG.Done()
+		_ = d.PushRight(1) // parks inside
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !parked() {
+		if time.Now().After(deadline) {
+			release()
+			victimWG.Wait()
+			return StallResult{}
+		}
+		runtime.Gosched()
+	}
+
+	var (
+		stop atomic.Bool
+		ops  atomic.Int64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < healthy; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 42))
+			local := int64(0)
+			v := uint64(w)<<32 + 2
+			for !stop.Load() {
+				switch Balanced.pick(rng) {
+				case 0:
+					_ = d.PushLeft(v)
+					v++
+				case 1:
+					_ = d.PushRight(v)
+					v++
+				case 2:
+					d.PopLeft()
+				case 3:
+					d.PopRight()
+				}
+				local++
+			}
+			ops.Add(local)
+		}(w)
+	}
+	timer := time.NewTimer(dur)
+	<-timer.C
+	stop.Store(true)
+	elapsed := time.Since(start)
+	// Release the victim before joining the healthy workers: under the
+	// mutex deque they may be blocked on the lock the victim holds, which
+	// is precisely the phenomenon being measured.
+	release()
+	victimWG.Wait()
+	wg.Wait()
+	return StallResult{HealthyOps: ops.Load(), Duration: elapsed, VictimParked: true}
+}

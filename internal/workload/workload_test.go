@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMutexDequeModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewMutexDeque()
+		var model []uint64
+		next := uint64(1)
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				_ = d.PushLeft(next)
+				model = append([]uint64{next}, model...)
+				next++
+			case 1:
+				_ = d.PushRight(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := d.PopLeft()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PopRight()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutexDequeGrowth(t *testing.T) {
+	d := NewMutexDeque()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		_ = d.PushLeft(uint64(i))
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok := d.PopLeft()
+		if !ok || v != uint64(i) {
+			t.Fatalf("PopLeft = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestMixPickRespectsZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Mix{PushRight: 1, PopLeft: 1} // no PushLeft, no PopRight
+	for i := 0; i < 1000; i++ {
+		op := m.pick(rng)
+		if op == 0 || op == 3 {
+			t.Fatalf("pick returned zero-weight op %d", op)
+		}
+	}
+}
+
+func TestMixPickCoversAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[Balanced.pick(rng)] = true
+	}
+	for op := 0; op < 4; op++ {
+		if !seen[op] {
+			t.Errorf("balanced mix never picked op %d", op)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "T1",
+		Title:  "demo",
+		Claim:  "claims are printed",
+		Header: []string{"col", "value"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("x", 1)
+	tab.AddRow("longer", 3.14159)
+
+	s := tab.String()
+	for _, want := range []string{"T1", "demo", "claims are printed", "col", "longer", "3.1", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| col | value |") {
+		t.Errorf("Markdown() missing header row:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("Markdown() missing separator:\n%s", md)
+	}
+}
+
+func TestEnvBuildsAllStructures(t *testing.T) {
+	for _, kind := range Engines {
+		t.Run(kind.String(), func(t *testing.T) {
+			env := NewEnv(kind)
+			if env.Engine.Name() != kind.String() {
+				t.Errorf("engine = %q, want %q", env.Engine.Name(), kind)
+			}
+			d, err := env.NewDeque()
+			if err != nil {
+				t.Fatalf("NewDeque: %v", err)
+			}
+			q, err := env.NewQueue()
+			if err != nil {
+				t.Fatalf("NewQueue: %v", err)
+			}
+			s, err := env.NewStack()
+			if err != nil {
+				t.Fatalf("NewStack: %v", err)
+			}
+			v, err := env.NewValoisQueue()
+			if err != nil {
+				t.Fatalf("NewValoisQueue: %v", err)
+			}
+			_ = d.PushLeft(1)
+			_ = q.Enqueue(2)
+			_ = s.Push(3)
+			_ = v.Enqueue(4)
+			d.Close()
+			q.Close()
+			s.Close()
+			v.Close()
+		})
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if EngineLocking.String() != "locking" || EngineMCAS.String() != "mcas" {
+		t.Error("EngineKind.String mismatch")
+	}
+	if !strings.Contains(EngineKind(9).String(), "9") {
+		t.Error("unknown EngineKind should include its number")
+	}
+}

@@ -1,0 +1,57 @@
+package lfrc
+
+import "lfrc/internal/dlist"
+
+// Set is a GC-independent lock-free sorted set over uint64 keys, built
+// directly on the LFRC operations with a DCAS-based marked-node linked list
+// (see internal/dlist). It demonstrates the methodology on a structure the
+// paper did not itself transform, using the mixed pointer/scalar DCAS
+// extension its §2.1 anticipates.
+type Set struct {
+	l   *dlist.List
+	sys *System
+}
+
+// NewSet creates an empty set on this system.
+func (s *System) NewSet() (*Set, error) {
+	// The set's types are registered lazily: most systems never create
+	// one, and type registration is idempotent per System via setTypes.
+	ts, err := s.setTypesOnce()
+	if err != nil {
+		return nil, err
+	}
+	l, err := dlist.New(s.rc, ts)
+	if err != nil {
+		return nil, err
+	}
+	s.collector.AddRoot(l.Anchor())
+	return &Set{l: l, sys: s}, nil
+}
+
+// Insert adds k to the set; it returns false (and no error) if k was
+// already present. Keys must be at most MaxValue.
+func (st *Set) Insert(k Value) (bool, error) { return st.l.Insert(k) }
+
+// Delete removes k, returning whether this call removed it.
+func (st *Set) Delete(k Value) bool { return st.l.Delete(k) }
+
+// Contains reports whether k is in the set.
+func (st *Set) Contains(k Value) bool { return st.l.Contains(k) }
+
+// PopMin removes and returns the smallest element — the set doubles as a
+// priority queue; ok is false when the set is observed empty.
+func (st *Set) PopMin() (k Value, ok bool) { return st.l.PopMin() }
+
+// Len counts the elements. Exact at quiescence; a snapshot otherwise.
+func (st *Set) Len() int { return st.l.Len() }
+
+// Keys returns the elements in ascending order. Exact at quiescence.
+func (st *Set) Keys() []Value { return st.l.Keys() }
+
+// Close releases the whole set. Same restrictions as Deque.Close.
+func (st *Set) Close() {
+	if st.l.Anchor() != 0 {
+		st.sys.collector.RemoveRoot(st.l.Anchor())
+	}
+	st.l.Close()
+}

@@ -1,0 +1,142 @@
+package lfrc_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"lfrc"
+)
+
+func TestSetBasics(t *testing.T) {
+	for name, sys := range systems(t) {
+		t.Run(name, func(t *testing.T) {
+			s, err := sys.NewSet()
+			if err != nil {
+				t.Fatalf("NewSet: %v", err)
+			}
+			for _, k := range []lfrc.Value{30, 10, 20} {
+				ok, err := s.Insert(k)
+				if err != nil || !ok {
+					t.Fatalf("Insert(%d) = (%v,%v)", k, ok, err)
+				}
+			}
+			if ok, _ := s.Insert(20); ok {
+				t.Error("duplicate insert succeeded")
+			}
+			if !s.Contains(10) || s.Contains(15) {
+				t.Error("Contains wrong")
+			}
+			keys := s.Keys()
+			if len(keys) != 3 || keys[0] != 10 || keys[1] != 20 || keys[2] != 30 {
+				t.Errorf("Keys = %v, want [10 20 30]", keys)
+			}
+			if !s.Delete(20) || s.Delete(20) {
+				t.Error("Delete semantics wrong")
+			}
+			if s.Len() != 2 {
+				t.Errorf("Len = %d, want 2", s.Len())
+			}
+			s.Close()
+			if got := sys.HeapStats().LiveObjects; got != 0 {
+				t.Errorf("LiveObjects = %d after Close, want 0", got)
+			}
+		})
+	}
+}
+
+func TestSetAuditAndCollect(t *testing.T) {
+	sys, err := lfrc.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.NewSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := lfrc.Value(0); k < 100; k++ {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := lfrc.Value(0); k < 100; k += 2 {
+		s.Delete(k)
+	}
+	if vs := sys.Audit(); len(vs) != 0 {
+		t.Errorf("Audit violations: %v", vs)
+	}
+	if res := sys.Collect(); res.Freed != 0 {
+		t.Errorf("Collect freed %d from a healthy set", res.Freed)
+	}
+	if s.Len() != 50 {
+		t.Errorf("Len = %d, want 50", s.Len())
+	}
+	s.Close()
+}
+
+func TestSetConcurrentSmoke(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	sys, err := lfrc.New(lfrc.WithEngine(lfrc.EngineMCAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.NewSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perW = 4, 300
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := lfrc.Value(p * 1000)
+			for i := 0; i < perW; i++ {
+				k := base + lfrc.Value(i)
+				if _, err := s.Insert(k); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					s.Delete(k)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got, want := s.Len(), workers*perW/2; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	s.Close()
+	if got := sys.HeapStats().LiveObjects; got != 0 {
+		t.Errorf("LiveObjects = %d, want 0", got)
+	}
+}
+
+func TestSetPopMin(t *testing.T) {
+	sys, err := lfrc.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.NewSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, k := range []lfrc.Value{30, 10, 20} {
+		if _, err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []lfrc.Value{10, 20, 30}
+	for _, w := range want {
+		k, ok := s.PopMin()
+		if !ok || k != w {
+			t.Fatalf("PopMin = (%d,%v), want (%d,true)", k, ok, w)
+		}
+	}
+	if _, ok := s.PopMin(); ok {
+		t.Error("PopMin on drained set reported a value")
+	}
+}

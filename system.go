@@ -1,0 +1,240 @@
+package lfrc
+
+import (
+	"fmt"
+	"sync"
+
+	"lfrc/internal/check"
+	"lfrc/internal/core"
+	"lfrc/internal/dcas"
+	"lfrc/internal/dlist"
+	"lfrc/internal/gctrace"
+	"lfrc/internal/mem"
+	"lfrc/internal/msqueue"
+	"lfrc/internal/snark"
+	"lfrc/internal/stackrc"
+)
+
+// Value is the payload type carried by the structures.
+type Value = uint64
+
+// MaxValue is the largest storable payload: the two top cell bits belong to
+// the software-MCAS engine and one more to the deque's claim marker.
+const MaxValue Value = 1<<61 - 1
+
+// Engine selects the DCAS substrate.
+type Engine int
+
+// Engines.
+const (
+	// EngineLocking simulates the hardware DCAS the paper assumes with an
+	// address-striped lock table. Fast and simple; its lock-freedom is a
+	// property of the modeled hardware, not the simulation.
+	EngineLocking Engine = iota + 1
+
+	// EngineMCAS is a genuinely lock-free software DCAS built from
+	// single-word CAS (Harris, Fraser & Pratt, DISC 2002). Slower per
+	// operation, but every step is implemented with commodity atomics.
+	EngineMCAS
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineLocking:
+		return "locking"
+	case EngineMCAS:
+		return "mcas"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Option configures a System.
+type Option interface {
+	apply(*config)
+}
+
+type config struct {
+	engine        Engine
+	maxHeapWords  uint64
+	destroyBudget int
+	poisonCheck   bool
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithEngine selects the DCAS engine. The default is EngineLocking.
+func WithEngine(e Engine) Option {
+	return optionFunc(func(c *config) { c.engine = e })
+}
+
+// WithMaxHeapWords caps the simulated heap at n 64-bit words. The default
+// is 64Mi words (512 MiB).
+func WithMaxHeapWords(n uint64) Option {
+	return optionFunc(func(c *config) { c.maxHeapWords = n })
+}
+
+// WithIncrementalDestroy bounds the reclamation work done by any single
+// pointer-release to budget objects, deferring the remainder (the paper's §7
+// suggestion for avoiding pauses when dropping large structures). Call
+// System.DrainZombies from a maintenance loop to finish deferred work.
+func WithIncrementalDestroy(budget int) Option {
+	return optionFunc(func(c *config) { c.destroyBudget = budget })
+}
+
+// WithPoisonCheck toggles allocation-time verification that recycled memory
+// was not written after being freed. On by default; disable only for
+// benchmarking allocator overhead.
+func WithPoisonCheck(on bool) Option {
+	return optionFunc(func(c *config) { c.poisonCheck = on })
+}
+
+// System bundles a manual heap, a DCAS engine, the LFRC operations, and the
+// backup tracing collector. All methods are safe for concurrent use unless
+// noted otherwise.
+type System struct {
+	heap      *mem.Heap
+	engine    dcas.Engine
+	rc        *core.RC
+	collector *gctrace.Collector
+
+	snarkTypes snark.Types
+	queueTypes msqueue.Types
+	stackTypes stackrc.Types
+
+	setTypesMu sync.Mutex
+	setTypes   *dlist.Types
+}
+
+// setTypesOnce registers the set's heap types on first use.
+func (s *System) setTypesOnce() (dlist.Types, error) {
+	s.setTypesMu.Lock()
+	defer s.setTypesMu.Unlock()
+	if s.setTypes != nil {
+		return *s.setTypes, nil
+	}
+	ts, err := dlist.RegisterTypes(s.heap)
+	if err != nil {
+		return dlist.Types{}, err
+	}
+	s.setTypes = &ts
+	return ts, nil
+}
+
+// New creates a System.
+func New(opts ...Option) (*System, error) {
+	cfg := config{
+		engine:       EngineLocking,
+		maxHeapWords: 64 << 20,
+		poisonCheck:  true,
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+
+	h := mem.NewHeap(mem.WithMaxWords(cfg.maxHeapWords), mem.WithPoisonCheck(cfg.poisonCheck))
+	var e dcas.Engine
+	switch cfg.engine {
+	case EngineLocking:
+		e = dcas.NewLocking(h)
+	case EngineMCAS:
+		e = dcas.NewMCAS(h)
+	default:
+		return nil, fmt.Errorf("lfrc: unknown engine %v", cfg.engine)
+	}
+
+	var rcOpts []core.Option
+	if cfg.destroyBudget > 0 {
+		rcOpts = append(rcOpts, core.WithIncrementalDestroy(cfg.destroyBudget))
+	}
+
+	s := &System{
+		heap:      h,
+		engine:    e,
+		rc:        core.New(h, e, rcOpts...),
+		collector: gctrace.New(h),
+	}
+	var err error
+	if s.snarkTypes, err = snark.RegisterTypes(h); err != nil {
+		return nil, err
+	}
+	if s.queueTypes, err = msqueue.RegisterTypes(h); err != nil {
+		return nil, err
+	}
+	if s.stackTypes, err = stackrc.RegisterTypes(h); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EngineName reports which DCAS engine the system runs on.
+func (s *System) EngineName() string { return s.engine.Name() }
+
+// HeapStats snapshots the heap accounting: live objects and words, allocs,
+// frees, recycling, and the corruption detectors.
+func (s *System) HeapStats() HeapStats { return HeapStats(s.heap.Stats()) }
+
+// RCStats snapshots the LFRC operation counters.
+func (s *System) RCStats() RCStats { return RCStats(s.rc.Stats()) }
+
+// HeapStats mirrors the heap's accounting snapshot. See the field docs on
+// the internal mem.Stats for precise semantics.
+type HeapStats struct {
+	Allocs, Frees, Recycles           int64
+	LiveObjects, LiveWords, HighWater int64
+	DoubleFrees, Corruptions          int64
+	AllocFailures                     int64
+}
+
+// RCStats mirrors the LFRC operation counters.
+type RCStats struct {
+	Allocs, Frees, FreeErrors                                     int64
+	Loads, LoadRetries, Stores, Copies, CASOps, DCASOps, Destroys int64
+	ZombiePushes, PoisonedRCUpdates                               int64
+}
+
+// DrainZombies finishes up to max deferred reclamations (0 = all) when the
+// system was built WithIncrementalDestroy. It returns the number of objects
+// freed.
+func (s *System) DrainZombies(max int) int { return s.rc.DrainZombies(max) }
+
+// ZombieCount reports how many objects currently await deferred reclamation.
+func (s *System) ZombieCount() int64 { return s.rc.ZombieCount() }
+
+// Collect runs the stop-the-world backup tracing collector (paper §7) and
+// returns how many unreachable objects it reclaimed. Every structure created
+// from this System is automatically registered as a root until its Close.
+// The system must be quiescent: no operations may run concurrently.
+func (s *System) Collect() CollectResult {
+	return CollectResult(s.collector.Collect())
+}
+
+// CollectResult reports one backup-collection pass.
+type CollectResult struct {
+	// Marked is the number of reachable objects.
+	Marked int
+
+	// Freed is the number of unreachable objects reclaimed (cyclic
+	// garbage, with correct clients).
+	Freed int
+
+	// RCAdjusted counts survivor reference counts fixed up because swept
+	// garbage pointed at them.
+	RCAdjusted int
+}
+
+// Audit verifies, at quiescence, that every live object's reference count
+// equals the number of pointers to it (heap pointers plus one per open
+// structure handle). It returns human-readable violation descriptions; an
+// empty result means the counts are exact. The system must be quiescent.
+func (s *System) Audit() []string {
+	vs := check.AuditRC(s.heap, s.collector.Roots())
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
