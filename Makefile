@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments stress explore examples clean
+.PHONY: all check build vet test race cover bench bench-smoke fuzz experiments stress explore examples clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, vet, tests, and the race detector in one target.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -23,6 +26,10 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One quick pass over the sharded-allocator benchmark (experiment A3).
+bench-smoke:
+	$(GO) test -bench=BenchmarkAllocShards -benchtime=1x -run='^$$' .
 
 # Short fuzzing burst per fuzzer (seed corpora always run under `make test`).
 fuzz:

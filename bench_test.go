@@ -1,10 +1,11 @@
-// Benchmarks: one per experiment table in EXPERIMENTS.md (E1..E9, A1, A2).
+// Benchmarks: one per experiment table in EXPERIMENTS.md (E1..E9, A1..A3).
 // They exercise the same code paths as cmd/lfrcbench but in testing.B form,
 // so `go test -bench=. -benchmem` regenerates the per-operation numbers;
 // shape metrics (leaks, corruption counts) are attached via b.ReportMetric.
 package lfrc_test
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
@@ -487,7 +488,7 @@ func BenchmarkA2IncrementalDestroy(b *testing.B) {
 }
 
 // BenchmarkSetOps measures the DCAS-based sorted set against a mutex-map
-// baseline (extension experiment A3).
+// baseline (the set extension; see set.go).
 func BenchmarkSetOps(b *testing.B) {
 	b.Run("lfrc-set", func(b *testing.B) {
 		sys, err := lfrc.New()
@@ -587,6 +588,65 @@ func BenchmarkValoisVsLFRCQueue(b *testing.B) {
 		b.StopTimer()
 		q.Close()
 	})
+}
+
+// BenchmarkAllocShards measures the allocator itself — the experiment A3
+// fast path — on an alloc/free mix over three size classes, with the shard
+// count pinned to 1 (the pre-sharding layout: one free list per size, every
+// bump on the global cursor) and to GOMAXPROCS, serially and under
+// RunParallel.
+func BenchmarkAllocShards(b *testing.B) {
+	newTypes := func(h *mem.Heap) []mem.TypeID {
+		return []mem.TypeID{
+			h.MustRegisterType(mem.TypeDesc{Name: "a2", NumFields: 2, PtrFields: []int{0}}),
+			h.MustRegisterType(mem.TypeDesc{Name: "a5", NumFields: 5, PtrFields: []int{0, 1}}),
+			h.MustRegisterType(mem.TypeDesc{Name: "a13", NumFields: 13}),
+		}
+	}
+	body := func(b *testing.B, h *mem.Heap, types []mem.TypeID, next func() bool) {
+		var local []mem.Ref
+		i := 0
+		for next() {
+			if len(local) < 32 || i%3 != 0 {
+				r, err := h.Alloc(types[i%len(types)])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				local = append(local, r)
+			} else {
+				r := local[len(local)-1]
+				local = local[:len(local)-1]
+				if err := h.Free(r); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			i++
+		}
+		for _, r := range local {
+			_ = h.Free(r)
+		}
+	}
+	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d/g1", shards), func(b *testing.B) {
+			h := mem.NewHeap(mem.WithAllocShards(shards))
+			types := newTypes(h)
+			i := 0
+			body(b, h, types, func() bool { i++; return i <= b.N })
+		})
+		b.Run(fmt.Sprintf("shards=%d/g%d", shards, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			h := mem.NewHeap(mem.WithAllocShards(shards))
+			types := newTypes(h)
+			b.RunParallel(func(pb *testing.PB) {
+				body(b, h, types, pb.Next)
+			})
+			st := h.Stats()
+			if st.Corruptions != 0 || st.DoubleFrees != 0 {
+				b.Fatalf("heap damage: %d corruptions, %d double frees", st.Corruptions, st.DoubleFrees)
+			}
+		})
+	}
 }
 
 // TestMain gives the parallel benchmarks a few schedulable threads even on

@@ -1,6 +1,7 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2 — see DESIGN.md §4 and EXPERIMENTS.md) and prints one table per
-// experiment, in the same format EXPERIMENTS.md records.
+// A2, A3, L1, G1 — see DESIGN.md §4 and EXPERIMENTS.md) and prints one table
+// per experiment, in the same format EXPERIMENTS.md records. A3's notes
+// include the unified System.Stats snapshot as JSON.
 //
 // Usage:
 //
@@ -109,6 +110,9 @@ func run(args []string) error {
 	}
 	if want("A1") {
 		emit(workload.RunA1(*dur))
+	}
+	if want("A3") {
+		emit(workload.RunA3(*dur))
 	}
 	return nil
 }

@@ -1,10 +1,46 @@
 package lfrc
 
 import (
+	"sync/atomic"
+
+	"lfrc/internal/mem"
 	"lfrc/internal/msqueue"
 	"lfrc/internal/snark"
 	"lfrc/internal/stackrc"
 )
+
+// handle is the lifecycle state embedded in every structure wrapper: it
+// registers the structure's anchor as a tracing-collector root at creation
+// and deregisters it on the first Close.
+type handle struct {
+	sys    *System
+	anchor mem.Ref
+	closed atomic.Bool
+	drain  func()
+}
+
+// newHandle roots anchor with the collector and returns the handle that will
+// unroot it; drain is the structure's own teardown, run once by Close.
+func (s *System) newHandle(anchor mem.Ref, drain func()) handle {
+	if anchor != 0 {
+		s.collector.AddRoot(anchor)
+	}
+	return handle{sys: s, anchor: anchor, drain: drain}
+}
+
+// Close drains the structure and releases all of its memory. It must not run
+// concurrently with other operations on the structure, and the structure
+// must not be used afterwards. Closing an already-closed structure is a
+// no-op.
+func (h *handle) Close() {
+	if h.closed.Swap(true) {
+		return
+	}
+	if h.anchor != 0 {
+		h.sys.collector.RemoveRoot(h.anchor)
+	}
+	h.drain()
+}
 
 // DequeOption configures a Deque.
 type DequeOption interface {
@@ -31,8 +67,8 @@ func WithValueClaiming() DequeOption {
 
 // Deque is a GC-independent Snark lock-free double-ended queue.
 type Deque struct {
-	d   *snark.Deque
-	sys *System
+	d *snark.Deque
+	handle
 }
 
 // NewDeque creates an empty deque on this system.
@@ -45,12 +81,15 @@ func (s *System) NewDeque(opts ...DequeOption) (*Deque, error) {
 	if cfg.claiming {
 		sopts = append(sopts, snark.WithValueClaiming())
 	}
-	d, err := snark.New(s.rc, s.snarkTypes, sopts...)
+	ts, err := s.snarkTypes.get(s.heap, snark.RegisterTypes)
 	if err != nil {
 		return nil, err
 	}
-	s.collector.AddRoot(d.Anchor())
-	return &Deque{d: d, sys: s}, nil
+	d, err := snark.New(s.rc, ts, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Deque{d: d, handle: s.newHandle(d.Anchor(), d.Close)}, nil
 }
 
 // PushLeft prepends v. It fails only if v exceeds MaxValue or the heap is
@@ -69,30 +108,23 @@ func (d *Deque) PopLeft() (v Value, ok bool) { return d.d.PopLeft() }
 // deque is observed empty.
 func (d *Deque) PopRight() (v Value, ok bool) { return d.d.PopRight() }
 
-// Close drains the deque and releases all of its memory. It must not run
-// concurrently with other operations on this deque, and the deque must not
-// be used afterwards.
-func (d *Deque) Close() {
-	if d.d.Anchor() != 0 {
-		d.sys.collector.RemoveRoot(d.d.Anchor())
-	}
-	d.d.Close()
-}
-
 // Queue is a GC-independent Michael–Scott lock-free FIFO queue.
 type Queue struct {
-	q   *msqueue.Queue
-	sys *System
+	q *msqueue.Queue
+	handle
 }
 
 // NewQueue creates an empty queue on this system.
 func (s *System) NewQueue() (*Queue, error) {
-	q, err := msqueue.New(s.rc, s.queueTypes)
+	ts, err := s.queueTypes.get(s.heap, msqueue.RegisterTypes)
 	if err != nil {
 		return nil, err
 	}
-	s.collector.AddRoot(q.Anchor())
-	return &Queue{q: q, sys: s}, nil
+	q, err := msqueue.New(s.rc, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{q: q, handle: s.newHandle(q.Anchor(), q.Close)}, nil
 }
 
 // Enqueue appends v. It fails only if v exceeds the representable range or
@@ -103,29 +135,23 @@ func (q *Queue) Enqueue(v Value) error { return q.q.Enqueue(v) }
 // is observed empty.
 func (q *Queue) Dequeue() (v Value, ok bool) { return q.q.Dequeue() }
 
-// Close drains the queue and releases all of its memory. Same restrictions
-// as Deque.Close.
-func (q *Queue) Close() {
-	if q.q.Anchor() != 0 {
-		q.sys.collector.RemoveRoot(q.q.Anchor())
-	}
-	q.q.Close()
-}
-
 // Stack is a GC-independent Treiber lock-free stack.
 type Stack struct {
-	s   *stackrc.Stack
-	sys *System
+	s *stackrc.Stack
+	handle
 }
 
 // NewStack creates an empty stack on this system.
 func (s *System) NewStack() (*Stack, error) {
-	st, err := stackrc.New(s.rc, s.stackTypes)
+	ts, err := s.stackTypes.get(s.heap, stackrc.RegisterTypes)
 	if err != nil {
 		return nil, err
 	}
-	s.collector.AddRoot(st.Anchor())
-	return &Stack{s: st, sys: s}, nil
+	st, err := stackrc.New(s.rc, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{s: st, handle: s.newHandle(st.Anchor(), st.Close)}, nil
 }
 
 // Push places v on top of the stack.
@@ -134,12 +160,3 @@ func (s *Stack) Push(v Value) error { return s.s.Push(v) }
 // Pop removes and returns the top value; ok is false when the stack is
 // observed empty.
 func (s *Stack) Pop() (v Value, ok bool) { return s.s.Pop() }
-
-// Close drains the stack and releases all of its memory. Same restrictions
-// as Deque.Close.
-func (s *Stack) Close() {
-	if s.s.Anchor() != 0 {
-		s.sys.collector.RemoveRoot(s.s.Anchor())
-	}
-	s.s.Close()
-}

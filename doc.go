@@ -15,12 +15,14 @@
 //   - Deque: the Snark DCAS-based lock-free double-ended queue, the paper's
 //     worked example (Figure 1, right column);
 //   - Queue: a Michael–Scott FIFO queue;
-//   - Stack: a Treiber stack.
+//   - Stack: a Treiber stack;
+//   - Set: a DCAS-based sorted set (an extension beyond the paper).
 //
-// All three reclaim their nodes with reference counts: memory consumption
+// All four reclaim their nodes with reference counts: memory consumption
 // grows and shrinks with the structure's contents, no thread is ever blocked
 // by another thread's delay, and a structure's Close tears it down to zero
-// live objects.
+// live objects. Close is idempotent, and each structure family's heap types
+// are registered lazily the first time one is created.
 //
 // # Quick start
 //
@@ -30,8 +32,19 @@
 //	if err != nil { ... }
 //	d.PushRight(42)
 //	v, ok := d.PopLeft()
-//	d.Close()
-//	// sys.HeapStats().LiveObjects == 0
+//	d.Close() // safe to call again; later calls are no-ops
+//	// sys.Stats().Heap.LiveObjects == 0
+//
+// # Allocation and statistics
+//
+// The heap's allocator is striped across shards — per-shard free lists and
+// bump chunks — so allocation scales with parallelism; WithAllocShards
+// overrides the default of runtime.GOMAXPROCS shards (pin it for
+// reproducible benchmarks; values are clamped to [1, 64]). Stats returns the
+// system's whole accounting in one snapshot — heap counters, LFRC operation
+// counters, per-shard allocator state, and the deferred-reclamation
+// backlog — with stable JSON tags; HeapStats and RCStats remain as
+// deprecated slices of the same numbers.
 //
 // # Values
 //

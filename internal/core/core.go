@@ -24,10 +24,12 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"lfrc/internal/dcas"
 	"lfrc/internal/mem"
+	"lfrc/internal/stripe"
 )
 
 // RC provides the LFRC operations over one heap and one DCAS engine.
@@ -55,7 +57,10 @@ type RC struct {
 	LoadHook  func(v mem.Ref)
 	NaiveHook func(v mem.Ref)
 
-	stats opCounters
+	// stats is striped across cache-line-padded counter blocks so hot
+	// operations on different goroutines don't contend on one line;
+	// snapshots sum across stripes.
+	stats []opStripe
 }
 
 // Option configures an RC.
@@ -72,12 +77,19 @@ func WithIncrementalDestroy(budget int) Option {
 
 // New creates an RC over the given heap and engine.
 func New(h *mem.Heap, e dcas.Engine, opts ...Option) *RC {
-	rc := &RC{h: h, e: e}
+	rc := &RC{
+		h:     h,
+		e:     e,
+		stats: make([]opStripe, stripe.Clamp(0, runtime.GOMAXPROCS(0))),
+	}
 	for _, o := range opts {
 		o(rc)
 	}
 	return rc
 }
+
+// st routes the calling goroutine to a counter stripe.
+func (rc *RC) st() *opStripe { return &rc.stats[stripe.Hint(len(rc.stats))] }
 
 // Heap returns the underlying heap (for address computation and stats).
 func (rc *RC) Heap() *mem.Heap { return rc.h }
@@ -93,7 +105,7 @@ func (rc *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
 	if err != nil {
 		return 0, err
 	}
-	rc.stats.allocs.Add(1)
+	rc.st().allocs.Add(1)
 	return r, nil
 }
 
@@ -117,9 +129,9 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 			*dest = v
 			break
 		}
-		rc.stats.loadRetries.Add(1)
+		rc.st().loadRetries.Add(1)
 	}
-	rc.stats.loads.Add(1)
+	rc.st().loads.Add(1)
 	rc.Destroy(olddest)
 }
 
@@ -146,9 +158,9 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 			break
 		}
 		rc.addToRC(v, -1)
-		rc.stats.loadRetries.Add(1)
+		rc.st().loadRetries.Add(1)
 	}
-	rc.stats.loads.Add(1)
+	rc.st().loads.Add(1)
 	rc.Destroy(olddest)
 }
 
@@ -162,7 +174,7 @@ func (rc *RC) Store(a mem.Addr, v mem.Ref) {
 	for {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
-			rc.stats.stores.Add(1)
+			rc.st().stores.Add(1)
 			rc.Destroy(old)
 			return
 		}
@@ -178,7 +190,7 @@ func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
 	for {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
-			rc.stats.stores.Add(1)
+			rc.st().stores.Add(1)
 			rc.Destroy(old)
 			return
 		}
@@ -193,7 +205,7 @@ func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
 	}
 	old := *v
 	*v = w
-	rc.stats.copies.Add(1)
+	rc.st().copies.Add(1)
 	rc.Destroy(old)
 }
 
@@ -203,7 +215,7 @@ func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 	if new != 0 {
 		rc.addToRC(new, 1)
 	}
-	rc.stats.casOps.Add(1)
+	rc.st().casOps.Add(1)
 	if rc.e.CAS(a, uint64(old), uint64(new)) {
 		rc.Destroy(old)
 		return true
@@ -223,7 +235,7 @@ func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 	if new1 != 0 {
 		rc.addToRC(new1, 1)
 	}
-	rc.stats.dcasOps.Add(1)
+	rc.st().dcasOps.Add(1)
 	if rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
 		rc.Destroy(old0, old1)
 		return true
@@ -243,7 +255,7 @@ func (rc *RC) Destroy(vs ...mem.Ref) {
 		if v == 0 {
 			continue
 		}
-		rc.stats.destroys.Add(1)
+		rc.st().destroys.Add(1)
 		if rc.addToRC(v, -1) == 1 {
 			stack = append(stack, v)
 		}
@@ -276,16 +288,16 @@ func (rc *RC) reclaim(stack []mem.Ref, budget int) int {
 				if c == 0 {
 					continue
 				}
-				rc.stats.destroys.Add(1)
+				rc.st().destroys.Add(1)
 				if rc.addToRC(c, -1) == 1 {
 					stack = append(stack, c)
 				}
 			}
 		}
 		if err := rc.h.Free(p); err != nil {
-			rc.stats.freeErrors.Add(1)
+			rc.st().freeErrors.Add(1)
 		} else {
-			rc.stats.frees.Add(1)
+			rc.st().frees.Add(1)
 		}
 		processed++
 	}
@@ -323,7 +335,7 @@ func (rc *RC) pushZombie(p mem.Ref) {
 		rc.h.Store(rc.h.AuxAddr(p), old&0xFFFF_FFFF)
 		if rc.zombieHead.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(p)) {
 			rc.zombieCount.Add(1)
-			rc.stats.zombiePushes.Add(1)
+			rc.st().zombiePushes.Add(1)
 			return
 		}
 	}
@@ -358,7 +370,7 @@ func (rc *RC) addToRC(p mem.Ref, v int64) uint64 {
 	for {
 		old := rc.e.Read(a)
 		if old >= mem.Poison && old <= mem.Poison+8 {
-			rc.stats.poisonedRCUpdates.Add(1)
+			rc.st().poisonedRCUpdates.Add(1)
 		}
 		if rc.e.CAS(a, old, uint64(int64(old)+v)) {
 			return old
@@ -380,8 +392,9 @@ func (rc *RC) WordStore(a mem.Addr, v uint64) { rc.e.Write(a, v) }
 // WordCAS compare-and-swaps a non-pointer (scalar) cell through the engine.
 func (rc *RC) WordCAS(a mem.Addr, old, new uint64) bool { return rc.e.CAS(a, old, new) }
 
-// opCounters holds the RC's atomic accounting.
-type opCounters struct {
+// opStripe is one stripe of the RC's atomic accounting, padded out to a
+// cache-line multiple so neighbouring stripes never false-share.
+type opStripe struct {
 	allocs            atomic.Int64
 	loads             atomic.Int64
 	loadRetries       atomic.Int64
@@ -394,6 +407,7 @@ type opCounters struct {
 	freeErrors        atomic.Int64
 	zombiePushes      atomic.Int64
 	poisonedRCUpdates atomic.Int64
+	_                 [32]byte
 }
 
 // Stats is a snapshot of LFRC operation counters.
@@ -417,20 +431,23 @@ type Stats struct {
 	PoisonedRCUpdates int64
 }
 
-// Stats returns a snapshot of the RC's counters.
+// Stats returns a snapshot of the RC's counters, summed across stripes.
 func (rc *RC) Stats() Stats {
-	return Stats{
-		Allocs:            rc.stats.allocs.Load(),
-		Frees:             rc.stats.frees.Load(),
-		FreeErrors:        rc.stats.freeErrors.Load(),
-		Loads:             rc.stats.loads.Load(),
-		LoadRetries:       rc.stats.loadRetries.Load(),
-		Stores:            rc.stats.stores.Load(),
-		Copies:            rc.stats.copies.Load(),
-		CASOps:            rc.stats.casOps.Load(),
-		DCASOps:           rc.stats.dcasOps.Load(),
-		Destroys:          rc.stats.destroys.Load(),
-		ZombiePushes:      rc.stats.zombiePushes.Load(),
-		PoisonedRCUpdates: rc.stats.poisonedRCUpdates.Load(),
+	var s Stats
+	for i := range rc.stats {
+		st := &rc.stats[i]
+		s.Allocs += st.allocs.Load()
+		s.Frees += st.frees.Load()
+		s.FreeErrors += st.freeErrors.Load()
+		s.Loads += st.loads.Load()
+		s.LoadRetries += st.loadRetries.Load()
+		s.Stores += st.stores.Load()
+		s.Copies += st.copies.Load()
+		s.CASOps += st.casOps.Load()
+		s.DCASOps += st.dcasOps.Load()
+		s.Destroys += st.destroys.Load()
+		s.ZombiePushes += st.zombiePushes.Load()
+		s.PoisonedRCUpdates += st.poisonedRCUpdates.Load()
 	}
+	return s
 }

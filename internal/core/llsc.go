@@ -74,7 +74,7 @@ func (rc *RC) DCASMixed(a0 mem.Addr, old0, new0 mem.Ref, a1 mem.Addr, old1, new1
 	if new0 != 0 {
 		rc.addToRC(new0, 1)
 	}
-	rc.stats.dcasOps.Add(1)
+	rc.st().dcasOps.Add(1)
 	if rc.e.DCAS(a0, a1, uint64(old0), old1, uint64(new0), new1) {
 		rc.Destroy(old0)
 		return true

@@ -7,10 +7,13 @@ import "fmt"
 // paper's convention that a constructor counts the pointer returned by new),
 // null pointer fields, and zeroed scalar fields.
 //
-// Alloc first tries the lock-free free list for the type's size class and
-// falls back to bump allocation. When recycling, it verifies that the slot's
-// poison pattern is intact; a damaged pattern means some thread wrote to
-// freed memory, and is recorded in Stats().Corruptions.
+// Alloc recycles before it carves: it tries the calling goroutine's shard
+// free list for the type's size class, then the global overflow list (refilling
+// the shard with a batch), then sibling shards, and only then bumps the
+// shard's chunk — claiming a fresh slab from the arena when the chunk is
+// spent. When recycling, it verifies that the slot's poison pattern is
+// intact; a damaged pattern means some thread wrote to freed memory, and is
+// recorded in Stats().Corruptions.
 func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	if uint32(t) >= h.typeCount.Load() {
 		return 0, fmt.Errorf("%w: unknown type id %d", ErrBadType, t)
@@ -18,21 +21,33 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	d := h.typeOf(t)
 	size := d.size()
 
-	r, recycled := h.popFree(size)
+	idx := h.shardIndex()
+	sh := &h.shards[idx]
+	st := &h.stats[idx]
+
+	r, recycled := sh.popLocal(h, size)
+	if !recycled {
+		r, recycled = h.popGlobal(sh, size)
+	}
+	if !recycled {
+		r, recycled = h.stealFree(idx, size)
+	}
 	if !recycled {
 		var err error
-		r, err = h.bump(size)
+		r, err = h.shardBump(sh, size)
 		if err != nil {
+			st.allocFailures.Add(1)
 			return 0, err
 		}
 	}
 
 	gen := uint32(1)
 	if recycled {
+		st.recycles.Add(1)
 		old := h.Load(r)
 		gen = headerGen(old) + 1
 		if h.poisonCheck {
-			h.checkPoison(r, size)
+			h.checkPoison(r, size, st)
 		}
 	}
 
@@ -45,9 +60,9 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	h.Store(h.RCAddr(r), 1)
 	h.Store(r, packHeader(size, t, false, gen))
 
-	h.stats.allocs.Add(1)
-	h.stats.liveObjects.Add(1)
-	h.stats.liveWords.Add(int64(size))
+	st.allocs.Add(1)
+	st.liveObjects.Add(1)
+	st.liveWords.Add(int64(size))
 	return r, nil
 }
 
@@ -61,15 +76,19 @@ func (h *Heap) MustAlloc(t TypeID) Ref {
 	return r
 }
 
-// Free returns the object at r to its size class's free list. The rc cell
-// and payload cells are poisoned, and the freed bit is set with CAS so a
-// concurrent double free is detected rather than corrupting the free list.
+// Free returns the object at r to the calling goroutine's shard free list.
+// The rc cell and payload cells are poisoned, and the freed bit is set with
+// CAS so a concurrent double free is detected rather than corrupting the
+// free list.
 //
 // Free does not consult or require a zero reference count: that policy
 // belongs to package core (LFRCDestroy). Freeing an object that other
 // threads still reference will surface as poison corruption — which is the
 // behaviour the paper's methodology exists to prevent.
 func (h *Heap) Free(r Ref) error {
+	idx := h.shardIndex()
+	st := &h.stats[idx]
+
 	if r == 0 || !h.InArena(r) {
 		return fmt.Errorf("%w: %#x", ErrBadRef, r)
 	}
@@ -80,7 +99,7 @@ func (h *Heap) Free(r Ref) error {
 			return fmt.Errorf("%w: %#x has no object header", ErrBadRef, r)
 		}
 		if headerFreed(hdr) {
-			h.stats.doubleFrees.Add(1)
+			st.doubleFrees.Add(1)
 			return ErrDoubleFree
 		}
 		if h.CAS(r, hdr, hdr|hdrFreedBit) {
@@ -94,16 +113,16 @@ func (h *Heap) Free(r Ref) error {
 		h.Store(a, Poison)
 	}
 
-	h.stats.frees.Add(1)
-	h.stats.liveObjects.Add(-1)
-	h.stats.liveWords.Add(-int64(size))
-	h.pushFree(r, size)
+	st.frees.Add(1)
+	st.liveObjects.Add(-1)
+	st.liveWords.Add(-int64(size))
+	h.shards[idx].pushLocal(h, r, size)
 	return nil
 }
 
 // checkPoison verifies a recycled slot's poison words and repairs any damage
 // so corruption is counted once, not compounded.
-func (h *Heap) checkPoison(r Ref, size int) {
+func (h *Heap) checkPoison(r Ref, size int, st *statStripe) {
 	damaged := false
 	if h.Load(h.RCAddr(r)) != Poison {
 		damaged = true
@@ -114,65 +133,6 @@ func (h *Heap) checkPoison(r Ref, size int) {
 		}
 	}
 	if damaged {
-		h.stats.corruptions.Add(1)
-	}
-}
-
-// pushFree links the freed slot into the Treiber stack for its size class.
-// The slot's aux word holds the next link; the stack head packs a pop
-// counter in its high 32 bits to defeat ABA.
-func (h *Heap) pushFree(r Ref, size int) {
-	head := &h.freeLists[size]
-	for {
-		old := head.Load()
-		h.Store(h.AuxAddr(r), uint64(old&0xFFFF_FFFF))
-		if head.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(r)) {
-			return
-		}
-	}
-}
-
-// popFree pops a slot from the size class's free list.
-func (h *Heap) popFree(size int) (Ref, bool) {
-	head := &h.freeLists[size]
-	for {
-		old := head.Load()
-		r := Ref(old & 0xFFFF_FFFF)
-		if r == 0 {
-			return 0, false
-		}
-		next := h.Load(h.AuxAddr(r)) & 0xFFFF_FFFF
-		cnt := (old >> 32) + 1
-		if head.CompareAndSwap(old, cnt<<32|next) {
-			h.stats.recycles.Add(1)
-			return r, true
-		}
-	}
-}
-
-// bump carves size words from the arena, never splitting an object across a
-// segment boundary.
-func (h *Heap) bump(size int) (Ref, error) {
-	for {
-		n := h.next.Load()
-		start := n
-		if start>>segBits != (start+uint64(size)-1)>>segBits {
-			start = (start>>segBits + 1) << segBits
-		}
-		end := start + uint64(size)
-		if end > h.limit {
-			h.stats.allocFailures.Add(1)
-			return 0, ErrOutOfMemory
-		}
-		if h.next.CompareAndSwap(n, end) {
-			h.ensureSegment(uint32(start >> segBits))
-			for {
-				hw := h.stats.highWater.Load()
-				if int64(end) <= hw || h.stats.highWater.CompareAndSwap(hw, int64(end)) {
-					break
-				}
-			}
-			return Ref(start), nil
-		}
+		st.corruptions.Add(1)
 	}
 }

@@ -2,8 +2,11 @@ package mem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"lfrc/internal/stripe"
 )
 
 const (
@@ -23,13 +26,18 @@ type segment [segWords]uint64
 // unless noted otherwise; cell accesses are individually atomic.
 type Heap struct {
 	segs  [maxSegs]atomic.Pointer[segment]
-	next  atomic.Uint64 // bump pointer (word index)
+	next  atomic.Uint64 // bump pointer (word index); advances one slab at a time
 	limit uint64        // arena size in words
 
-	// Free lists, one Treiber stack per object size in words. The head
-	// packs a 32-bit pop counter (high) and a 32-bit object address
-	// (low); the counter defeats ABA on pop.
-	freeLists [maxObjWords + 1]atomic.Uint64
+	// shards stripe the allocator: per-shard free lists and bump chunks.
+	// Goroutines are routed by stripe.Hint; see shard.go.
+	shards []allocShard
+
+	// global holds the overflow free lists shards migrate to and refill
+	// from, one Treiber stack per object size; globalFree tracks their
+	// total occupancy.
+	global     [maxObjWords + 1]freeStack
+	globalFree atomic.Int64
 
 	typeMu    sync.Mutex
 	typeCount atomic.Uint32
@@ -37,7 +45,11 @@ type Heap struct {
 
 	poisonCheck bool
 
-	stats statCounters
+	// stats is striped in lockstep with shards (stats[i] counts work
+	// routed to shards[i]); highWater is global but updated only once per
+	// slab claim.
+	stats     []statStripe
+	highWater atomic.Int64
 }
 
 // Option configures a Heap.
@@ -46,6 +58,7 @@ type Option func(*heapConfig)
 type heapConfig struct {
 	maxWords    uint64
 	poisonCheck bool
+	allocShards int
 }
 
 // WithMaxWords caps the arena at n 64-bit words. The default is 64Mi words
@@ -59,6 +72,14 @@ func WithMaxWords(n uint64) Option {
 // check is how experiment E1 observes use-after-free corruption.
 func WithPoisonCheck(on bool) Option {
 	return func(c *heapConfig) { c.poisonCheck = on }
+}
+
+// WithAllocShards sets the number of allocation shards — per-shard free
+// lists and bump chunks — the heap stripes its allocator across. The default
+// is runtime.GOMAXPROCS(0); values are clamped to [1, 64]. Pin it explicitly
+// for reproducible benchmarks.
+func WithAllocShards(n int) Option {
+	return func(c *heapConfig) { c.allocShards = n }
 }
 
 // NewHeap creates an empty heap.
@@ -76,14 +97,24 @@ func NewHeap(opts ...Option) *Heap {
 	if cfg.maxWords < segWords {
 		cfg.maxWords = segWords
 	}
+	shards := stripe.Clamp(cfg.allocShards, runtime.GOMAXPROCS(0))
 	h := &Heap{
 		limit:       cfg.maxWords,
 		poisonCheck: cfg.poisonCheck,
+		shards:      make([]allocShard, shards),
+		stats:       make([]statStripe, shards),
 	}
 	h.next.Store(firstAddr)
 	h.ensureSegment(0)
 	return h
 }
+
+// Shards reports the number of allocation shards the heap was built with.
+func (h *Heap) Shards() int { return len(h.shards) }
+
+// shardIndex routes the calling goroutine to an allocation shard (and its
+// stat stripe). A locality hint only: any goroutine may touch any shard.
+func (h *Heap) shardIndex() int { return stripe.Hint(len(h.shards)) }
 
 // ensureSegment lazily installs the backing array for segment i.
 func (h *Heap) ensureSegment(i uint32) *segment {
@@ -199,22 +230,18 @@ func (h *Heap) InArena(a Addr) bool {
 // in address order, until fn returns false. The heap must be quiescent (no
 // concurrent allocation) for the traversal to be coherent; it exists for the
 // stop-the-world tracing collector and the invariant auditors.
+//
+// Words below the global cursor that hold no object — unfilled shard-chunk
+// tails, remainders abandoned on refill, slivers skipped at segment
+// boundaries — were never written and still read zero, whose size field is
+// invalid; Walk steps over them word by word.
 func (h *Heap) Walk(fn func(r Ref, freed bool) bool) {
 	end := h.next.Load()
-	a := uint64(firstAddr)
-	for a < end {
-		// Bump allocation never splits an object across a segment
-		// boundary; skip any tail padding.
-		if seg := a >> segBits; (a+HeaderWords-1)>>segBits != seg {
-			a = (seg + 1) << segBits
-			continue
-		}
+	for a := uint64(firstAddr); a < end; {
 		hdr := h.Load(Addr(a))
 		size := headerSize(hdr)
 		if size < HeaderWords || size > maxObjWords {
-			// Padding before a segment boundary (never written) or
-			// a slot caught mid-carve; skip to the next segment.
-			a = (a>>segBits + 1) << segBits
+			a++
 			continue
 		}
 		if !fn(Ref(a), headerFreed(hdr)) {

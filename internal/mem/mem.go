@@ -12,9 +12,13 @@
 //   - Objects are typed, fixed-size records of cells: a three-word header
 //     (packed metadata, reference count, aux/free-link) followed by the
 //     payload fields declared by a TypeDesc.
-//   - Allocation is lock-free: per-size free lists (Treiber stacks whose head
-//     words pack an index and a pop counter to defeat ABA) with bump
-//     allocation from the arena as fallback.
+//   - Allocation is lock-free and sharded: each shard owns per-size free
+//     lists (Treiber stacks whose head words pack an index and a pop counter
+//     to defeat ABA) and a private bump chunk claimed from the arena one slab
+//     at a time, so the hot path never contends on a global head or cursor.
+//     Shards overflow surplus freed slots to a global list and refill from
+//     it, and a local miss still recycles — global list, then sibling
+//     shards — before carving new arena words.
 //   - Free poisons the reference-count cell and payload cells and sets a
 //     freed bit. Alloc verifies the poison is intact; a damaged poison word
 //     means some thread wrote to freed memory — precisely the corruption the

@@ -2,17 +2,19 @@ package mem
 
 import "sync/atomic"
 
-// statCounters holds the heap's atomic accounting.
-type statCounters struct {
+// statStripe is one stripe of heap accounting, padded to a cache line so
+// stripes on different shards never false-share. Heap.stats holds one stripe
+// per allocation shard; snapshots sum across stripes.
+type statStripe struct {
 	allocs        atomic.Int64
 	frees         atomic.Int64
 	recycles      atomic.Int64
 	liveObjects   atomic.Int64
 	liveWords     atomic.Int64
-	highWater     atomic.Int64
 	doubleFrees   atomic.Int64
 	corruptions   atomic.Int64
 	allocFailures atomic.Int64
+	_             [64]byte
 }
 
 // Stats is a point-in-time snapshot of heap accounting. Individual counters
@@ -32,7 +34,8 @@ type Stats struct {
 	// footprint.
 	LiveObjects, LiveWords int64
 
-	// HighWater is the largest arena extent ever carved, in words.
+	// HighWater is the largest arena extent ever carved, in words. Slabs
+	// are claimed whole, so it rounds up to the last slab boundary.
 	HighWater int64
 
 	// DoubleFrees counts Free calls on already-freed objects.
@@ -46,17 +49,82 @@ type Stats struct {
 	AllocFailures int64
 }
 
-// Stats returns a snapshot of the heap's counters.
+// Stats returns a snapshot of the heap's counters, summed across stripes.
 func (h *Heap) Stats() Stats {
-	return Stats{
-		Allocs:        h.stats.allocs.Load(),
-		Frees:         h.stats.frees.Load(),
-		Recycles:      h.stats.recycles.Load(),
-		LiveObjects:   h.stats.liveObjects.Load(),
-		LiveWords:     h.stats.liveWords.Load(),
-		HighWater:     h.stats.highWater.Load(),
-		DoubleFrees:   h.stats.doubleFrees.Load(),
-		Corruptions:   h.stats.corruptions.Load(),
-		AllocFailures: h.stats.allocFailures.Load(),
+	var s Stats
+	for i := range h.stats {
+		st := &h.stats[i]
+		s.Allocs += st.allocs.Load()
+		s.Frees += st.frees.Load()
+		s.Recycles += st.recycles.Load()
+		s.LiveObjects += st.liveObjects.Load()
+		s.LiveWords += st.liveWords.Load()
+		s.DoubleFrees += st.doubleFrees.Load()
+		s.Corruptions += st.corruptions.Load()
+		s.AllocFailures += st.allocFailures.Load()
 	}
+	s.HighWater = h.highWater.Load()
+	return s
+}
+
+// ShardStats describes one allocation shard's activity and current holdings.
+type ShardStats struct {
+	// Allocs, Frees and Recycles count operations routed to this shard.
+	Allocs, Frees, Recycles int64
+
+	// FreeListed is the approximate number of freed slots currently parked
+	// on the shard's local free lists, across all size classes.
+	FreeListed int64
+
+	// ChunkFree is the number of unfilled words left in the shard's
+	// current bump chunk.
+	ChunkFree int64
+}
+
+// AllocStats describes the sharded allocator's configuration and per-shard
+// state. Like Stats it is a racy snapshot; take it at quiescence when exact
+// numbers matter.
+type AllocStats struct {
+	// Shards is the configured shard count.
+	Shards int
+
+	// FillTarget is the per-shard, per-size free-list fill target; shards
+	// overflow to the global list at twice this occupancy.
+	FillTarget int
+
+	// GlobalFreeListed is the number of freed slots currently parked on
+	// the heap's global overflow lists.
+	GlobalFreeListed int64
+
+	// PerShard holds one entry per shard, in shard order.
+	PerShard []ShardStats
+}
+
+// AllocStats returns a snapshot of the sharded allocator's state.
+func (h *Heap) AllocStats() AllocStats {
+	a := AllocStats{
+		Shards:           len(h.shards),
+		FillTarget:       shardFillTarget,
+		GlobalFreeListed: h.globalFree.Load(),
+		PerShard:         make([]ShardStats, len(h.shards)),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		st := &h.stats[i]
+		var listed int64
+		for size := range sh.counts {
+			if n := sh.counts[size].Load(); n > 0 {
+				listed += int64(n)
+			}
+		}
+		ce := sh.chunk.Load()
+		a.PerShard[i] = ShardStats{
+			Allocs:     st.allocs.Load(),
+			Frees:      st.frees.Load(),
+			Recycles:   st.recycles.Load(),
+			FreeListed: listed,
+			ChunkFree:  int64(ce>>32) - int64(ce&0xFFFF_FFFF),
+		}
+	}
+	return a
 }

@@ -1,0 +1,48 @@
+// Package stripe provides the striping hint shared by the heap's sharded
+// allocator and the striped statistic counters.
+//
+// Go exposes no goroutine or processor identity, so perfectly pinning a
+// goroutine to a stripe is impossible without runtime hacks. Hint instead
+// hashes the address of a stack variable: goroutines run on distinct stacks,
+// so concurrent callers spread across stripes without touching any shared
+// state — the whole point of striping is to avoid a shared cache line, and a
+// shared round-robin cursor would reintroduce one.
+package stripe
+
+import "unsafe"
+
+// MaxStripes bounds stripe counts so hint distribution stays meaningful and
+// padded counter arrays stay small.
+const MaxStripes = 64
+
+// Clamp normalizes a requested stripe count to [1, MaxStripes], mapping
+// n <= 0 to fallback (itself clamped).
+func Clamp(n, fallback int) int {
+	if n <= 0 {
+		n = fallback
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxStripes {
+		n = MaxStripes
+	}
+	return n
+}
+
+// Hint returns a cheap quasi-per-goroutine index in [0, n). The value is
+// stable while a goroutine's stack stays put and its call depth is fixed; it
+// may change across stack growth or different call paths. Callers must treat
+// it as a locality hint only, never as an identity: any stripe may be
+// touched by any goroutine.
+func Hint(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b byte
+	p := uint64(uintptr(unsafe.Pointer(&b)))
+	// Fibonacci hashing; the low bits are frame alignment, so mix from the
+	// middle of the word.
+	h := (p >> 4) * 0x9E3779B97F4A7C15
+	return int((h >> 33) % uint64(n))
+}

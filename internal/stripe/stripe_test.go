@@ -1,0 +1,70 @@
+package stripe
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		n, fallback, want int
+	}{
+		{n: 0, fallback: 4, want: 4},
+		{n: -3, fallback: 8, want: 8},
+		{n: 1, fallback: 4, want: 1},
+		{n: 16, fallback: 4, want: 16},
+		{n: MaxStripes + 1, fallback: 4, want: MaxStripes},
+		{n: 0, fallback: 0, want: 1},
+		{n: 0, fallback: MaxStripes * 2, want: MaxStripes},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.n, tt.fallback); got != tt.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", tt.n, tt.fallback, got, tt.want)
+		}
+	}
+}
+
+func TestHintInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64} {
+		for i := 0; i < 100; i++ {
+			if h := Hint(n); h < 0 || h >= n {
+				t.Fatalf("Hint(%d) = %d out of range", n, h)
+			}
+		}
+	}
+}
+
+func TestHintStableWithinCall(t *testing.T) {
+	// Same goroutine, same call site: the hint must not flap between
+	// consecutive calls (stack in place, depth fixed).
+	first := Hint(64)
+	for i := 0; i < 1000; i++ {
+		if got := Hint(64); got != first {
+			t.Fatalf("Hint flapped from %d to %d at iteration %d", first, got, i)
+		}
+	}
+}
+
+func TestHintSpreadsAcrossGoroutines(t *testing.T) {
+	// Distinct goroutines run on distinct stacks; with many goroutines the
+	// hints must not all collapse onto a single stripe.
+	const n = 64
+	const goroutines = 64
+	hints := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hints[g] = Hint(n)
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, h := range hints {
+		seen[h] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 goroutines all hashed to stripe set %v; hint does not spread", seen)
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lfrc"
+)
+
+// RunA3 measures the sharded allocation fast path end to end, through the
+// public System API. The workload is deliberately allocator-bound: each
+// worker pushes a burst onto a shared Treiber stack (every push allocates a
+// node) and then pops it back (every pop frees one), so free-list and bump
+// traffic dominate. The sweep contrasts one allocation shard — the old
+// single-free-list, global-cursor layout — against GOMAXPROCS shards, on
+// both engines, from 1 worker up to GOMAXPROCS workers.
+//
+// Safety is checked, not assumed: after each cell the stack is closed and
+// the run fails loudly unless allocs equal frees, nothing was double-freed
+// or corrupted, and System.Audit comes back clean. The notes embed the
+// unified System.Stats JSON for the busiest sharded cell, which is also what
+// cmd/lfrcbench prints — one stats surface for humans and tools.
+func RunA3(dur time.Duration) *Table {
+	procs := runtime.GOMAXPROCS(0)
+	t := &Table{
+		ID:     "A3",
+		Title:  "sharded allocation fast path: alloc-heavy push/pop throughput",
+		Claim:  "striping free lists and the bump cursor across shards removes the allocator's shared CAS hot spots without weakening the heap's safety checks",
+		Header: []string{"engine", "workers", "shards", "ops/sec", "recycle %", "steal-free ok"},
+	}
+
+	workerCounts := []int{}
+	for w := 1; w <= procs; w *= 2 {
+		workerCounts = append(workerCounts, w)
+	}
+	if last := workerCounts[len(workerCounts)-1]; last != procs {
+		workerCounts = append(workerCounts, procs)
+	}
+
+	var busiestStats string
+	for _, kind := range Engines {
+		for _, workers := range workerCounts {
+			for _, shards := range []int{1, procs} {
+				ops, stats, err := runA3Cell(kind, workers, shards, dur)
+				if err != nil {
+					t.Notes = append(t.Notes, fmt.Sprintf("engine=%s workers=%d shards=%d FAILED: %v", kind, workers, shards, err))
+					continue
+				}
+				recyclePct := 0.0
+				if stats.Heap.Allocs > 0 {
+					recyclePct = 100 * float64(stats.Heap.Recycles) / float64(stats.Heap.Allocs)
+				}
+				safe := stats.Heap.Allocs == stats.Heap.Frees &&
+					stats.Heap.DoubleFrees == 0 && stats.Heap.Corruptions == 0
+				t.AddRow(kind.String(), workers, shards,
+					float64(ops)/dur.Seconds(),
+					fmt.Sprintf("%.1f%%", recyclePct),
+					safe)
+				if kind == EngineLocking && workers == procs && shards == procs {
+					if raw, err := json.Marshal(stats); err == nil {
+						busiestStats = string(raw)
+					}
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d; shards=1 reproduces the pre-sharding allocator layout (one free list per size, every bump on the global cursor)", procs),
+		"every cell verifies allocs==frees, zero double frees, zero poison corruptions, and a clean System.Audit before being reported",
+	)
+	if busiestStats != "" {
+		t.Notes = append(t.Notes, "unified System.Stats (locking engine, busiest sharded cell): "+busiestStats)
+	}
+	return t
+}
+
+// runA3Cell runs one configuration and returns total push+pop operations and
+// the system's final stats snapshot.
+func runA3Cell(kind EngineKind, workers, shards int, dur time.Duration) (int64, lfrc.Stats, error) {
+	var engine lfrc.Engine
+	switch kind {
+	case EngineMCAS:
+		engine = lfrc.EngineMCAS
+	default:
+		engine = lfrc.EngineLocking
+	}
+	sys, err := lfrc.New(lfrc.WithEngine(engine), lfrc.WithAllocShards(shards))
+	if err != nil {
+		return 0, lfrc.Stats{}, err
+	}
+	st, err := sys.NewStack()
+	if err != nil {
+		return 0, lfrc.Stats{}, err
+	}
+
+	const burst = 64
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		ops  atomic.Int64
+		werr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n int64
+			for !stop.Load() {
+				for i := 0; i < burst; i++ {
+					if err := st.Push(lfrc.Value(w)<<32 | lfrc.Value(i)); err != nil {
+						werr.Store(err)
+						stop.Store(true)
+						return
+					}
+				}
+				for i := 0; i < burst; i++ {
+					if _, ok := st.Pop(); !ok {
+						break
+					}
+				}
+				n += 2 * burst
+			}
+			ops.Add(n)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if err, _ := werr.Load().(error); err != nil {
+		return 0, lfrc.Stats{}, err
+	}
+
+	st.Close()
+	st.Close() // idempotence is part of the contract under test
+
+	stats := sys.Stats()
+	if stats.Heap.Allocs != stats.Heap.Frees+stats.Heap.LiveObjects {
+		return 0, stats, fmt.Errorf("conservation violated: allocs %d != frees %d + live %d",
+			stats.Heap.Allocs, stats.Heap.Frees, stats.Heap.LiveObjects)
+	}
+	if stats.Heap.LiveObjects != 0 {
+		return 0, stats, fmt.Errorf("%d objects leaked after Close", stats.Heap.LiveObjects)
+	}
+	if stats.Heap.DoubleFrees != 0 || stats.Heap.Corruptions != 0 {
+		return 0, stats, fmt.Errorf("heap damage: %d double frees, %d corruptions",
+			stats.Heap.DoubleFrees, stats.Heap.Corruptions)
+	}
+	if audit := sys.Audit(); len(audit) != 0 {
+		return 0, stats, fmt.Errorf("audit: %v", audit)
+	}
+	return ops.Load(), stats, nil
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunA3Quick(t *testing.T) {
+	tab := RunA3(20 * time.Millisecond)
+	if tab.ID != "A3" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "FAILED") {
+			t.Errorf("cell failed: %s", note)
+		}
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		if got := row[len(row)-1]; got != "true" {
+			t.Errorf("row %v: safety column = %q, want true", row, got)
+		}
+	}
+	out := tab.String()
+	if !strings.Contains(out, "unified System.Stats") || !strings.Contains(out, `"alloc"`) {
+		t.Errorf("notes should embed the unified Stats JSON; got:\n%s", out)
+	}
+}

@@ -8,15 +8,13 @@ import "lfrc/internal/dlist"
 // paper did not itself transform, using the mixed pointer/scalar DCAS
 // extension its §2.1 anticipates.
 type Set struct {
-	l   *dlist.List
-	sys *System
+	l *dlist.List
+	handle
 }
 
 // NewSet creates an empty set on this system.
 func (s *System) NewSet() (*Set, error) {
-	// The set's types are registered lazily: most systems never create
-	// one, and type registration is idempotent per System via setTypes.
-	ts, err := s.setTypesOnce()
+	ts, err := s.setTypes.get(s.heap, dlist.RegisterTypes)
 	if err != nil {
 		return nil, err
 	}
@@ -24,8 +22,7 @@ func (s *System) NewSet() (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.collector.AddRoot(l.Anchor())
-	return &Set{l: l, sys: s}, nil
+	return &Set{l: l, handle: s.newHandle(l.Anchor(), l.Close)}, nil
 }
 
 // Insert adds k to the set; it returns false (and no error) if k was
@@ -47,11 +44,3 @@ func (st *Set) Len() int { return st.l.Len() }
 
 // Keys returns the elements in ascending order. Exact at quiescence.
 func (st *Set) Keys() []Value { return st.l.Keys() }
-
-// Close releases the whole set. Same restrictions as Deque.Close.
-func (st *Set) Close() {
-	if st.l.Anchor() != 0 {
-		st.sys.collector.RemoveRoot(st.l.Anchor())
-	}
-	st.l.Close()
-}

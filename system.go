@@ -60,6 +60,7 @@ type config struct {
 	maxHeapWords  uint64
 	destroyBudget int
 	poisonCheck   bool
+	allocShards   int
 }
 
 type optionFunc func(*config)
@@ -92,6 +93,14 @@ func WithPoisonCheck(on bool) Option {
 	return optionFunc(func(c *config) { c.poisonCheck = on })
 }
 
+// WithAllocShards sets how many shards the heap's allocator is striped
+// across. The default is runtime.GOMAXPROCS at heap creation; values are
+// clamped to [1, 64]. Pin it explicitly when benchmark runs must be
+// comparable across machines.
+func WithAllocShards(n int) Option {
+	return optionFunc(func(c *config) { c.allocShards = n })
+}
+
 // System bundles a manual heap, a DCAS engine, the LFRC operations, and the
 // backup tracing collector. All methods are safe for concurrent use unless
 // noted otherwise.
@@ -101,27 +110,28 @@ type System struct {
 	rc        *core.RC
 	collector *gctrace.Collector
 
-	snarkTypes snark.Types
-	queueTypes msqueue.Types
-	stackTypes stackrc.Types
-
-	setTypesMu sync.Mutex
-	setTypes   *dlist.Types
+	// Each structure family's heap types are registered lazily on first
+	// use; a system that never creates a Queue never pays for (or exposes)
+	// the queue's type table entries.
+	snarkTypes typeReg[snark.Types]
+	queueTypes typeReg[msqueue.Types]
+	stackTypes typeReg[stackrc.Types]
+	setTypes   typeReg[dlist.Types]
 }
 
-// setTypesOnce registers the set's heap types on first use.
-func (s *System) setTypesOnce() (dlist.Types, error) {
-	s.setTypesMu.Lock()
-	defer s.setTypesMu.Unlock()
-	if s.setTypes != nil {
-		return *s.setTypes, nil
-	}
-	ts, err := dlist.RegisterTypes(s.heap)
-	if err != nil {
-		return dlist.Types{}, err
-	}
-	s.setTypes = &ts
-	return ts, nil
+// typeReg lazily registers one structure family's heap types. The zero value
+// is ready; get runs register exactly once per System and caches the result
+// (including a registration error, which every subsequent constructor call
+// then reports).
+type typeReg[T any] struct {
+	once sync.Once
+	ts   T
+	err  error
+}
+
+func (tr *typeReg[T]) get(h *mem.Heap, register func(*mem.Heap) (T, error)) (T, error) {
+	tr.once.Do(func() { tr.ts, tr.err = register(h) })
+	return tr.ts, tr.err
 }
 
 // New creates a System.
@@ -135,7 +145,11 @@ func New(opts ...Option) (*System, error) {
 		o.apply(&cfg)
 	}
 
-	h := mem.NewHeap(mem.WithMaxWords(cfg.maxHeapWords), mem.WithPoisonCheck(cfg.poisonCheck))
+	h := mem.NewHeap(
+		mem.WithMaxWords(cfg.maxHeapWords),
+		mem.WithPoisonCheck(cfg.poisonCheck),
+		mem.WithAllocShards(cfg.allocShards),
+	)
 	var e dcas.Engine
 	switch cfg.engine {
 	case EngineLocking:
@@ -151,49 +165,121 @@ func New(opts ...Option) (*System, error) {
 		rcOpts = append(rcOpts, core.WithIncrementalDestroy(cfg.destroyBudget))
 	}
 
-	s := &System{
+	return &System{
 		heap:      h,
 		engine:    e,
 		rc:        core.New(h, e, rcOpts...),
 		collector: gctrace.New(h),
-	}
-	var err error
-	if s.snarkTypes, err = snark.RegisterTypes(h); err != nil {
-		return nil, err
-	}
-	if s.queueTypes, err = msqueue.RegisterTypes(h); err != nil {
-		return nil, err
-	}
-	if s.stackTypes, err = stackrc.RegisterTypes(h); err != nil {
-		return nil, err
-	}
-	return s, nil
+	}, nil
 }
 
 // EngineName reports which DCAS engine the system runs on.
 func (s *System) EngineName() string { return s.engine.Name() }
 
+// Stats returns the system's unified accounting snapshot: heap counters,
+// LFRC operation counters, the sharded allocator's per-shard state, and the
+// deferred-reclamation backlog, in one structure with stable JSON tags.
+// Individual counters are read atomically but the snapshot as a whole is
+// racy; take it at quiescence when exact cross-counter invariants matter.
+func (s *System) Stats() Stats {
+	ms := s.heap.AllocStats()
+	a := AllocStats{
+		Shards:           ms.Shards,
+		FillTarget:       ms.FillTarget,
+		GlobalFreeListed: ms.GlobalFreeListed,
+		PerShard:         make([]ShardStats, len(ms.PerShard)),
+	}
+	for i, sh := range ms.PerShard {
+		a.PerShard[i] = ShardStats(sh)
+	}
+	return Stats{
+		Engine:  s.engine.Name(),
+		Heap:    HeapStats(s.heap.Stats()),
+		RC:      RCStats(s.rc.Stats()),
+		Alloc:   a,
+		Zombies: s.rc.ZombieCount(),
+	}
+}
+
+// Stats is the one-call snapshot of everything the system counts.
+type Stats struct {
+	// Engine names the DCAS engine the system runs on.
+	Engine string `json:"engine"`
+
+	// Heap is the heap accounting (allocs, frees, liveness, corruption
+	// detectors).
+	Heap HeapStats `json:"heap"`
+
+	// RC is the LFRC operation counters.
+	RC RCStats `json:"rc"`
+
+	// Alloc describes the sharded allocator's configuration and per-shard
+	// activity.
+	Alloc AllocStats `json:"alloc"`
+
+	// Zombies is the number of objects currently awaiting deferred
+	// reclamation (see WithIncrementalDestroy).
+	Zombies int64 `json:"zombies"`
+}
+
 // HeapStats snapshots the heap accounting: live objects and words, allocs,
 // frees, recycling, and the corruption detectors.
+//
+// Deprecated: use Stats, which returns the same numbers under Stats.Heap
+// alongside the rest of the system's accounting.
 func (s *System) HeapStats() HeapStats { return HeapStats(s.heap.Stats()) }
 
 // RCStats snapshots the LFRC operation counters.
+//
+// Deprecated: use Stats, which returns the same numbers under Stats.RC.
 func (s *System) RCStats() RCStats { return RCStats(s.rc.Stats()) }
 
 // HeapStats mirrors the heap's accounting snapshot. See the field docs on
 // the internal mem.Stats for precise semantics.
 type HeapStats struct {
-	Allocs, Frees, Recycles           int64
-	LiveObjects, LiveWords, HighWater int64
-	DoubleFrees, Corruptions          int64
-	AllocFailures                     int64
+	Allocs        int64 `json:"allocs"`
+	Frees         int64 `json:"frees"`
+	Recycles      int64 `json:"recycles"`
+	LiveObjects   int64 `json:"live_objects"`
+	LiveWords     int64 `json:"live_words"`
+	HighWater     int64 `json:"high_water"`
+	DoubleFrees   int64 `json:"double_frees"`
+	Corruptions   int64 `json:"corruptions"`
+	AllocFailures int64 `json:"alloc_failures"`
 }
 
 // RCStats mirrors the LFRC operation counters.
 type RCStats struct {
-	Allocs, Frees, FreeErrors                                     int64
-	Loads, LoadRetries, Stores, Copies, CASOps, DCASOps, Destroys int64
-	ZombiePushes, PoisonedRCUpdates                               int64
+	Allocs            int64 `json:"allocs"`
+	Frees             int64 `json:"frees"`
+	FreeErrors        int64 `json:"free_errors"`
+	Loads             int64 `json:"loads"`
+	LoadRetries       int64 `json:"load_retries"`
+	Stores            int64 `json:"stores"`
+	Copies            int64 `json:"copies"`
+	CASOps            int64 `json:"cas_ops"`
+	DCASOps           int64 `json:"dcas_ops"`
+	Destroys          int64 `json:"destroys"`
+	ZombiePushes      int64 `json:"zombie_pushes"`
+	PoisonedRCUpdates int64 `json:"poisoned_rc_updates"`
+}
+
+// AllocStats mirrors the sharded allocator's snapshot. See the internal
+// mem.AllocStats for precise semantics.
+type AllocStats struct {
+	Shards           int          `json:"shards"`
+	FillTarget       int          `json:"fill_target"`
+	GlobalFreeListed int64        `json:"global_free_listed"`
+	PerShard         []ShardStats `json:"per_shard"`
+}
+
+// ShardStats describes one allocation shard's activity and holdings.
+type ShardStats struct {
+	Allocs     int64 `json:"allocs"`
+	Frees      int64 `json:"frees"`
+	Recycles   int64 `json:"recycles"`
+	FreeListed int64 `json:"free_listed"`
+	ChunkFree  int64 `json:"chunk_free"`
 }
 
 // DrainZombies finishes up to max deferred reclamations (0 = all) when the
