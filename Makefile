@@ -27,9 +27,10 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# One quick pass over the sharded-allocator benchmark (experiment A3).
+# One quick pass over the sharded-allocator benchmark (experiment A3) and
+# the observer-overhead benchmark (experiment O1).
 bench-smoke:
-	$(GO) test -bench=BenchmarkAllocShards -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead' -benchtime=1x -run='^$$' .
 
 # Short fuzzing burst per fuzzer (seed corpora always run under `make test`).
 fuzz:

@@ -649,6 +649,84 @@ func BenchmarkAllocShards(b *testing.B) {
 	}
 }
 
+// BenchmarkObserverOverhead measures the flight recorder's cost on the
+// balanced deque mix (experiment O1's workload) across observer modes:
+// baseline (no recorder), disabled (recorder installed, sampling off — the
+// fixed hot-path cost), the default 1-in-64 sampling, and full recording.
+// The acceptance bar is that disabled stays within a few percent of
+// baseline; compare with benchstat over -count=10 runs.
+func BenchmarkObserverOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []lfrc.Option
+	}{
+		{"baseline", nil},
+		{"disabled", []lfrc.Option{lfrc.WithTraceSampling(0)}},
+		{"sampled64", []lfrc.Option{lfrc.WithTraceSampling(64)}},
+		{"full", []lfrc.Option{lfrc.WithTraceSampling(1)}},
+	}
+	for _, m := range modes {
+		b.Run(m.name+"/g1", func(b *testing.B) {
+			sys, err := lfrc.New(m.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := sys.NewDeque()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			for i := 0; i < 64; i++ {
+				_ = d.PushRight(lfrc.Value(i + 1))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch i % 4 {
+				case 0:
+					_ = d.PushLeft(lfrc.Value(i + 1))
+				case 1:
+					_ = d.PushRight(lfrc.Value(i + 1))
+				case 2:
+					d.PopLeft()
+				case 3:
+					d.PopRight()
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/g%d", m.name, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			sys, err := lfrc.New(m.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := sys.NewDeque()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			for i := 0; i < 64; i++ {
+				_ = d.PushRight(lfrc.Value(i + 1))
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					switch i % 4 {
+					case 0:
+						_ = d.PushLeft(lfrc.Value(i + 1))
+					case 1:
+						_ = d.PushRight(lfrc.Value(i + 1))
+					case 2:
+						d.PopLeft()
+					case 3:
+						d.PopRight()
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // TestMain gives the parallel benchmarks a few schedulable threads even on
 // single-CPU CI machines.
 func TestMain(m *testing.M) {

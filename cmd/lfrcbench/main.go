@@ -1,43 +1,55 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1 — see DESIGN.md §4 and EXPERIMENTS.md) and prints one table
-// per experiment, in the same format EXPERIMENTS.md records. A3's notes
+// A2, A3, L1, G1, O1 — see DESIGN.md §4 and EXPERIMENTS.md) and prints one
+// table per experiment, in the same format EXPERIMENTS.md records. A3's notes
 // include the unified System.Stats snapshot as JSON.
 //
 // Usage:
 //
 //	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-scale N]
 //	          [-dur 250ms] [-workers 1,2,4,8] [-markdown]
+//	          [-stats-json] [-metrics addr]
 //
-// With no -run flag every experiment runs.
+// With no -run flag every experiment runs. -stats-json appends the final
+// unified System.Stats of the last system an experiment published (O1, A3)
+// as one JSON object on stdout. -metrics serves /metrics (Prometheus text),
+// /debug/vars (expvar), /debug/lfrc/{stats,trace} (JSON) and /debug/pprof on
+// addr for the lifetime of the run, reporting on the same published system.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"lfrc"
 	"lfrc/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lfrcbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lfrcbench", flag.ContinueOnError)
 	var (
-		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		engine   = fs.String("engine", "locking", "engine for single-engine experiments: locking, mcas or both")
-		scale    = fs.Int("scale", 1, "iteration multiplier (1 = quick)")
-		dur      = fs.Duration("dur", 250*time.Millisecond, "measurement window for timed experiments")
-		workers  = fs.String("workers", "1,2,4,8", "worker counts for the E5 sweep")
-		markdown = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+		runList   = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		engine    = fs.String("engine", "locking", "engine for single-engine experiments: locking, mcas or both")
+		scale     = fs.Int("scale", 1, "iteration multiplier (1 = quick)")
+		dur       = fs.Duration("dur", 250*time.Millisecond, "measurement window for timed experiments")
+		workers   = fs.String("workers", "1,2,4,8", "worker counts for the E5 sweep")
+		markdown  = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+		statsJSON = fs.Bool("stats-json", false, "dump the published system's unified Stats as JSON on stdout after the run")
+		metrics   = fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9100) during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +65,18 @@ func run(args []string) error {
 	}
 	sc := workload.Scale(*scale)
 
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(stdout, "metrics listening on http://%s/metrics\n", ln.Addr())
+		go func() {
+			_ = http.Serve(ln, lfrc.NewDebugMux(workload.CurrentSystem))
+		}()
+	}
+
 	wanted := map[string]bool{}
 	if *runList != "" {
 		for _, id := range strings.Split(*runList, ",") {
@@ -63,9 +87,9 @@ func run(args []string) error {
 
 	emit := func(t *workload.Table) {
 		if *markdown {
-			fmt.Println(t.Markdown())
+			fmt.Fprintln(stdout, t.Markdown())
 		} else {
-			fmt.Println(t.String())
+			fmt.Fprintln(stdout, t.String())
 		}
 	}
 
@@ -100,6 +124,9 @@ func run(args []string) error {
 		if want("G1") {
 			emit(workload.RunG1(kind, *dur))
 		}
+		if want("O1") {
+			emit(workload.RunO1(kind, *dur))
+		}
 	}
 	// Engine-sweeping experiments run once.
 	if want("E5") {
@@ -113,6 +140,18 @@ func run(args []string) error {
 	}
 	if want("A3") {
 		emit(workload.RunA3(*dur))
+	}
+
+	if *statsJSON {
+		sys := workload.CurrentSystem()
+		if sys == nil {
+			return fmt.Errorf("-stats-json: no experiment published a System (include O1 or A3 in -run)")
+		}
+		raw, err := json.Marshal(sys.Stats())
+		if err != nil {
+			return fmt.Errorf("-stats-json: %w", err)
+		}
+		fmt.Fprintln(stdout, string(raw))
 	}
 	return nil
 }

@@ -1,7 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"lfrc/internal/workload"
 )
@@ -77,17 +84,112 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-engine", "bogus"}); err == nil {
+	if err := run([]string{"-engine", "bogus"}, io.Discard); err == nil {
 		t.Error("run accepted a bogus engine")
 	}
-	if err := run([]string{"-workers", "0"}); err == nil {
+	if err := run([]string{"-workers", "0"}, io.Discard); err == nil {
 		t.Error("run accepted zero workers")
 	}
 }
 
 func TestRunSingleQuickExperiment(t *testing.T) {
 	// E7 at scale 1 is fast and deterministic.
-	if err := run([]string{"-run", "E7", "-scale", "1"}); err != nil {
+	if err := run([]string{"-run", "E7", "-scale", "1"}, io.Discard); err != nil {
 		t.Errorf("run(E7): %v", err)
+	}
+}
+
+func TestStatsJSONDumpsOneObject(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "O1", "-dur", "20ms", "-stats-json"}, &out); err != nil {
+		t.Fatalf("run(O1 -stats-json): %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	last := lines[len(lines)-1]
+	var stats struct {
+		Engine string `json:"engine"`
+		Heap   struct {
+			Allocs int64 `json:"allocs"`
+		} `json:"heap"`
+		RC struct {
+			Loads int64 `json:"loads"`
+		} `json:"rc"`
+	}
+	if err := json.Unmarshal([]byte(last), &stats); err != nil {
+		t.Fatalf("last stdout line is not a Stats JSON object: %v\n%s", err, last)
+	}
+	if stats.Engine == "" || stats.Heap.Allocs == 0 || stats.RC.Loads == 0 {
+		t.Errorf("stats dump looks empty: %s", last)
+	}
+}
+
+func TestStatsJSONWithoutPublishingExperimentErrors(t *testing.T) {
+	workload.SetCurrentSystem(nil)
+	if err := run([]string{"-run", "E7", "-scale", "1", "-stats-json"}, io.Discard); err == nil {
+		t.Error("run accepted -stats-json with no publishing experiment")
+	}
+}
+
+// syncWriter lets the scraper goroutine read run's output while run writes.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestMetricsFlagServesEndpoint(t *testing.T) {
+	var out syncWriter
+	scraped := make(chan string, 1)
+	done := make(chan struct{})
+
+	// run announces the bound address before the experiments execute and
+	// serves until it returns; scrape /metrics while O1 is still running.
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			first := strings.SplitN(out.String(), "\n", 2)[0]
+			if url, ok := strings.CutPrefix(first, "metrics listening on "); ok {
+				resp, err := http.Get(strings.TrimSpace(url))
+				if err == nil {
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					scraped <- string(raw)
+					return
+				}
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	err := run([]string{"-run", "O1", "-dur", "100ms", "-metrics", "127.0.0.1:0"}, &out)
+	close(done)
+	if err != nil {
+		t.Fatalf("run(O1 -metrics): %v", err)
+	}
+	select {
+	case body := <-scraped:
+		if !strings.Contains(body, "lfrc_ops_total") && !strings.Contains(body, "no live lfrc system") {
+			t.Errorf("scrape returned neither metrics nor the no-system notice:\n%.400s", body)
+		}
+	default:
+		t.Fatal("never scraped the announced metrics endpoint")
+	}
+	if !strings.HasPrefix(out.String(), "metrics listening on http://127.0.0.1:") {
+		t.Errorf("no metrics announcement, got %q", strings.SplitN(out.String(), "\n", 2)[0])
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"lfrc/internal/dcas"
 	"lfrc/internal/mem"
+	"lfrc/internal/obs"
 	"lfrc/internal/stripe"
 )
 
@@ -61,6 +62,10 @@ type RC struct {
 	// operations on different goroutines don't contend on one line;
 	// snapshots sum across stripes.
 	stats []opStripe
+
+	// obs is the optional flight recorder. A nil recorder is fully
+	// disabled: every hot-path call on it is a single nil check.
+	obs *obs.Recorder
 }
 
 // Option configures an RC.
@@ -73,6 +78,13 @@ type Option func(*RC)
 // structure is dropped. A budget of 0 (the default) reclaims eagerly.
 func WithIncrementalDestroy(budget int) Option {
 	return func(rc *RC) { rc.destroyBudget = budget }
+}
+
+// WithObserver attaches a flight recorder: LFRC operations record sampled
+// events (kind, ref, cell, outcome, retry count, latency) into its lock-free
+// per-stripe rings. A nil recorder leaves observation disabled.
+func WithObserver(r *obs.Recorder) Option {
+	return func(rc *RC) { rc.obs = r }
 }
 
 // New creates an RC over the given heap and engine.
@@ -90,6 +102,11 @@ func New(h *mem.Heap, e dcas.Engine, opts ...Option) *RC {
 
 // st routes the calling goroutine to a counter stripe.
 func (rc *RC) st() *opStripe { return &rc.stats[stripe.Hint(len(rc.stats))] }
+
+// Observer returns the attached flight recorder, which is nil (a valid,
+// disabled recorder) unless WithObserver was used. Structure packages built
+// on this RC record their own op-level events through it.
+func (rc *RC) Observer() *obs.Recorder { return rc.obs }
 
 // Heap returns the underlying heap (for address computation and stats).
 func (rc *RC) Heap() *mem.Heap { return rc.h }
@@ -114,6 +131,8 @@ func (rc *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
 // atomically — via DCAS — with the check that the pointer still exists, and
 // then releases the reference previously held in *dest.
 func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
+	t0 := rc.obs.Sample()
+	var retries uint32
 	olddest := *dest
 	for {
 		v := mem.Ref(rc.e.Read(a))
@@ -129,9 +148,11 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 			*dest = v
 			break
 		}
+		retries++
 		rc.st().loadRetries.Add(1)
 	}
 	rc.st().loads.Add(1)
+	rc.obs.Record(t0, obs.KindLoad, uint32(*dest), uint32(a), true, retries)
 	rc.Destroy(olddest)
 }
 
@@ -142,6 +163,8 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 // corrupt freed or reallocated memory. It exists solely for experiment E1;
 // never use it in real code.
 func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
+	t0 := rc.obs.Sample()
+	var retries uint32
 	olddest := *dest
 	for {
 		v := mem.Ref(rc.e.Read(a))
@@ -158,9 +181,11 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 			break
 		}
 		rc.addToRC(v, -1)
+		retries++
 		rc.st().loadRetries.Add(1)
 	}
 	rc.st().loads.Add(1)
+	rc.obs.Record(t0, obs.KindNaiveLoad, uint32(*dest), uint32(a), true, retries)
 	rc.Destroy(olddest)
 }
 
@@ -168,16 +193,20 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 // value v into shared cell a, incrementing v's count first and releasing the
 // overwritten pointer afterwards.
 func (rc *RC) Store(a mem.Addr, v mem.Ref) {
+	t0 := rc.obs.Sample()
 	if v != 0 {
 		rc.addToRC(v, 1)
 	}
+	var retries uint32
 	for {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
+			rc.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
 			rc.Destroy(old)
 			return
 		}
+		retries++
 	}
 }
 
@@ -187,39 +216,48 @@ func (rc *RC) Store(a mem.Addr, v mem.Ref) {
 // of v is dead weight: do not Destroy it and do not use it as a counted
 // reference.
 func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
+	t0 := rc.obs.Sample()
+	var retries uint32
 	for {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
+			rc.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
 			rc.Destroy(old)
 			return
 		}
+		retries++
 	}
 }
 
 // Copy implements LFRCCopy (Figure 2, lines 29–32): it assigns pointer value
 // w to the local pointer variable *v, adjusting both reference counts.
 func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
+	t0 := rc.obs.Sample()
 	if w != 0 {
 		rc.addToRC(w, 1)
 	}
 	old := *v
 	*v = w
 	rc.st().copies.Add(1)
+	rc.obs.Record(t0, obs.KindCopy, uint32(w), 0, true, 0)
 	rc.Destroy(old)
 }
 
 // CAS implements LFRCCAS: the single-location simplification of DCAS (paper
 // §2.2 and Figure 2 caption).
 func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
+	t0 := rc.obs.Sample()
 	if new != 0 {
 		rc.addToRC(new, 1)
 	}
 	rc.st().casOps.Add(1)
 	if rc.e.CAS(a, uint64(old), uint64(new)) {
+		rc.obs.Record(t0, obs.KindCAS, uint32(new), uint32(a), true, 0)
 		rc.Destroy(old)
 		return true
 	}
+	rc.obs.Record(t0, obs.KindCAS, uint32(new), uint32(a), false, 0)
 	rc.Destroy(new)
 	return false
 }
@@ -229,6 +267,7 @@ func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 // pointers are released, on failure the two provisional increments are
 // compensated.
 func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
+	t0 := rc.obs.Sample()
 	if new0 != 0 {
 		rc.addToRC(new0, 1)
 	}
@@ -237,9 +276,11 @@ func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 	}
 	rc.st().dcasOps.Add(1)
 	if rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
+		rc.obs.Record(t0, obs.KindDCAS, uint32(new0), uint32(a0), true, 0)
 		rc.Destroy(old0, old1)
 		return true
 	}
+	rc.obs.Record(t0, obs.KindDCAS, uint32(new0), uint32(a0), false, 0)
 	rc.Destroy(new0, new1)
 	return false
 }
@@ -250,15 +291,26 @@ func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 // every pointer they contain — either eagerly or, under
 // WithIncrementalDestroy, up to the configured budget per call.
 func (rc *RC) Destroy(vs ...mem.Ref) {
+	t0 := rc.obs.Sample()
+	var ref0 uint32
+	freed0 := false
 	var stack []mem.Ref
 	for _, v := range vs {
 		if v == 0 {
 			continue
 		}
 		rc.st().destroys.Add(1)
-		if rc.addToRC(v, -1) == 1 {
+		hitZero := rc.addToRC(v, -1) == 1
+		if ref0 == 0 {
+			ref0 = uint32(v)
+			freed0 = hitZero
+		}
+		if hitZero {
 			stack = append(stack, v)
 		}
+	}
+	if ref0 != 0 {
+		rc.obs.Record(t0, obs.KindDestroy, ref0, 0, freed0, 0)
 	}
 	if len(stack) == 0 {
 		return
@@ -336,6 +388,7 @@ func (rc *RC) pushZombie(p mem.Ref) {
 		if rc.zombieHead.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(p)) {
 			rc.zombieCount.Add(1)
 			rc.st().zombiePushes.Add(1)
+			rc.obs.Note(obs.KindZombiePush, uint32(p), 0)
 			return
 		}
 	}
@@ -353,6 +406,7 @@ func (rc *RC) popZombie() mem.Ref {
 		cnt := (old >> 32) + 1
 		if rc.zombieHead.CompareAndSwap(old, cnt<<32|next) {
 			rc.zombieCount.Add(-1)
+			rc.obs.Note(obs.KindZombieDrain, uint32(p), 0)
 			return p
 		}
 	}

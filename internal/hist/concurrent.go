@@ -1,0 +1,47 @@
+package hist
+
+import "sync/atomic"
+
+// Concurrent is the mergeable concurrent histogram: the same buckets as
+// Histogram with every counter atomic, so any number of goroutines may
+// Observe while others take snapshots. A snapshot is internally racy in the
+// usual striped-counter sense (counters are read one at a time), which is
+// fine for monitoring; take it at quiescence when exact totals matter.
+type Concurrent struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to 0.
+func (c *Concurrent) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	c.buckets[BucketOf(v)].Add(1)
+	c.count.Add(1)
+	c.sum.Add(v)
+	for {
+		old := c.max.Load()
+		if v <= old || c.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples recorded so far.
+func (c *Concurrent) Count() int64 { return c.count.Load() }
+
+// Snapshot copies the current counters into a plain Histogram, which can
+// then be merged, summarized, and exported without further atomics.
+func (c *Concurrent) Snapshot() Histogram {
+	var h Histogram
+	for i := range c.buckets {
+		h.buckets[i] = c.buckets[i].Load()
+	}
+	h.count = c.count.Load()
+	h.sum = c.sum.Load()
+	h.max = c.max.Load()
+	return h
+}

@@ -1,0 +1,162 @@
+// Package hist provides the log-scale histograms shared by the workload
+// harness and the flight recorder (package obs).
+//
+// All variants bucket non-negative int64 values on a power-of-two scale:
+// bucket 0 counts values in {0, 1} and bucket i (i >= 1) counts values in
+// [2^i, 2^(i+1)). Quantiles report the upper bound of the bucket containing
+// the requested rank, so they are conservative (never below the true
+// quantile, never more than 2x above it).
+//
+// Histogram is the plain single-goroutine variant; Concurrent is the
+// mergeable atomic variant the flight recorder stripes its latency and retry
+// accounting over; Duration is a time.Duration facade over Histogram with
+// the exact API the workload harness historically exposed.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NumBuckets is the number of power-of-two buckets; 64 covers every
+// non-negative int64.
+const NumBuckets = 64
+
+// BucketOf returns the bucket index for value v: 0 for v <= 1, otherwise
+// floor(log2(v)), so bucket i covers exactly [2^i, 2^(i+1)). Negative values
+// are clamped to 0.
+func BucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) - 1
+}
+
+// UpperBound returns the exclusive upper bound of bucket i: 2 for bucket 0,
+// 2^(i+1) otherwise (saturating at MaxInt64 for the last bucket).
+func UpperBound(i int) int64 {
+	if i >= 62 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i+1)
+}
+
+// Bucket is one non-empty histogram bucket, for exporters.
+type Bucket struct {
+	// UpperBound is the bucket's exclusive upper bound (see UpperBound).
+	UpperBound int64
+
+	// Count is the number of samples in this bucket (not cumulative).
+	Count int64
+}
+
+// Summary is the fixed quantile digest the observability surfaces report.
+type Summary struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// Histogram is a log-scale histogram of non-negative int64 values. It is not
+// safe for concurrent use; give each worker its own and Merge, or use
+// Concurrent.
+type Histogram struct {
+	buckets [NumBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Observe records one value. Negative values are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[BucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of samples.
+func (h Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest observed value.
+func (h Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the upper
+// bound of the bucket containing it, except bucket 0, which reports 1 (its
+// largest representable value). An empty histogram reports 0.
+func (h Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return UpperBound(i)
+		}
+	}
+	return h.max
+}
+
+// Summary returns the fixed p50/p99/max digest.
+func (h Histogram) Summary() Summary {
+	return Summary{
+		Count: h.count,
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Max:   h.max,
+	}
+}
+
+// Buckets returns every bucket up to and including the last non-empty one,
+// in ascending bound order. Empty histograms return nil.
+func (h Histogram) Buckets() []Bucket {
+	last := -1
+	for i := range h.buckets {
+		if h.buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, last+1)
+	for i := 0; i <= last; i++ {
+		out = append(out, Bucket{UpperBound: UpperBound(i), Count: h.buckets[i]})
+	}
+	return out
+}
+
+// String summarizes the distribution.
+func (h Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%d p99=%d max=%d", h.count, h.Quantile(0.50), h.Quantile(0.99), h.max)
+}

@@ -1,0 +1,187 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries is the regression test for the historical workload
+// histogram off-by-one: a duration in [2^k, 2^(k+1)) used to land in bucket
+// k+1, contradicting the documented bounds. The exact boundary values must
+// land in the documented buckets.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0},
+		{1, 0}, // bucket 0 holds {0, 1}
+		{2, 1}, // [2, 4)
+		{3, 1}, // [2, 4)
+		{4, 2}, // [4, 8)
+		{7, 2}, // [4, 8)
+		{8, 3}, // [8, 16)
+		{1023, 9},
+		{1024, 10},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	// The same boundaries through the Duration facade (the workload alias).
+	var d Duration
+	for _, c := range []struct {
+		x    time.Duration
+		want int
+	}{
+		{1 * time.Nanosecond, 0},
+		{2 * time.Nanosecond, 1},
+		{3 * time.Nanosecond, 1},
+		{4 * time.Nanosecond, 2},
+	} {
+		if got := d.BucketFor(c.x); got != c.want {
+			t.Errorf("BucketFor(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	if got := UpperBound(0); got != 2 {
+		t.Errorf("UpperBound(0) = %d, want 2", got)
+	}
+	if got := UpperBound(3); got != 16 {
+		t.Errorf("UpperBound(3) = %d, want 16", got)
+	}
+	if got := UpperBound(63); got <= 0 {
+		t.Errorf("UpperBound(63) = %d, want saturated positive", got)
+	}
+}
+
+func TestQuantileUpperBoundProperty(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000, 5000} {
+		h.Observe(v)
+	}
+	// Every quantile is >= the true quantile and <= 2x the max sample.
+	if q := h.Quantile(1.0); q < 5000 || q > 10000 {
+		t.Errorf("Quantile(1.0) = %d, want in [5000, 10000]", q)
+	}
+	if q := h.Quantile(0.01); q < 1 {
+		t.Errorf("Quantile(0.01) = %d, want >= 1", q)
+	}
+	prev := int64(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantiles not monotone: Quantile(%v) = %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSummaryAndBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(10) // bucket 3: [8, 16)
+	}
+	h.Observe(1000) // bucket 9: [512, 1024)
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Errorf("Count = %d, want 100", s.Count)
+	}
+	if s.P50 != 16 {
+		t.Errorf("P50 = %d, want 16", s.P50)
+	}
+	if s.P99 != 16 {
+		t.Errorf("P99 = %d, want 16 (99th sample is still 10)", s.P99)
+	}
+	if s.Max != 1000 {
+		t.Errorf("Max = %d, want 1000", s.Max)
+	}
+
+	bs := h.Buckets()
+	if len(bs) != 10 {
+		t.Fatalf("Buckets() len = %d, want 10 (through last non-empty)", len(bs))
+	}
+	if bs[3].Count != 99 || bs[3].UpperBound != 16 {
+		t.Errorf("bucket 3 = %+v, want {16 99}", bs[3])
+	}
+	if bs[9].Count != 1 || bs[9].UpperBound != 1024 {
+		t.Errorf("bucket 9 = %+v, want {1024 1}", bs[9])
+	}
+
+	var empty Histogram
+	if empty.Buckets() != nil {
+		t.Error("empty histogram Buckets() != nil")
+	}
+}
+
+func TestMergeAndSum(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(-3) // clamped to 0
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", a.Count())
+	}
+	if a.Sum() != 55 {
+		t.Errorf("merged sum = %d, want 55", a.Sum())
+	}
+	if a.Max() != 50 {
+		t.Errorf("merged max = %d, want 50", a.Max())
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var c Concurrent
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := c.Snapshot()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Max() != workers*per-1 {
+		t.Errorf("max = %d, want %d", h.Max(), workers*per-1)
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b.Count
+	}
+	if total != workers*per {
+		t.Errorf("bucket total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestDurationFacade(t *testing.T) {
+	var d Duration
+	d.Observe(100 * time.Nanosecond) // bucket 6: [64, 128)
+	if got := d.Quantile(1.0); got != 128*time.Nanosecond {
+		t.Errorf("Quantile(1.0) = %v, want 128ns", got)
+	}
+	if d.Max() != 100*time.Nanosecond {
+		t.Errorf("Max = %v, want 100ns", d.Max())
+	}
+	var e Duration
+	e.Observe(time.Millisecond)
+	d.Merge(&e)
+	if d.Count() != 2 {
+		t.Errorf("Count = %d, want 2", d.Count())
+	}
+	if d.Sum() != time.Millisecond+100*time.Nanosecond {
+		t.Errorf("Sum = %v", d.Sum())
+	}
+}

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"lfrc/internal/obs"
+)
 
 // Alloc carves or recycles a slot for an object of type t. The new object
 // has reference count 1 (the reference returned to the caller, mirroring the
@@ -21,6 +25,7 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	d := h.typeOf(t)
 	size := d.size()
 
+	t0 := h.obs.Sample()
 	idx := h.shardIndex()
 	sh := &h.shards[idx]
 	st := &h.stats[idx]
@@ -29,8 +34,10 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	if !recycled {
 		r, recycled = h.popGlobal(sh, size)
 	}
+	stolen := false
 	if !recycled {
 		r, recycled = h.stealFree(idx, size)
+		stolen = recycled
 	}
 	if !recycled {
 		var err error
@@ -63,6 +70,10 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	st.allocs.Add(1)
 	st.liveObjects.Add(1)
 	st.liveWords.Add(int64(size))
+	if stolen {
+		h.obs.Note(obs.KindSteal, uint32(r), 0)
+	}
+	h.obs.Record(t0, obs.KindAlloc, uint32(r), 0, recycled, 0)
 	return r, nil
 }
 
@@ -86,6 +97,7 @@ func (h *Heap) MustAlloc(t TypeID) Ref {
 // threads still reference will surface as poison corruption — which is the
 // behaviour the paper's methodology exists to prevent.
 func (h *Heap) Free(r Ref) error {
+	t0 := h.obs.Sample()
 	idx := h.shardIndex()
 	st := &h.stats[idx]
 
@@ -117,6 +129,7 @@ func (h *Heap) Free(r Ref) error {
 	st.liveObjects.Add(-1)
 	st.liveWords.Add(-int64(size))
 	h.shards[idx].pushLocal(h, r, size)
+	h.obs.Record(t0, obs.KindFree, uint32(r), 0, true, 0)
 	return nil
 }
 
@@ -134,5 +147,6 @@ func (h *Heap) checkPoison(r Ref, size int, st *statStripe) {
 	}
 	if damaged {
 		st.corruptions.Add(1)
+		h.obs.CapturePostmortem("poison corruption on recycled slot", uint32(r))
 	}
 }

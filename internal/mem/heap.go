@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lfrc/internal/obs"
 	"lfrc/internal/stripe"
 )
 
@@ -45,6 +46,10 @@ type Heap struct {
 
 	poisonCheck bool
 
+	// obs is the optional flight recorder shared with the RC layer; nil
+	// means disabled (every call on it is a single nil check).
+	obs *obs.Recorder
+
 	// stats is striped in lockstep with shards (stats[i] counts work
 	// routed to shards[i]); highWater is global but updated only once per
 	// slab claim.
@@ -58,6 +63,10 @@ type Option func(*heapConfig)
 type heapConfig struct {
 	maxWords    uint64
 	poisonCheck bool
+
+	// obs is the optional flight recorder shared with the RC layer; nil
+	// means disabled (every call on it is a single nil check).
+	obs         *obs.Recorder
 	allocShards int
 }
 
@@ -82,6 +91,14 @@ func WithAllocShards(n int) Option {
 	return func(c *heapConfig) { c.allocShards = n }
 }
 
+// WithObserver attaches a flight recorder: allocator events (alloc, free,
+// cross-shard steals) are sampled into it, and poison-corruption detection
+// captures a postmortem of the trailing events that touched the damaged slot.
+// A nil recorder leaves observation disabled.
+func WithObserver(r *obs.Recorder) Option {
+	return func(c *heapConfig) { c.obs = r }
+}
+
 // NewHeap creates an empty heap.
 func NewHeap(opts ...Option) *Heap {
 	cfg := heapConfig{
@@ -101,6 +118,7 @@ func NewHeap(opts ...Option) *Heap {
 	h := &Heap{
 		limit:       cfg.maxWords,
 		poisonCheck: cfg.poisonCheck,
+		obs:         cfg.obs,
 		shards:      make([]allocShard, shards),
 		stats:       make([]statStripe, shards),
 	}

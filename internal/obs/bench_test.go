@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+func BenchmarkSampleRecordDisabledPath(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var r *Recorder
+		for i := 0; i < b.N; i++ {
+			t0 := r.Sample()
+			r.Record(t0, KindLoad, 1, 2, true, 0)
+		}
+	})
+	b.Run("installed-off", func(b *testing.B) {
+		r := New(WithSampleEvery(0))
+		for i := 0; i < b.N; i++ {
+			t0 := r.Sample()
+			r.Record(t0, KindLoad, 1, 2, true, 0)
+		}
+	})
+	b.Run("sampled64", func(b *testing.B) {
+		r := New(WithSampleEvery(64))
+		for i := 0; i < b.N; i++ {
+			t0 := r.Sample()
+			r.Record(t0, KindLoad, 1, 2, true, 0)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		r := New(WithSampleEvery(1))
+		for i := 0; i < b.N; i++ {
+			t0 := r.Sample()
+			r.Record(t0, KindLoad, 1, 2, true, 0)
+		}
+	})
+}

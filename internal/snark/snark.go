@@ -34,6 +34,7 @@ import (
 
 	"lfrc/internal/core"
 	"lfrc/internal/mem"
+	"lfrc/internal/obs"
 )
 
 // Value is the application payload carried by a deque node. It must be at
@@ -132,9 +133,10 @@ func WithBeforeDCAS(hook func()) Option {
 
 // Deque is a GC-independent Snark deque.
 type Deque struct {
-	rc *core.RC
-	h  *mem.Heap
-	ts Types
+	rc  *core.RC
+	h   *mem.Heap
+	ts  Types
+	obs *obs.Recorder // rc's recorder, cached; nil means disabled
 
 	anchor mem.Ref // counted reference owned by the Deque
 	dummyA mem.Addr
@@ -152,7 +154,7 @@ type Deque struct {
 // neighbour pointers are the sentinel value (null here, itself under
 // WithCyclicSentinels) and both hats point at Dummy.
 func New(rc *core.RC, ts Types, opts ...Option) (*Deque, error) {
-	d := &Deque{rc: rc, h: rc.Heap(), ts: ts}
+	d := &Deque{rc: rc, h: rc.Heap(), ts: ts, obs: rc.Observer()}
 	for _, o := range opts {
 		o(d)
 	}
@@ -228,9 +230,10 @@ func (d *Deque) PushRight(v Value) error {
 	}
 	var rh, rhR, lh mem.Ref // line 50: locals start null
 
+	t0 := d.obs.Sample()
 	d.rc.Store(d.fieldR(nd), d.dummy) // line 54
 	d.rc.WordStore(d.fieldV(nd), v)   // line 55
-	for {
+	for retries := uint32(0); ; retries++ {
 		d.rc.Load(d.rightA, &rh)      // line 57
 		d.rc.Load(d.fieldR(rh), &rhR) // line 58
 		if d.isSentinel(rhR, rh) {    // line 59
@@ -238,6 +241,7 @@ func (d *Deque) PushRight(v Value) error {
 			d.rc.Load(d.leftA, &lh)           // line 61
 			d.hookDCAS()
 			if d.rc.DCAS(d.rightA, d.leftA, rh, lh, nd, nd) { // line 62
+				d.obs.Record(t0, obs.KindPushRight, uint32(nd), 0, true, retries)
 				d.rc.Destroy(rhR, nd, rh, lh) // line 63
 				return nil                    // line 64
 			}
@@ -245,6 +249,7 @@ func (d *Deque) PushRight(v Value) error {
 			d.rc.Store(d.fieldL(nd), rh) // line 65
 			d.hookDCAS()
 			if d.rc.DCAS(d.rightA, d.fieldR(rh), rh, rhR, nd, nd) { // line 66
+				d.obs.Record(t0, obs.KindPushRight, uint32(nd), 0, true, retries)
 				d.rc.Destroy(rhR, nd, rh, lh) // line 67
 				return nil                    // line 68
 			}
@@ -263,9 +268,10 @@ func (d *Deque) PushLeft(v Value) error {
 	}
 	var lh, lhL, rh mem.Ref
 
+	t0 := d.obs.Sample()
 	d.rc.Store(d.fieldL(nd), d.dummy)
 	d.rc.WordStore(d.fieldV(nd), v)
-	for {
+	for retries := uint32(0); ; retries++ {
 		d.rc.Load(d.leftA, &lh)
 		d.rc.Load(d.fieldL(lh), &lhL)
 		if d.isSentinel(lhL, lh) {
@@ -273,6 +279,7 @@ func (d *Deque) PushLeft(v Value) error {
 			d.rc.Load(d.rightA, &rh)
 			d.hookDCAS()
 			if d.rc.DCAS(d.leftA, d.rightA, lh, rh, nd, nd) {
+				d.obs.Record(t0, obs.KindPushLeft, uint32(nd), 0, true, retries)
 				d.rc.Destroy(lhL, nd, lh, rh)
 				return nil
 			}
@@ -280,6 +287,7 @@ func (d *Deque) PushLeft(v Value) error {
 			d.rc.Store(d.fieldR(nd), lh)
 			d.hookDCAS()
 			if d.rc.DCAS(d.leftA, d.fieldL(lh), lh, lhL, nd, nd) {
+				d.obs.Record(t0, obs.KindPushLeft, uint32(nd), 0, true, retries)
 				d.rc.Destroy(lhL, nd, lh, rh)
 				return nil
 			}
@@ -294,11 +302,13 @@ func (d *Deque) PushLeft(v Value) error {
 // marking the popped node as a sentinel.
 func (d *Deque) PopRight() (v Value, ok bool) {
 	var rh, lh, rhR, rhL mem.Ref
-	for {
+	t0 := d.obs.Sample()
+	for retries := uint32(0); ; retries++ {
 		d.rc.Load(d.rightA, &rh)
 		d.rc.Load(d.leftA, &lh)
 		d.rc.Load(d.fieldR(rh), &rhR)
 		if d.isSentinel(rhR, rh) { // hat rests on a sentinel: empty
+			d.obs.Record(t0, obs.KindPopRight, 0, 0, false, retries)
 			d.rc.Destroy(rh, lh, rhR, rhL)
 			return 0, false
 		}
@@ -309,6 +319,7 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 				if !claimed {
 					continue
 				}
+				d.obs.Record(t0, obs.KindPopRight, uint32(rh), 0, true, retries)
 				d.rc.Destroy(rh, lh, rhR, rhL)
 				return v, true
 			}
@@ -323,6 +334,7 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 				// Break any garbage chain hanging off the popped
 				// node (original line "rh->R = Dummy").
 				d.rc.Store(d.fieldR(rh), d.dummy)
+				d.obs.Record(t0, obs.KindPopRight, uint32(rh), 0, true, retries)
 				d.rc.Destroy(rh, lh, rhR, rhL)
 				return v, true
 			}
@@ -333,11 +345,13 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 // PopLeft removes and returns the leftmost value (mirror of PopRight).
 func (d *Deque) PopLeft() (v Value, ok bool) {
 	var lh, rh, lhL, lhR mem.Ref
-	for {
+	t0 := d.obs.Sample()
+	for retries := uint32(0); ; retries++ {
 		d.rc.Load(d.leftA, &lh)
 		d.rc.Load(d.rightA, &rh)
 		d.rc.Load(d.fieldL(lh), &lhL)
 		if d.isSentinel(lhL, lh) {
+			d.obs.Record(t0, obs.KindPopLeft, 0, 0, false, retries)
 			d.rc.Destroy(lh, rh, lhL, lhR)
 			return 0, false
 		}
@@ -348,6 +362,7 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 				if !claimed {
 					continue
 				}
+				d.obs.Record(t0, obs.KindPopLeft, uint32(lh), 0, true, retries)
 				d.rc.Destroy(lh, rh, lhL, lhR)
 				return v, true
 			}
@@ -360,6 +375,7 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 					continue
 				}
 				d.rc.Store(d.fieldL(lh), d.dummy)
+				d.obs.Record(t0, obs.KindPopLeft, uint32(lh), 0, true, retries)
 				d.rc.Destroy(lh, rh, lhL, lhR)
 				return v, true
 			}

@@ -152,5 +152,6 @@ func runA3Cell(kind EngineKind, workers, shards int, dur time.Duration) (int64, 
 	if audit := sys.Audit(); len(audit) != 0 {
 		return 0, stats, fmt.Errorf("audit: %v", audit)
 	}
+	SetCurrentSystem(sys)
 	return ops.Load(), stats, nil
 }

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lfrc"
+)
+
+// current is the most recent System a workload experiment built and finished
+// with; cmd/lfrcbench's -stats-json and -metrics flags read it. Stored
+// atomically because the metrics mux reads it from HTTP handler goroutines
+// while experiments swap it.
+var current atomic.Pointer[lfrc.System]
+
+// SetCurrentSystem publishes s as the system observability surfaces report
+// on. Experiments that build a System through the public API call this with
+// their final (quiescent) system.
+func SetCurrentSystem(s *lfrc.System) { current.Store(s) }
+
+// CurrentSystem returns the last published system, or nil if no experiment
+// has published one yet.
+func CurrentSystem() *lfrc.System { return current.Load() }
+
+// o1Mode is one observer configuration of experiment O1.
+type o1Mode struct {
+	name string
+	// sample is the 1-in-n trace sampling interval; < 0 means no observer
+	// at all (the baseline).
+	sample int
+}
+
+var o1Modes = []o1Mode{
+	{"baseline", -1}, // no recorder installed
+	{"disabled", 0},  // recorder installed, sampling off: fixed hot-path cost
+	{"sampled", 64},  // the default production setting
+	{"full", 1},      // every operation recorded
+}
+
+// RunO1 measures the flight recorder's overhead on the balanced deque
+// throughput workload (the same workload experiment E4's healthy workers
+// run): no recorder, recorder installed but disabled, default 1-in-64
+// sampling, and full recording. The claim under test is that observability
+// is affordable: the disabled and sampled modes must cost only a few percent
+// of baseline throughput.
+func RunO1(kind EngineKind, dur time.Duration) *Table {
+	t := &Table{
+		ID:     "O1",
+		Title:  "flight recorder overhead: balanced deque throughput by observer mode",
+		Claim:  "sampled lock-free tracing costs little enough to leave on: disabled and 1-in-64 modes stay within a few percent of baseline",
+		Header: []string{"engine", "mode", "sample 1-in", "ops/sec", "vs baseline", "events recorded"},
+	}
+	const (
+		workers = 4
+		prefill = 64
+	)
+
+	var baseline float64
+	for _, m := range o1Modes {
+		opts := []lfrc.Option{}
+		switch kind {
+		case EngineMCAS:
+			opts = append(opts, lfrc.WithEngine(lfrc.EngineMCAS))
+		default:
+			opts = append(opts, lfrc.WithEngine(lfrc.EngineLocking))
+		}
+		if m.sample >= 0 {
+			opts = append(opts, lfrc.WithTraceSampling(m.sample))
+		}
+		sys, err := lfrc.New(opts...)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("mode=%s FAILED: %v", m.name, err))
+			continue
+		}
+		d, err := sys.NewDeque()
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("mode=%s FAILED: %v", m.name, err))
+			continue
+		}
+		res := RunThroughput(d, workers, dur, Balanced, prefill)
+		d.Close()
+
+		rate := res.OpsPerSec()
+		rel := "1.00x"
+		if m.sample < 0 {
+			baseline = rate
+		} else if baseline > 0 {
+			rel = fmt.Sprintf("%.2fx", rate/baseline)
+		}
+		tr := sys.Trace()
+		t.AddRow(kind.String(), m.name, m.sample, rate, rel, int64(tr.Recorded))
+		if m.sample == 1 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"full-mode trace digest: load p99=%dns push_right p99=%dns retries p99=%d",
+				tr.Latency["load"].P99, tr.Latency["push_right"].P99, tr.Retries.P99))
+		}
+		SetCurrentSystem(sys)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("workers=%d prefill=%d mix=balanced; 'sample 1-in' -1 means no recorder, 0 means installed but off", workers, prefill),
+		"events recorded counts ring entries: baseline and disabled must record zero, full must exceed sampled",
+	)
+	return t
+}

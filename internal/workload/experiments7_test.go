@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestO1Shape locks experiment O1's structure and the recorder's behavioural
+// facts: four observer modes per engine; baseline and disabled record zero
+// events; full recording records more than 1-in-64 sampling, which records
+// more than nothing. Timing claims (the ≤3% overhead acceptance number) are
+// asserted only in EXPERIMENTS.md, where the measurement window is long
+// enough to be stable.
+func TestO1Shape(t *testing.T) {
+	tab := RunO1(EngineLocking, 30*time.Millisecond)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("O1 rows = %d, want 4:\n%s", len(tab.Rows), tab)
+	}
+	wantModes := []string{"baseline", "disabled", "sampled", "full"}
+	for i, mode := range wantModes {
+		if got := cell(t, tab, i, 1); got != mode {
+			t.Errorf("row %d mode = %q, want %q", i, got, mode)
+		}
+		if rate := cellFloat(t, tab, i, 3); rate <= 0 {
+			t.Errorf("%s ops/sec = %v, want > 0:\n%s", mode, rate, tab)
+		}
+	}
+	baselineEvents := cellInt(t, tab, 0, 5)
+	disabledEvents := cellInt(t, tab, 1, 5)
+	sampledEvents := cellInt(t, tab, 2, 5)
+	fullEvents := cellInt(t, tab, 3, 5)
+	if baselineEvents != 0 || disabledEvents != 0 {
+		t.Errorf("baseline/disabled recorded events: %d/%d, want 0/0", baselineEvents, disabledEvents)
+	}
+	if sampledEvents <= 0 {
+		t.Errorf("sampled mode recorded %d events, want > 0", sampledEvents)
+	}
+	if fullEvents <= sampledEvents {
+		t.Errorf("full mode recorded %d events, not above sampled %d", fullEvents, sampledEvents)
+	}
+	// O1 publishes its last (full-mode) system for -stats-json / -metrics.
+	sys := CurrentSystem()
+	if sys == nil {
+		t.Fatal("RunO1 did not publish a current system")
+	}
+	if sys.Trace().Recorded == 0 {
+		t.Error("published system has an empty trace; want the full-mode system")
+	}
+}

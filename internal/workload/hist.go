@@ -1,84 +1,13 @@
 package workload
 
-import (
-	"fmt"
-	"math"
-	"time"
-)
+import "lfrc/internal/hist"
 
 // Histogram is a log-scale latency histogram: bucket i covers durations in
 // [2^i, 2^(i+1)) nanoseconds. It is not safe for concurrent use; give each
 // worker its own and Merge.
-type Histogram struct {
-	buckets [48]int64
-	count   int64
-	max     time.Duration
-}
-
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	i := 0
-	if d > 0 {
-		i = int(math.Log2(float64(d.Nanoseconds()))) + 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(h.buckets) {
-			i = len(h.buckets) - 1
-		}
-	}
-	h.buckets[i]++
-	h.count++
-	if d > h.max {
-		h.max = d
-	}
-}
-
-// Merge adds other's samples into h.
-func (h *Histogram) Merge(other *Histogram) {
-	for i := range h.buckets {
-		h.buckets[i] += other.buckets[i]
-	}
-	h.count += other.count
-	if other.max > h.max {
-		h.max = other.max
-	}
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() int64 { return h.count }
-
-// Max returns the largest observed duration.
-func (h *Histogram) Max() time.Duration { return h.max }
-
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the top
-// of the bucket containing it.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	target := int64(q * float64(h.count))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
-	for i, c := range h.buckets {
-		seen += c
-		if seen >= target {
-			if i == 0 {
-				return time.Nanosecond
-			}
-			return time.Duration(int64(1) << uint(i))
-		}
-	}
-	return h.max
-}
-
-// String summarizes the distribution.
-func (h *Histogram) String() string {
-	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v max=%v",
-		h.count, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.max)
-}
+//
+// It is an alias for the shared hist.Duration, which fixed this package's
+// historical off-by-one (a duration in [2^k, 2^(k+1)) used to land in bucket
+// k+1) and added the p50/p99/max Summary digest and the mergeable concurrent
+// variant the flight recorder uses.
+type Histogram = hist.Duration

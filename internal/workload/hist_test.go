@@ -49,6 +49,33 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundaries pins the documented bucket bounds at exact
+// boundary durations — the regression test for the off-by-one where Observe
+// placed a duration in [2^k, 2^(k+1)) into bucket k+1.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{1 * time.Nanosecond, 0}, // bucket 0: {0ns, 1ns}
+		{2 * time.Nanosecond, 1}, // bucket 1: [2ns, 4ns)
+		{3 * time.Nanosecond, 1}, // bucket 1: [2ns, 4ns)
+		{4 * time.Nanosecond, 2}, // bucket 2: [4ns, 8ns)
+	}
+	for _, c := range cases {
+		if got := h.BucketFor(c.d); got != c.want {
+			t.Errorf("BucketFor(%v) = %d, want bucket %d", c.d, got, c.want)
+		}
+	}
+	// The quantile upper bound follows the documented bounds: a histogram
+	// holding only 3ns must report the top of [2ns, 4ns).
+	h.Observe(3 * time.Nanosecond)
+	if got := h.Quantile(1.0); got != 4*time.Nanosecond {
+		t.Errorf("Quantile(1.0) after Observe(3ns) = %v, want 4ns", got)
+	}
+}
+
 func TestHistogramNegativeAndZero(t *testing.T) {
 	var h Histogram
 	h.Observe(-5 * time.Second) // clamped

@@ -1,0 +1,198 @@
+package lfrc
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lfrc/internal/hist"
+	"lfrc/internal/obs"
+)
+
+// WriteMetrics writes the system's current counters in the Prometheus text
+// exposition format: LFRC operation counters, heap gauges and corruption
+// detectors, the deferred-reclamation backlog, and — when the flight recorder
+// is enabled — the retry distribution and per-operation latency histograms.
+func (s *System) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+
+	writeHeader(w, "lfrc_ops_total", "counter", "LFRC operations by kind.")
+	writeLabeled(w, "lfrc_ops_total", "op", "load", st.RC.Loads)
+	writeLabeled(w, "lfrc_ops_total", "op", "store", st.RC.Stores)
+	writeLabeled(w, "lfrc_ops_total", "op", "copy", st.RC.Copies)
+	writeLabeled(w, "lfrc_ops_total", "op", "cas", st.RC.CASOps)
+	writeLabeled(w, "lfrc_ops_total", "op", "dcas", st.RC.DCASOps)
+	writeLabeled(w, "lfrc_ops_total", "op", "destroy", st.RC.Destroys)
+
+	writeHeader(w, "lfrc_load_retries_total", "counter", "LFRCLoad DCAS retries.")
+	writeScalar(w, "lfrc_load_retries_total", st.RC.LoadRetries)
+
+	writeHeader(w, "lfrc_heap_allocs_total", "counter", "Objects allocated.")
+	writeScalar(w, "lfrc_heap_allocs_total", st.Heap.Allocs)
+	writeHeader(w, "lfrc_heap_frees_total", "counter", "Objects freed.")
+	writeScalar(w, "lfrc_heap_frees_total", st.Heap.Frees)
+	writeHeader(w, "lfrc_heap_recycles_total", "counter", "Allocations served from free lists.")
+	writeScalar(w, "lfrc_heap_recycles_total", st.Heap.Recycles)
+	writeHeader(w, "lfrc_heap_double_frees_total", "counter", "Double frees detected.")
+	writeScalar(w, "lfrc_heap_double_frees_total", st.Heap.DoubleFrees)
+	writeHeader(w, "lfrc_heap_corruptions_total", "counter", "Poison corruptions detected on recycle.")
+	writeScalar(w, "lfrc_heap_corruptions_total", st.Heap.Corruptions)
+	writeHeader(w, "lfrc_heap_alloc_failures_total", "counter", "Allocations refused (arena exhausted).")
+	writeScalar(w, "lfrc_heap_alloc_failures_total", st.Heap.AllocFailures)
+
+	writeHeader(w, "lfrc_heap_live_objects", "gauge", "Objects currently live.")
+	writeScalar(w, "lfrc_heap_live_objects", st.Heap.LiveObjects)
+	writeHeader(w, "lfrc_heap_live_words", "gauge", "Words currently live.")
+	writeScalar(w, "lfrc_heap_live_words", st.Heap.LiveWords)
+	writeHeader(w, "lfrc_heap_high_water_words", "gauge", "Arena high-water mark in words.")
+	writeScalar(w, "lfrc_heap_high_water_words", st.Heap.HighWater)
+	writeHeader(w, "lfrc_alloc_shards", "gauge", "Allocation shards.")
+	writeScalar(w, "lfrc_alloc_shards", int64(st.Alloc.Shards))
+	writeHeader(w, "lfrc_alloc_global_free_listed", "gauge", "Slots on the global overflow free lists.")
+	writeScalar(w, "lfrc_alloc_global_free_listed", st.Alloc.GlobalFreeListed)
+
+	writeHeader(w, "lfrc_zombie_backlog", "gauge", "Objects awaiting deferred reclamation.")
+	writeScalar(w, "lfrc_zombie_backlog", st.Zombies)
+
+	if s.obs == nil {
+		return
+	}
+	writeHeader(w, "lfrc_trace_sample_every", "gauge", "Flight recorder sampling interval (0 = disabled).")
+	writeScalar(w, "lfrc_trace_sample_every", int64(s.obs.SampleEvery()))
+	writeHeader(w, "lfrc_trace_recorded_total", "counter", "Events recorded by the flight recorder.")
+	writeScalar(w, "lfrc_trace_recorded_total", int64(s.obs.Recorded()))
+	writeHeader(w, "lfrc_postmortems_total", "counter", "Violation postmortems captured.")
+	writeScalar(w, "lfrc_postmortems_total", int64(len(s.obs.Postmortems())))
+
+	writeHeader(w, "lfrc_op_retries", "histogram", "Retries per sampled operation.")
+	writeHist(w, "lfrc_op_retries", "", s.obs.RetrySnapshot())
+
+	lat := s.obs.LatencySnapshots()
+	kinds := make([]obs.Kind, 0, len(lat))
+	for k := range lat {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	writeHeader(w, "lfrc_op_latency_ns", "histogram", "Sampled operation latency in nanoseconds, by kind.")
+	for _, k := range kinds {
+		writeHist(w, "lfrc_op_latency_ns", fmt.Sprintf("op=%q", k), lat[k])
+	}
+}
+
+// MetricsHandler serves WriteMetrics over HTTP — the system's /metrics
+// endpoint, scrapeable by Prometheus.
+func (s *System) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+}
+
+func writeHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeScalar(w io.Writer, name string, v int64) {
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func writeLabeled(w io.Writer, name, label, value string, v int64) {
+	fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, v)
+}
+
+// writeHist writes one Prometheus histogram series (cumulative le buckets,
+// +Inf, _sum, _count). labels is a preformatted label list without braces
+// (may be empty).
+func writeHist(w io.Writer, name, labels string, h hist.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, b.UpperBound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %d\n%s_count{%s} %d\n", name, labels, h.Sum(), name, labels, h.Count())
+	}
+}
+
+// debugSystem is the system the expvar "lfrc" variable reports on; it is set
+// by NewDebugMux (last mux wins). expvar allows publishing a name only once
+// per process, so the variable indirects through this pointer.
+var (
+	debugSystem    atomic.Pointer[System]
+	publishExpvars sync.Once
+)
+
+// NewDebugMux builds the debug/ops HTTP mux for a System:
+//
+//	/metrics            Prometheus text exposition (MetricsHandler)
+//	/debug/vars         expvar JSON, including an "lfrc" variable with Stats
+//	/debug/lfrc/stats   Stats() as one JSON object
+//	/debug/lfrc/trace   Trace() as one JSON object (flight recorder dump)
+//	/debug/pprof/...    the standard Go profiler endpoints
+//
+// get is called per request so callers can swap the live system (benchmark
+// harnesses rebuild systems per phase); use func() *System { return s } for a
+// fixed one. A nil current system answers 503.
+func NewDebugMux(get func() *System) *http.ServeMux {
+	publishExpvars.Do(func() {
+		expvar.Publish("lfrc", expvar.Func(func() any {
+			s := debugSystem.Load()
+			if s == nil {
+				return nil
+			}
+			return s.Stats()
+		}))
+	})
+	if s := get(); s != nil {
+		debugSystem.Store(s)
+	}
+
+	withSys := func(fn func(s *System, w http.ResponseWriter, r *http.Request)) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s := get()
+			if s == nil {
+				http.Error(w, "no live lfrc system", http.StatusServiceUnavailable)
+				return
+			}
+			debugSystem.Store(s)
+			fn(s, w, r)
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", withSys(func(s *System, w http.ResponseWriter, r *http.Request) {
+		s.MetricsHandler().ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/lfrc/stats", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	}))
+	mux.Handle("/debug/lfrc/trace", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Trace())
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,176 @@
+package lfrc_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lfrc"
+)
+
+// tracedSystem builds a fully-sampled system with some deque traffic on it.
+func tracedSystem(t *testing.T) *lfrc.System {
+	t.Helper()
+	sys, err := lfrc.New(lfrc.WithTraceSampling(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := lfrc.Value(1); i <= 32; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatalf("PushRight: %v", err)
+		}
+	}
+	for {
+		if _, ok := d.PopLeft(); !ok {
+			break
+		}
+	}
+	d.Close()
+	return sys
+}
+
+func TestMetricsHandlerServesPrometheusText(t *testing.T) {
+	sys := tracedSystem(t)
+	srv := httptest.NewServer(sys.MetricsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE lfrc_ops_total counter",
+		`lfrc_ops_total{op="load"} `,
+		`lfrc_ops_total{op="dcas"} `,
+		"# TYPE lfrc_load_retries_total counter",
+		"# TYPE lfrc_heap_live_objects gauge",
+		"# TYPE lfrc_zombie_backlog gauge",
+		"# TYPE lfrc_op_retries histogram",
+		`lfrc_op_retries_bucket{le="+Inf"} `,
+		"lfrc_op_retries_sum ",
+		"lfrc_op_retries_count ",
+		"# TYPE lfrc_op_latency_ns histogram",
+		`lfrc_op_latency_ns_bucket{op="load",le=`,
+		`lfrc_op_latency_ns_count{op="push_right"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Exposition-format sanity: no naked braces, every non-comment line is
+	// "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestMetricsWithoutObserverOmitsHistograms(t *testing.T) {
+	sys, err := lfrc.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var sb strings.Builder
+	sys.WriteMetrics(&sb)
+	body := sb.String()
+	if !strings.Contains(body, "lfrc_ops_total") {
+		t.Error("counters missing without observer")
+	}
+	if strings.Contains(body, "lfrc_op_latency_ns") || strings.Contains(body, "lfrc_trace_recorded_total") {
+		t.Error("recorder series present without observer")
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	sys := tracedSystem(t)
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return sys }))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp, string(raw)
+	}
+
+	if resp, body := get("/metrics"); resp.StatusCode != 200 || !strings.Contains(body, "lfrc_ops_total") {
+		t.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+
+	if resp, body := get("/debug/lfrc/stats"); resp.StatusCode != 200 {
+		t.Errorf("/debug/lfrc/stats: status %d", resp.StatusCode)
+	} else {
+		var st lfrc.Stats
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Errorf("/debug/lfrc/stats not JSON Stats: %v", err)
+		} else if st.RC.Loads == 0 {
+			t.Error("/debug/lfrc/stats reports zero loads after traffic")
+		}
+	}
+
+	if resp, body := get("/debug/lfrc/trace"); resp.StatusCode != 200 {
+		t.Errorf("/debug/lfrc/trace: status %d", resp.StatusCode)
+	} else {
+		var tr struct {
+			Recorded uint64            `json:"recorded"`
+			Latency  map[string]any    `json:"latency_ns"`
+			Events   []json.RawMessage `json:"events"`
+		}
+		if err := json.Unmarshal([]byte(body), &tr); err != nil {
+			t.Errorf("/debug/lfrc/trace not JSON: %v", err)
+		} else if tr.Recorded == 0 || len(tr.Events) == 0 || len(tr.Latency) == 0 {
+			t.Errorf("/debug/lfrc/trace empty: recorded=%d events=%d", tr.Recorded, len(tr.Events))
+		}
+	}
+
+	if resp, body := get("/debug/vars"); resp.StatusCode != 200 {
+		t.Errorf("/debug/vars: status %d", resp.StatusCode)
+	} else if !strings.Contains(body, `"lfrc"`) {
+		t.Error("/debug/vars does not publish the lfrc variable")
+	}
+
+	if resp, body := get("/debug/pprof/"); resp.StatusCode != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+}
+
+func TestDebugMuxWithoutSystemAnswers503(t *testing.T) {
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return nil }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/metrics without system: status %d, want 503", resp.StatusCode)
+	}
+}

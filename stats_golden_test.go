@@ -1,0 +1,98 @@
+package lfrc_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lfrc"
+)
+
+// TestStatsJSONKeysGolden locks the Stats JSON surface: the full set of key
+// paths produced by marshalling a populated Stats snapshot must match
+// testdata/stats_keys.golden. The stats JSON is an exported interface — it is
+// embedded in experiment notes, dumped by lfrcbench -stats-json, and served
+// on /debug/lfrc/stats and /debug/vars — so renaming or dropping a key is a
+// breaking change that must show up in review as a golden-file diff.
+//
+// Regenerate with: UPDATE_GOLDEN=1 go test -run TestStatsJSONKeysGolden .
+func TestStatsJSONKeysGolden(t *testing.T) {
+	sys, err := lfrc.New(lfrc.WithAllocShards(2), lfrc.WithIncrementalDestroy(4))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := lfrc.Value(1); i <= 16; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatalf("PushRight: %v", err)
+		}
+	}
+	d.Close()
+
+	raw, err := json.Marshal(sys.Stats())
+	if err != nil {
+		t.Fatalf("marshal Stats: %v", err)
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatalf("unmarshal Stats: %v", err)
+	}
+	keys := keyPaths("", tree)
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "stats_keys.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Stats JSON key set changed.\n--- got ---\n%s--- want (%s) ---\n%s"+
+			"If the change is intentional, regenerate with UPDATE_GOLDEN=1 and call it out in review.",
+			got, golden, want)
+	}
+}
+
+// keyPaths flattens a decoded JSON tree into sorted dotted key paths. Array
+// elements collapse into one "[]" segment: per-shard stats repeat the same
+// shape, and the golden file locks the shape, not the shard count.
+func keyPaths(prefix string, v any) []string {
+	switch x := v.(type) {
+	case map[string]any:
+		var out []string
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out = append(out, p)
+			out = append(out, keyPaths(p, child)...)
+		}
+		return out
+	case []any:
+		seen := map[string]bool{}
+		var out []string
+		for _, child := range x {
+			for _, p := range keyPaths(prefix+"[]", child) {
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"lfrc/internal/gctrace"
 	"lfrc/internal/mem"
 	"lfrc/internal/msqueue"
+	"lfrc/internal/obs"
 	"lfrc/internal/snark"
 	"lfrc/internal/stackrc"
 )
@@ -61,6 +62,8 @@ type config struct {
 	destroyBudget int
 	poisonCheck   bool
 	allocShards   int
+	observer      bool
+	sampleEvery   int
 }
 
 type optionFunc func(*config)
@@ -101,6 +104,26 @@ func WithAllocShards(n int) Option {
 	return optionFunc(func(c *config) { c.allocShards = n })
 }
 
+// WithObserver enables or disables the flight recorder: a sampled,
+// allocation-free, lock-free trace of LFRC and allocator operations plus
+// latency and retry digests, read back with System.Trace. Recording is off
+// by default; when enabled it samples 1 in 64 operations unless
+// WithTraceSampling says otherwise.
+func WithObserver(on bool) Option {
+	return optionFunc(func(c *config) { c.observer = on })
+}
+
+// WithTraceSampling sets the flight recorder's sampling interval to 1-in-n
+// operations and implies WithObserver(true). n == 1 records every operation;
+// n == 0 installs the recorder with recording disabled, which isolates the
+// recorder's fixed hot-path cost (the "disabled" mode of experiment O1).
+func WithTraceSampling(n int) Option {
+	return optionFunc(func(c *config) {
+		c.observer = true
+		c.sampleEvery = n
+	})
+}
+
 // System bundles a manual heap, a DCAS engine, the LFRC operations, and the
 // backup tracing collector. All methods are safe for concurrent use unless
 // noted otherwise.
@@ -109,6 +132,7 @@ type System struct {
 	engine    dcas.Engine
 	rc        *core.RC
 	collector *gctrace.Collector
+	obs       *obs.Recorder // nil unless WithObserver/WithTraceSampling
 
 	// Each structure family's heap types are registered lazily on first
 	// use; a system that never creates a Queue never pays for (or exposes)
@@ -140,15 +164,26 @@ func New(opts ...Option) (*System, error) {
 		engine:       EngineLocking,
 		maxHeapWords: 64 << 20,
 		poisonCheck:  true,
+		sampleEvery:  -1,
 	}
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+
+	var rec *obs.Recorder
+	if cfg.observer {
+		var obsOpts []obs.Option
+		if cfg.sampleEvery >= 0 {
+			obsOpts = append(obsOpts, obs.WithSampleEvery(cfg.sampleEvery))
+		}
+		rec = obs.New(obsOpts...)
 	}
 
 	h := mem.NewHeap(
 		mem.WithMaxWords(cfg.maxHeapWords),
 		mem.WithPoisonCheck(cfg.poisonCheck),
 		mem.WithAllocShards(cfg.allocShards),
+		mem.WithObserver(rec),
 	)
 	var e dcas.Engine
 	switch cfg.engine {
@@ -164,14 +199,32 @@ func New(opts ...Option) (*System, error) {
 	if cfg.destroyBudget > 0 {
 		rcOpts = append(rcOpts, core.WithIncrementalDestroy(cfg.destroyBudget))
 	}
+	rcOpts = append(rcOpts, core.WithObserver(rec))
 
 	return &System{
 		heap:      h,
 		engine:    e,
 		rc:        core.New(h, e, rcOpts...),
 		collector: gctrace.New(h),
+		obs:       rec,
 	}, nil
 }
+
+// Trace is the flight recorder's dump: the surviving ring events in sequence
+// order, per-operation latency digests, the retry distribution, and any
+// captured postmortems.
+type Trace = obs.Trace
+
+// Trace dumps the flight recorder. Without WithObserver it returns a zero
+// Trace. The events are the newest survivors of fixed-size per-stripe rings;
+// use it for flight-recorder style postmortems, not exhaustive logs.
+func (s *System) Trace() Trace { return s.obs.Trace() }
+
+// Postmortems returns the violation captures recorded so far: one entry per
+// detected poison corruption (see mem's recycle-time check) or audit
+// violation, each naming the offending ref and carrying the trailing flight
+// events that touched it.
+func (s *System) Postmortems() []obs.Postmortem { return s.obs.Postmortems() }
 
 // EngineName reports which DCAS engine the system runs on.
 func (s *System) EngineName() string { return s.engine.Name() }
@@ -316,11 +369,15 @@ type CollectResult struct {
 // equals the number of pointers to it (heap pointers plus one per open
 // structure handle). It returns human-readable violation descriptions; an
 // empty result means the counts are exact. The system must be quiescent.
+// When the flight recorder is enabled, each violation also captures a
+// postmortem (the trailing flight events touching the offending ref),
+// retrievable with Postmortems.
 func (s *System) Audit() []string {
 	vs := check.AuditRC(s.heap, s.collector.Roots())
 	out := make([]string, len(vs))
 	for i, v := range vs {
 		out[i] = v.String()
+		s.obs.CapturePostmortem("audit: "+v.String(), uint32(v.Ref))
 	}
 	return out
 }
