@@ -2,12 +2,19 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench bench-smoke fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race race cover bench bench-smoke fuzz experiments stress explore examples clean
 
 all: check
 
 # The default gate: compile, vet, tests, and the race detector in one target.
-check: build vet test race
+# check-race runs first: it covers the packages with the trickiest
+# concurrency (seqlock rings, the lifecycle ledger/auditor, the LFRC core)
+# and fails fast before the full -race sweep.
+check: build vet test check-race race
+
+# Focused race gate over the concurrency-critical packages.
+check-race:
+	$(GO) test -race ./internal/obs ./internal/lifecycle ./internal/core
 
 build:
 	$(GO) build ./...

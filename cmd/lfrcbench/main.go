@@ -1,19 +1,24 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1, O1 — see DESIGN.md §4 and EXPERIMENTS.md) and prints one
-// table per experiment, in the same format EXPERIMENTS.md records. A3's notes
-// include the unified System.Stats snapshot as JSON.
+// A2, A3, L1, G1, O1, O2 — see DESIGN.md §4 and EXPERIMENTS.md) and prints
+// one table per experiment, in the same format EXPERIMENTS.md records. A3's
+// notes include the unified System.Stats snapshot as JSON.
 //
 // Usage:
 //
 //	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-scale N]
 //	          [-dur 250ms] [-workers 1,2,4,8] [-markdown]
-//	          [-stats-json] [-metrics addr]
+//	          [-stats-json] [-metrics addr] [-trace out.json]
 //
 // With no -run flag every experiment runs. -stats-json appends the final
-// unified System.Stats of the last system an experiment published (O1, A3)
-// as one JSON object on stdout. -metrics serves /metrics (Prometheus text),
-// /debug/vars (expvar), /debug/lfrc/{stats,trace} (JSON) and /debug/pprof on
-// addr for the lifetime of the run, reporting on the same published system.
+// unified System.Stats of the last system an experiment published (O1, O2,
+// A3) as one JSON object on stdout. -metrics serves /metrics (Prometheus
+// text), /debug/vars (expvar), /debug/lfrc/{stats,trace} (JSON),
+// /debug/lfrc/trace.json (Chrome trace_event export) and /debug/pprof on
+// addr for the lifetime of the run, reporting on the same published system;
+// the bound address is echoed as a machine-readable "metrics_addr=" line so
+// harnesses can pass ":0". -trace writes the published system's Chrome
+// trace_event export (flight events plus lifecycle timelines; open in
+// Perfetto) to a file after the run.
 package main
 
 import (
@@ -50,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		markdown  = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
 		statsJSON = fs.Bool("stats-json", false, "dump the published system's unified Stats as JSON on stdout after the run")
 		metrics   = fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9100) during the run")
+		tracePath = fs.String("trace", "", "write the published system's Chrome trace_event export to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +78,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		defer ln.Close()
 		fmt.Fprintf(stdout, "metrics listening on http://%s/metrics\n", ln.Addr())
+		// Machine-readable form for harnesses that bind ":0" and need the
+		// chosen port.
+		fmt.Fprintf(stdout, "metrics_addr=%s\n", ln.Addr())
 		go func() {
 			_ = http.Serve(ln, lfrc.NewDebugMux(workload.CurrentSystem))
 		}()
@@ -127,6 +136,9 @@ func run(args []string, stdout io.Writer) error {
 		if want("O1") {
 			emit(workload.RunO1(kind, *dur))
 		}
+		if want("O2") {
+			emit(workload.RunO2(kind, *dur))
+		}
 	}
 	// Engine-sweeping experiments run once.
 	if want("E5") {
@@ -140,6 +152,25 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if want("A3") {
 		emit(workload.RunA3(*dur))
+	}
+
+	if *tracePath != "" {
+		sys := workload.CurrentSystem()
+		if sys == nil {
+			return fmt.Errorf("-trace: no experiment published a System (include O1, O2 or A3 in -run)")
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		if err := sys.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
 	}
 
 	if *statsJSON {

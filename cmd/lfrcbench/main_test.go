@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -191,5 +194,67 @@ func TestMetricsFlagServesEndpoint(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "metrics listening on http://127.0.0.1:") {
 		t.Errorf("no metrics announcement, got %q", strings.SplitN(out.String(), "\n", 2)[0])
+	}
+}
+
+func TestMetricsFlagPrintsMachineReadableAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E7", "-scale", "1", "-metrics", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatalf("run(E7 -metrics): %v", err)
+	}
+	var addr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if a, ok := strings.CutPrefix(line, "metrics_addr="); ok {
+			addr = strings.TrimSpace(a)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no metrics_addr= line in output:\n%.400s", out.String())
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || host != "127.0.0.1" || port == "0" || port == "" {
+		t.Errorf("metrics_addr %q is not a usable host:port (err=%v)", addr, err)
+	}
+}
+
+func TestTraceFlagWritesChromeExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	// O2's full mode tracks every object, so the export has lifetime spans.
+	if err := run([]string{"-run", "O2", "-dur", "20ms", "-trace", path}, &out); err != nil {
+		t.Fatalf("run(O2 -trace): %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not Chrome trace JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, e := range trace.TraceEvents {
+		phases[e.Ph] = true
+	}
+	for _, ph := range []string{"M", "b", "e"} {
+		if !phases[ph] {
+			t.Errorf("export lacks phase %q events (got %v)", ph, phases)
+		}
+	}
+	if !strings.Contains(out.String(), "trace written to ") {
+		t.Errorf("no trace confirmation line:\n%.400s", out.String())
+	}
+}
+
+func TestTraceFlagWithoutPublishingExperimentErrors(t *testing.T) {
+	workload.SetCurrentSystem(nil)
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := run([]string{"-run", "E7", "-scale", "1", "-trace", path}, io.Discard); err == nil {
+		t.Error("run accepted -trace with no publishing experiment")
 	}
 }

@@ -133,6 +133,7 @@ func (rc *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
 func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 	t0 := rc.obs.Sample()
 	var retries uint32
+	var oldrc uint64
 	olddest := *dest
 	for {
 		v := mem.Ref(rc.e.Read(a))
@@ -146,13 +147,14 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 		}
 		if rc.e.DCAS(a, rc.h.RCAddr(v), uint64(v), r, uint64(v), r+1) {
 			*dest = v
+			oldrc = r
 			break
 		}
 		retries++
 		rc.st().loadRetries.Add(1)
 	}
 	rc.st().loads.Add(1)
-	rc.obs.Record(t0, obs.KindLoad, uint32(*dest), uint32(a), true, retries)
+	rc.recordT(t0, obs.KindLoad, *dest, a, true, retries, oldrc, 1)
 	rc.Destroy(olddest)
 }
 
@@ -165,6 +167,7 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 	t0 := rc.obs.Sample()
 	var retries uint32
+	var oldrc uint64
 	olddest := *dest
 	for {
 		v := mem.Ref(rc.e.Read(a))
@@ -175,7 +178,7 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 		if rc.NaiveHook != nil {
 			rc.NaiveHook(v)
 		}
-		rc.addToRC(v, 1) // unsafe: v may already be freed
+		oldrc = rc.addToRC(v, 1) // unsafe: v may already be freed
 		if mem.Ref(rc.e.Read(a)) == v {
 			*dest = v
 			break
@@ -185,7 +188,7 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 		rc.st().loadRetries.Add(1)
 	}
 	rc.st().loads.Add(1)
-	rc.obs.Record(t0, obs.KindNaiveLoad, uint32(*dest), uint32(a), true, retries)
+	rc.recordT(t0, obs.KindNaiveLoad, *dest, a, true, retries, oldrc, 1)
 	rc.Destroy(olddest)
 }
 
@@ -194,15 +197,16 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 // overwritten pointer afterwards.
 func (rc *RC) Store(a mem.Addr, v mem.Ref) {
 	t0 := rc.obs.Sample()
+	var oldrc uint64
 	if v != 0 {
-		rc.addToRC(v, 1)
+		oldrc = rc.addToRC(v, 1)
 	}
 	var retries uint32
 	for {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
-			rc.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
+			rc.recordT(t0, obs.KindStore, v, a, true, retries, oldrc, 1)
 			rc.Destroy(old)
 			return
 		}
@@ -234,13 +238,14 @@ func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
 // w to the local pointer variable *v, adjusting both reference counts.
 func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
 	t0 := rc.obs.Sample()
+	var oldrc uint64
 	if w != 0 {
-		rc.addToRC(w, 1)
+		oldrc = rc.addToRC(w, 1)
 	}
 	old := *v
 	*v = w
 	rc.st().copies.Add(1)
-	rc.obs.Record(t0, obs.KindCopy, uint32(w), 0, true, 0)
+	rc.recordT(t0, obs.KindCopy, w, 0, true, 0, oldrc, 1)
 	rc.Destroy(old)
 }
 
@@ -248,16 +253,17 @@ func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
 // §2.2 and Figure 2 caption).
 func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 	t0 := rc.obs.Sample()
+	var oldrc uint64
 	if new != 0 {
-		rc.addToRC(new, 1)
+		oldrc = rc.addToRC(new, 1)
 	}
 	rc.st().casOps.Add(1)
 	if rc.e.CAS(a, uint64(old), uint64(new)) {
-		rc.obs.Record(t0, obs.KindCAS, uint32(new), uint32(a), true, 0)
+		rc.recordT(t0, obs.KindCAS, new, a, true, 0, oldrc, 1)
 		rc.Destroy(old)
 		return true
 	}
-	rc.obs.Record(t0, obs.KindCAS, uint32(new), uint32(a), false, 0)
+	rc.recordT(t0, obs.KindCAS, new, a, false, 0, oldrc, 1)
 	rc.Destroy(new)
 	return false
 }
@@ -268,19 +274,20 @@ func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 // compensated.
 func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 	t0 := rc.obs.Sample()
+	var oldrc0 uint64
 	if new0 != 0 {
-		rc.addToRC(new0, 1)
+		oldrc0 = rc.addToRC(new0, 1)
 	}
 	if new1 != 0 {
 		rc.addToRC(new1, 1)
 	}
 	rc.st().dcasOps.Add(1)
 	if rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
-		rc.obs.Record(t0, obs.KindDCAS, uint32(new0), uint32(a0), true, 0)
+		rc.recordT(t0, obs.KindDCAS, new0, a0, true, 0, oldrc0, 1)
 		rc.Destroy(old0, old1)
 		return true
 	}
-	rc.obs.Record(t0, obs.KindDCAS, uint32(new0), uint32(a0), false, 0)
+	rc.recordT(t0, obs.KindDCAS, new0, a0, false, 0, oldrc0, 1)
 	rc.Destroy(new0, new1)
 	return false
 }
@@ -292,25 +299,22 @@ func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 // WithIncrementalDestroy, up to the configured budget per call.
 func (rc *RC) Destroy(vs ...mem.Ref) {
 	t0 := rc.obs.Sample()
-	var ref0 uint32
-	freed0 := false
 	var stack []mem.Ref
 	for _, v := range vs {
 		if v == 0 {
 			continue
 		}
 		rc.st().destroys.Add(1)
-		hitZero := rc.addToRC(v, -1) == 1
-		if ref0 == 0 {
-			ref0 = uint32(v)
-			freed0 = hitZero
-		}
+		old := rc.addToRC(v, -1)
+		hitZero := old == 1
+		// The first released ref carries the sampled latency token; the
+		// rest are sink-only (t0 = 0) so every decrement still reaches a
+		// tracked object's lifecycle timeline with its rc transition.
+		rc.recordT(t0, obs.KindDestroy, v, 0, hitZero, 0, old, -1)
+		t0 = 0
 		if hitZero {
 			stack = append(stack, v)
 		}
-	}
-	if ref0 != 0 {
-		rc.obs.Record(t0, obs.KindDestroy, ref0, 0, freed0, 0)
 	}
 	if len(stack) == 0 {
 		return
@@ -341,7 +345,9 @@ func (rc *RC) reclaim(stack []mem.Ref, budget int) int {
 					continue
 				}
 				rc.st().destroys.Add(1)
-				if rc.addToRC(c, -1) == 1 {
+				old := rc.addToRC(c, -1)
+				rc.recordT(0, obs.KindDestroy, c, 0, old == 1, 0, old, -1)
+				if old == 1 {
 					stack = append(stack, c)
 				}
 			}
@@ -430,6 +436,18 @@ func (rc *RC) addToRC(p mem.Ref, v int64) uint64 {
 			return old
 		}
 	}
+}
+
+// recordT records one operation's flight event carrying its rc transition:
+// the count before the update and the count after applying delta. A null ref
+// carries no transition; counts are truncated to 32 bits (a poisoned count
+// truncates to a distinctive 0xEF5C0DED).
+func (rc *RC) recordT(t0 int64, kind obs.Kind, ref mem.Ref, addr mem.Addr, ok bool, retries uint32, old uint64, delta int64) {
+	var o, n uint32
+	if ref != 0 {
+		o, n = uint32(old), uint32(uint64(int64(old)+delta))
+	}
+	rc.obs.RecordT(t0, kind, uint32(ref), uint32(addr), ok, retries, o, n)
 }
 
 // RCOf returns the current reference count of p (diagnostics only).

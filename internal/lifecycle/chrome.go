@@ -1,0 +1,156 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lfrc/internal/obs"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON array ("JSON Object
+// Format"), loadable by Perfetto and chrome://tracing. Field semantics:
+//
+//	ph "M"      metadata (process_name / thread_name)
+//	ph "i"      instant event (requires scope "s")
+//	ph "b"/"n"/"e"  async nested begin / instant / end, matched by id
+//
+// ts is microseconds, normalized so the earliest event in the export is 0.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   uint64         `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object Format top level.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// The export's track (tid) layout: the flight recorder's sampled ring dumps
+// onto a dedicated pseudo-thread, and ledger entries land on the track of
+// the goroutine that performed them (tid = runtime goroutine id).
+const flightRecorderTid = 0
+
+// WriteChromeTrace renders the recorder's trace and the ledger's timelines
+// as Chrome trace_event JSON: one track per goroutine (named after the role
+// registered with Do, where known), instants for flight-ring events, and one
+// async span per sampled object lifetime carrying its full event chain.
+// led may be nil (flight ring only).
+func WriteChromeTrace(w io.Writer, tr obs.Trace, led *Ledger) error {
+	var timelines []Timeline
+	if led != nil {
+		timelines = append(timelines, led.Completed()...)
+		for _, st := range led.Live() {
+			timelines = append(timelines, st.Timeline)
+		}
+	}
+
+	// Normalize timestamps to the earliest event so the viewer does not
+	// open on decades of empty timeline.
+	var base int64
+	for _, e := range tr.Events {
+		if base == 0 || (e.TS != 0 && e.TS < base) {
+			base = e.TS
+		}
+	}
+	for _, tl := range timelines {
+		if base == 0 || (tl.Start != 0 && tl.Start < base) {
+			base = tl.Start
+		}
+	}
+	us := func(ts int64) float64 { return float64(ts-base) / 1e3 }
+
+	out := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "lfrc"}},
+		{Name: "thread_name", Ph: "M", Pid: 1, Tid: flightRecorderTid,
+			Args: map[string]any{"name": "flight recorder (sampled ring)"}},
+	}
+
+	// Flight-ring events: instants on the recorder's pseudo-track.
+	for _, e := range tr.Events {
+		out = append(out, chromeEvent{
+			Name:  e.Kind.String(),
+			Cat:   "flight",
+			Ph:    "i",
+			Scope: "t",
+			TS:    us(e.TS),
+			Pid:   1,
+			Tid:   flightRecorderTid,
+			Args: map[string]any{
+				"seq": e.Seq, "ref": hex(e.Ref), "addr": hex(e.Addr),
+				"ok": e.OK, "retries": e.Retries, "old": e.Old, "new": e.New,
+			},
+		})
+	}
+
+	// Ledger timelines: an async span per object lifetime, nested instants
+	// per touch, plus a same-moment instant on the touching goroutine's
+	// own track.
+	named := map[uint64]bool{flightRecorderTid: true}
+	for i, tl := range timelines {
+		id := fmt.Sprintf("%#x.%d", tl.Ref, i)
+		name := fmt.Sprintf("obj %#x gen %d", tl.Ref, tl.Gen)
+		spanTid := uint64(flightRecorderTid)
+		if len(tl.Entries) > 0 {
+			spanTid = tl.Entries[0].GID
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: "lifetime", Ph: "b", TS: us(tl.Start),
+			Pid: 1, Tid: spanTid, ID: id,
+			Args: map[string]any{"ref": hex(tl.Ref), "gen": tl.Gen, "dropped": tl.Dropped},
+		})
+		for _, e := range tl.Entries {
+			if e.GID != 0 && !named[e.GID] {
+				named[e.GID] = true
+				tname := fmt.Sprintf("goroutine %d", e.GID)
+				if role, ok := GoroutineName(e.GID); ok {
+					tname = fmt.Sprintf("%s (goroutine %d)", role, e.GID)
+				}
+				out = append(out, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: 1, Tid: e.GID,
+					Args: map[string]any{"name": tname},
+				})
+			}
+			args := map[string]any{
+				"ok": e.OK, "retries": e.Retries, "gid": e.GID,
+				"addr": hex(e.Addr), "old": e.Old, "new": e.New,
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Cat: "lifetime", Ph: "n",
+				TS: us(e.TS), Pid: 1, Tid: spanTid, ID: id, Args: args,
+			})
+			// Unattributed entries (plain reads, GID 0) have no
+			// goroutine track to echo onto.
+			if e.GID != 0 {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("%s %#x", e.Kind, tl.Ref), Cat: "op",
+					Ph: "i", Scope: "t", TS: us(e.TS), Pid: 1, Tid: e.GID, Args: args,
+				})
+			}
+		}
+		endTS, state := tl.Start, "live"
+		if n := len(tl.Entries); n > 0 {
+			endTS = tl.Entries[n-1].TS
+		}
+		if tl.Freed {
+			endTS, state = tl.End, "freed"
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: "lifetime", Ph: "e", TS: us(endTS),
+			Pid: 1, Tid: spanTid, ID: id, Args: map[string]any{"state": state},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+func hex(v uint32) string { return fmt.Sprintf("%#x", v) }

@@ -1,0 +1,152 @@
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lfrc/internal/obs"
+)
+
+// chromeFixture builds a ledger and trace exercising every exported phase:
+// metadata, flight instants, and a full async object span.
+func chromeFixture() (obs.Trace, *Ledger) {
+	l := New(WithSampleEvery(1))
+	base := int64(1_000_000)
+	l.OnEvent(ev(obs.KindAlloc, 0x100, base, false))
+	load := ev(obs.KindLoad, 0x100, base+1000, true)
+	load.Old, load.New = 1, 2
+	l.OnEvent(load)
+	l.OnEvent(ev(obs.KindDestroy, 0x100, base+2000, false))
+	l.OnEvent(ev(obs.KindDestroy, 0x100, base+3000, true))
+	l.OnEvent(ev(obs.KindFree, 0x100, base+4000, true))
+	// A second, still-live object.
+	l.OnEvent(ev(obs.KindAlloc, 0x200, base+5000, false))
+
+	tr := obs.Trace{Events: []obs.Event{
+		{Seq: 1, TS: base, Kind: obs.KindAlloc, Ref: 0x100},
+		{Seq: 2, TS: base + 1000, Kind: obs.KindLoad, Ref: 0x100, Addr: 0x80, OK: true},
+	}}
+	return tr, l
+}
+
+// TestChromeTraceSchemaGolden pins the export's JSON schema: the top-level
+// key set, the union of event keys, and the set of phase letters. Perfetto
+// and chrome://tracing key off exactly these; a drift here is a breaking
+// change to every saved trace and must be deliberate.
+func TestChromeTraceSchemaGolden(t *testing.T) {
+	tr, l := chromeFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, l); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(top["traceEvents"], &events); err != nil {
+		t.Fatalf("traceEvents is not an array of objects: %v", err)
+	}
+
+	topKeys := sortedKeys(top)
+	eventKeys := map[string]bool{}
+	phases := map[string]bool{}
+	for _, e := range events {
+		for k := range e {
+			eventKeys[k] = true
+		}
+		var ph string
+		if err := json.Unmarshal(e["ph"], &ph); err != nil {
+			t.Fatalf("event without a string ph: %v", err)
+		}
+		phases[ph] = true
+	}
+
+	got := fmt.Sprintf("event_keys: %s\nphases: %s\ntop_keys: %s\n",
+		strings.Join(sortedSet(eventKeys), ","),
+		strings.Join(sortedSet(phases), ","),
+		strings.Join(topKeys, ","))
+
+	goldenPath := filepath.Join("testdata", "chrome_schema.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("trace schema drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestChromeTraceSpansAndInstants(t *testing.T) {
+	tr, l := chromeFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, l); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+
+	counts := map[string]int{}
+	minTS := 0.0
+	for _, e := range out.TraceEvents {
+		counts[e.Ph]++
+		if e.TS < minTS {
+			minTS = e.TS
+		}
+		if e.Ph == "b" || e.Ph == "n" || e.Ph == "e" {
+			if e.ID == "" {
+				t.Fatalf("async event without id: %+v", e)
+			}
+		}
+		if e.Ph == "i" && e.Scope == "" {
+			t.Fatalf("instant without scope: %+v", e)
+		}
+	}
+	// Two sampled objects -> two async spans.
+	if counts["b"] != 2 || counts["e"] != 2 {
+		t.Fatalf("span begin/end counts = %d/%d, want 2/2", counts["b"], counts["e"])
+	}
+	// 6 ledger entries -> 6 nested async instants.
+	if counts["n"] != 6 {
+		t.Fatalf("nested instant count = %d, want 6", counts["n"])
+	}
+	// 2 flight-ring instants + 5 per-goroutine op instants (the plain
+	// successful read is unattributed — GID 0 — and echoes onto no
+	// goroutine track).
+	if counts["i"] != 7 {
+		t.Fatalf("instant count = %d, want 7", counts["i"])
+	}
+	if minTS < 0 {
+		t.Fatalf("timestamps not normalized: min %f", minTS)
+	}
+}

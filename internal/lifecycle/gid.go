@@ -1,0 +1,55 @@
+package lifecycle
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// CurrentGID returns the runtime's id for the calling goroutine, parsed from
+// the "goroutine N [...]" header of a single-frame stack dump. The id is the
+// same one runtime tracebacks print, which makes ledger timelines directly
+// cross-referenceable with panics and pprof goroutine profiles. Cost is one
+// small runtime.Stack call; the ledger pays it only for tracked objects.
+func CurrentGID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// gidNames maps goroutine id -> role name for goroutines running under Do.
+var gidNames sync.Map // uint64 -> string
+
+// Do runs f on the calling goroutine with diagnosis attribution: pprof
+// labels ("lfrc_workload" = name, plus any extra key/value pairs) are
+// applied so CPU and goroutine profiles can be filtered by workload role,
+// and the goroutine's id is registered under name so ledger timelines and
+// Chrome trace export title its track. The registration is removed when f
+// returns. extra must alternate key, value.
+func Do(name string, f func(), extra ...string) {
+	gid := CurrentGID()
+	gidNames.Store(gid, name)
+	defer gidNames.Delete(gid)
+	kv := make([]string, 0, 2+len(extra))
+	kv = append(kv, "lfrc_workload", name)
+	kv = append(kv, extra...)
+	pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) { f() })
+}
+
+// GoroutineName reports the role name registered (via Do) for gid.
+func GoroutineName(gid uint64) (string, bool) {
+	v, ok := gidNames.Load(gid)
+	if !ok {
+		return "", false
+	}
+	return v.(string), true
+}

@@ -73,7 +73,10 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	if stolen {
 		h.obs.Note(obs.KindSteal, uint32(r), 0)
 	}
-	h.obs.Record(t0, obs.KindAlloc, uint32(r), 0, recycled, 0)
+	// Old carries the slot generation, New the reclamation epoch, so a
+	// lifecycle timeline distinguishes a fresh carve (gen 1) from a reuse
+	// and places both in audit time.
+	h.obs.RecordT(t0, obs.KindAlloc, uint32(r), 0, recycled, 0, gen, uint32(h.epoch.Load()))
 	return r, nil
 }
 
@@ -112,6 +115,10 @@ func (h *Heap) Free(r Ref) error {
 		}
 		if headerFreed(hdr) {
 			st.doubleFrees.Add(1)
+			// OK=false marks the free as rejected: the lifecycle
+			// auditor reads this as a double-free signal.
+			h.obs.RecordT(t0, obs.KindFree, uint32(r), 0, false, 0,
+				headerGen(hdr), uint32(h.epoch.Load()))
 			return ErrDoubleFree
 		}
 		if h.CAS(r, hdr, hdr|hdrFreedBit) {
@@ -119,7 +126,9 @@ func (h *Heap) Free(r Ref) error {
 		}
 	}
 
-	size := headerSize(h.Load(r))
+	hdr := h.Load(r)
+	size := headerSize(hdr)
+	gen := headerGen(hdr)
 	h.Store(h.RCAddr(r), Poison)
 	for a := r + HeaderWords; a < r+Addr(size); a++ {
 		h.Store(a, Poison)
@@ -128,8 +137,11 @@ func (h *Heap) Free(r Ref) error {
 	st.frees.Add(1)
 	st.liveObjects.Add(-1)
 	st.liveWords.Add(-int64(size))
+	// Record before pushLocal publishes the slot: once it is on a free
+	// list a sibling may recycle it and rewrite the header.
+	h.obs.RecordT(t0, obs.KindFree, uint32(r), 0, true, 0,
+		gen, uint32(h.epoch.Load()))
 	h.shards[idx].pushLocal(h, r, size)
-	h.obs.Record(t0, obs.KindFree, uint32(r), 0, true, 0)
 	return nil
 }
 

@@ -55,6 +55,12 @@ type Heap struct {
 	// slab claim.
 	stats     []statStripe
 	highWater atomic.Int64
+
+	// epoch is the reclamation epoch: a coarse logical clock advanced by
+	// the lifecycle auditor (one tick per audit pass). Alloc and Free
+	// stamp their flight events with it so a timeline shows *when*, in
+	// audit time, a slot was carved, freed, or reused.
+	epoch atomic.Uint64
 }
 
 // Option configures a Heap.
@@ -129,6 +135,14 @@ func NewHeap(opts ...Option) *Heap {
 
 // Shards reports the number of allocation shards the heap was built with.
 func (h *Heap) Shards() int { return len(h.shards) }
+
+// Epoch returns the current reclamation epoch (see AdvanceEpoch).
+func (h *Heap) Epoch() uint64 { return h.epoch.Load() }
+
+// AdvanceEpoch ticks the reclamation epoch and returns the new value. The
+// lifecycle auditor calls it once per audit pass; allocator flight events are
+// stamped with the epoch they happened in.
+func (h *Heap) AdvanceEpoch() uint64 { return h.epoch.Add(1) }
 
 // shardIndex routes the calling goroutine to an allocation shard (and its
 // stat stripe). A locality hint only: any goroutine may touch any shard.

@@ -127,12 +127,24 @@ type Event struct {
 	// Addr is the shared cell involved (0 if none): the loaded/stored
 	// cell, a DCAS's first address, and so on.
 	Addr uint32 `json:"addr"`
+
+	// Old and New carry the event's transition values, when it has any:
+	// the before/after reference count for rc-updating operations
+	// (Load/Store/Copy/CAS/DCAS increments, Destroy decrements), and the
+	// slot generation / heap epoch for Alloc and Free. Zero when the
+	// event carries no transition.
+	Old uint32 `json:"old,omitempty"`
+	New uint32 `json:"new,omitempty"`
 }
 
 // String renders one event for postmortem dumps.
 func (e Event) String() string {
-	return fmt.Sprintf("#%d %s ref=%#x addr=%#x ok=%t retries=%d",
+	s := fmt.Sprintf("#%d %s ref=%#x addr=%#x ok=%t retries=%d",
 		e.Seq, e.Kind, e.Ref, e.Addr, e.OK, e.Retries)
+	if e.Old != 0 || e.New != 0 {
+		s += fmt.Sprintf(" %d->%d", e.Old, e.New)
+	}
+	return s
 }
 
 // Slot words pack an Event for seqlock publication:
@@ -141,8 +153,9 @@ func (e Event) String() string {
 //	w1: timestamp
 //	w2: kind(8) | ok(8) | retries(32)
 //	w3: ref(32) | addr(32)
+//	w4: old(32) | new(32)
 type slot struct {
-	w0, w1, w2, w3 atomic.Uint64
+	w0, w1, w2, w3, w4 atomic.Uint64
 }
 
 func packW2(k Kind, ok bool, retries uint32) uint64 {
@@ -160,6 +173,7 @@ func (s *slot) store(e Event) {
 	s.w1.Store(uint64(e.TS))
 	s.w2.Store(packW2(e.Kind, e.OK, e.Retries))
 	s.w3.Store(uint64(e.Ref)<<32 | uint64(e.Addr))
+	s.w4.Store(uint64(e.Old)<<32 | uint64(e.New))
 	s.w0.Store(e.Seq)
 }
 
@@ -181,6 +195,9 @@ func (s *slot) load() (Event, bool) {
 	w3 := s.w3.Load()
 	e.Ref = uint32(w3 >> 32)
 	e.Addr = uint32(w3)
+	w4 := s.w4.Load()
+	e.Old = uint32(w4 >> 32)
+	e.New = uint32(w4)
 	if s.w0.Load() != seq || e.Kind >= numKinds {
 		return Event{}, false
 	}
@@ -230,6 +247,31 @@ func WithStripes(n int) Option {
 	return func(c *config) { c.stripes = n }
 }
 
+// Sink is a secondary event consumer fed by the recorder: the per-ref
+// lifecycle ledger (package lifecycle). A sink samples by *object*, not by
+// operation: the recorder consults the sink's Tracked set for every event
+// with a nonzero ref — including operations its own 1-in-N sampling skipped
+// — so a sink sees the complete event chain of every object it claims. Alloc
+// events are always offered (the set is not consulted) so the sink can make
+// its track/ignore decision at object birth.
+//
+// The membership gate is a concrete *RefSet rather than a method so the
+// per-operation check is a direct inlinable probe, not an interface call:
+// with nothing tracked the whole tap costs one atomic load per operation.
+// OnEvent runs only for claimed refs (plus allocs) and may take short
+// per-object locks. Events whose operation was not op-sampled arrive with
+// TS 0; a sink that needs a timestamp stamps them itself.
+type Sink interface {
+	// Tracked returns the set of refs the sink currently claims. The
+	// recorder caches the pointer at SetSink time; it must stay valid for
+	// the recorder's lifetime. A nil set claims nothing (alloc-only tap).
+	Tracked() *RefSet
+
+	// OnEvent delivers one event touching a claimed ref (or any Alloc).
+	// The event's Seq is 0: sink delivery is independent of the ring.
+	OnEvent(e Event)
+}
+
 // Recorder is the flight recorder. The zero value is not usable; call New.
 // A nil *Recorder is a valid disabled recorder: every hot-path method on it
 // is a cheap no-op, so callers embed one pointer and never branch twice.
@@ -239,11 +281,20 @@ type Recorder struct {
 	mask    uint64
 	seq     atomic.Uint64
 
+	// sink is the optional per-ref event tap; nil costs one branch per
+	// recorded call. Set once via SetSink before the recorder is shared.
+	// sinkRefs caches sink.Tracked() so the per-operation membership probe
+	// is a direct call on the concrete set, not interface dispatch.
+	sink     Sink
+	sinkRefs *RefSet
+
 	lat     [numKinds]hist.Concurrent
 	retries hist.Concurrent
 
-	pmMu sync.Mutex
-	pms  []Postmortem
+	pmMu    sync.Mutex
+	pms     []Postmortem // ring: the newest maxPostmortems captures
+	pmHead  int          // index of the oldest retained capture once full
+	pmTotal uint64       // captures ever taken (rolls past the ring bound)
 }
 
 // maxPostmortems bounds retained postmortems so a corruption storm cannot
@@ -278,6 +329,22 @@ func New(opts ...Option) *Recorder {
 		r.stripes[i].ring = make([]slot, size)
 	}
 	return r
+}
+
+// SetSink installs the per-ref event tap. It must be called before the
+// recorder starts receiving events (the field is read without
+// synchronization on the hot path); installation is one-shot by convention.
+// A nil sink leaves tapping disabled.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sink = s
+	if s != nil {
+		r.sinkRefs = s.Tracked()
+	} else {
+		r.sinkRefs = nil
+	}
 }
 
 // SampleEvery reports the configured sampling interval (0 = disabled).
@@ -316,32 +383,78 @@ func (r *Recorder) Sample() int64 {
 
 // Record completes a sampled operation begun by Sample: it appends the event
 // to the calling stripe's ring and feeds the operation's latency and retry
-// count to the histograms. t0 of 0 (unsampled) makes it a no-op.
+// count to the histograms. t0 of 0 (unsampled) makes it a no-op for the ring
+// and histograms; an installed sink still receives events for refs it claims.
 func (r *Recorder) Record(t0 int64, kind Kind, ref, addr uint32, ok bool, retries uint32) {
-	if r == nil || t0 == 0 {
+	r.RecordT(t0, kind, ref, addr, ok, retries, 0, 0)
+}
+
+// RecordT is Record carrying a transition (old/new reference count, or
+// generation/epoch stamps for allocator events) in the event's Old/New
+// fields.
+func (r *Recorder) RecordT(t0 int64, kind Kind, ref, addr uint32, ok bool, retries, oldv, newv uint32) {
+	if r == nil {
 		return
 	}
-	now := time.Now().UnixNano()
+	wanted := r.sink != nil && ref != 0 && (kind == KindAlloc || r.sinkRefs.Has(ref))
+	if t0 == 0 && !wanted {
+		return
+	}
+	// Only op-sampled events pay for a timestamp; sink-only deliveries go
+	// out with TS 0 and the sink stamps them if it keeps the event.
+	var now int64
+	if t0 != 0 {
+		now = time.Now().UnixNano()
+	}
+	e := Event{TS: now, Kind: kind, OK: ok, Retries: retries, Ref: ref, Addr: addr, Old: oldv, New: newv}
+	if wanted {
+		r.sink.OnEvent(e)
+	}
+	if t0 == 0 {
+		return
+	}
 	if kind < numKinds {
 		r.lat[kind].Observe(now - t0)
 	}
 	r.retries.Observe(int64(retries))
-	r.append(Event{TS: now, Kind: kind, OK: ok, Retries: retries, Ref: ref, Addr: addr})
+	r.append(e)
 }
 
 // Note records a point event (no latency) subject to the same sampling as
-// Sample: allocator recycling, steals, zombie parking. Nil-safe.
+// Sample: allocator recycling, steals, zombie parking. Nil-safe. An
+// installed sink receives the event for refs it claims regardless of
+// sampling.
 func (r *Recorder) Note(kind Kind, ref, addr uint32) {
-	if r == nil || r.every == 0 {
+	r.NoteT(kind, ref, addr, 0, 0)
+}
+
+// NoteT is Note carrying a transition in the event's Old/New fields.
+func (r *Recorder) NoteT(kind Kind, ref, addr, oldv, newv uint32) {
+	if r == nil {
 		return
 	}
-	if r.every > 1 {
+	wanted := r.sink != nil && ref != 0 && (kind == KindAlloc || r.sinkRefs.Has(ref))
+	sampled := r.every != 0
+	if sampled && r.every > 1 {
 		st := &r.stripes[stripe.Hint(len(r.stripes))]
 		if st.sampleN.Add(1)%r.every != 0 {
-			return
+			sampled = false
 		}
 	}
-	r.append(Event{TS: time.Now().UnixNano(), Kind: kind, Ref: ref, Addr: addr, OK: true})
+	if !sampled && !wanted {
+		return
+	}
+	var now int64
+	if sampled {
+		now = time.Now().UnixNano()
+	}
+	e := Event{TS: now, Kind: kind, Ref: ref, Addr: addr, OK: true, Old: oldv, New: newv}
+	if wanted {
+		r.sink.OnEvent(e)
+	}
+	if sampled {
+		r.append(e)
+	}
 }
 
 // noteAlways records an event regardless of sampling — used for violations,
@@ -350,7 +463,11 @@ func (r *Recorder) noteAlways(kind Kind, ref, addr uint32) {
 	if r == nil {
 		return
 	}
-	r.append(Event{TS: time.Now().UnixNano(), Kind: kind, Ref: ref, Addr: addr})
+	e := Event{TS: time.Now().UnixNano(), Kind: kind, Ref: ref, Addr: addr}
+	if r.sink != nil && ref != 0 && r.sinkRefs.Has(ref) {
+		r.sink.OnEvent(e)
+	}
+	r.append(e)
 }
 
 // append claims a slot on the calling stripe and publishes the event.
@@ -469,19 +586,43 @@ func (r *Recorder) CapturePostmortem(reason string, ref uint32) Postmortem {
 	r.pmMu.Lock()
 	if len(r.pms) < maxPostmortems {
 		r.pms = append(r.pms, p)
+	} else {
+		// Ring: overwrite the oldest so a violation storm keeps the most
+		// recent captures instead of freezing the first 32.
+		r.pms[r.pmHead] = p
+		r.pmHead = (r.pmHead + 1) % maxPostmortems
 	}
+	r.pmTotal++
 	r.pmMu.Unlock()
 	return p
 }
 
-// Postmortems returns the retained postmortems, oldest first.
+// Postmortems returns the retained postmortems (the newest maxPostmortems
+// captures), oldest first.
 func (r *Recorder) Postmortems() []Postmortem {
 	if r == nil {
 		return nil
 	}
 	r.pmMu.Lock()
 	defer r.pmMu.Unlock()
-	return append([]Postmortem(nil), r.pms...)
+	if len(r.pms) == 0 {
+		return nil
+	}
+	out := make([]Postmortem, 0, len(r.pms))
+	out = append(out, r.pms[r.pmHead:]...)
+	out = append(out, r.pms[:r.pmHead]...)
+	return out
+}
+
+// PostmortemCount reports how many postmortems have ever been captured,
+// including captures the retention ring has since overwritten.
+func (r *Recorder) PostmortemCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.pmMu.Lock()
+	defer r.pmMu.Unlock()
+	return r.pmTotal
 }
 
 // Trace is the one-call dump of the recorder's state.

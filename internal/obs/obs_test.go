@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -240,5 +241,128 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(200).String() != "Kind(200)" {
 		t.Errorf("out-of-range kind = %s", Kind(200))
+	}
+}
+
+func TestPostmortemRingKeepsNewest(t *testing.T) {
+	r := New(WithSampleEvery(1), WithStripes(1))
+	const captures = maxPostmortems + 8
+	for i := 0; i < captures; i++ {
+		r.CapturePostmortem(fmt.Sprintf("cap %d", i), uint32(i+1))
+	}
+	pms := r.Postmortems()
+	if len(pms) != maxPostmortems {
+		t.Fatalf("retained %d postmortems, want %d", len(pms), maxPostmortems)
+	}
+	// Oldest-first rotation: the survivors are the newest captures.
+	for i, p := range pms {
+		wantRef := uint32(captures - maxPostmortems + i + 1)
+		if p.Ref != wantRef {
+			t.Fatalf("pms[%d].Ref = %d, want %d (ring not rotated oldest-first)", i, p.Ref, wantRef)
+		}
+	}
+	if got := r.PostmortemCount(); got != captures {
+		t.Errorf("PostmortemCount = %d, want %d", got, captures)
+	}
+}
+
+func TestPostmortemConcurrentCapture(t *testing.T) {
+	r := New(WithSampleEvery(1))
+	const (
+		workers = 8
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.CapturePostmortem("storm", uint32(w*each+i+1))
+				// Interleave reads with captures: the ring must stay
+				// well-formed under concurrent rotation.
+				if pms := r.Postmortems(); len(pms) > maxPostmortems {
+					t.Errorf("ring overflow: %d retained", len(pms))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.PostmortemCount(); got != workers*each {
+		t.Errorf("PostmortemCount = %d, want %d (lost captures under concurrency)", got, workers*each)
+	}
+	for _, p := range r.Postmortems() {
+		if p.Ref == 0 || p.Reason != "storm" {
+			t.Errorf("malformed retained postmortem: %+v", p)
+		}
+	}
+}
+
+// recordingSink collects sink deliveries for tap tests. It claims every ref
+// it sees allocated, mirroring the ledger's birth-time decision.
+type recordingSink struct {
+	mu     sync.Mutex
+	wanted *RefSet
+	got    []Event
+}
+
+func (s *recordingSink) Tracked() *RefSet { return s.wanted }
+
+func (s *recordingSink) OnEvent(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got = append(s.got, e)
+	if e.Kind == KindAlloc {
+		s.wanted.Add(e.Ref)
+	}
+}
+
+func (s *recordingSink) events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.got...)
+}
+
+func TestSinkSeesUnsampledEventsForWantedRefs(t *testing.T) {
+	// Op sampling off: the ring must stay empty, yet the sink must still
+	// receive every alloc (to decide tracking) and every event touching a
+	// ref it claimed.
+	r := New(WithSampleEvery(0), WithStripes(1))
+	sink := &recordingSink{wanted: NewRefSet(16)}
+	r.SetSink(sink)
+
+	r.Record(r.Sample(), KindAlloc, 0x10, 0, false, 0)
+	r.Record(r.Sample(), KindLoad, 0x10, 0x99, true, 2)
+	r.Record(r.Sample(), KindLoad, 0x20, 0, true, 0) // unclaimed ref
+	r.Note(KindZombiePush, 0x10, 0)
+
+	if got := r.Recorded(); got != 0 {
+		t.Errorf("ring recorded %d events with sampling off", got)
+	}
+	evs := sink.events()
+	if len(evs) != 3 {
+		t.Fatalf("sink got %d events, want 3 (alloc, load, zombie_push): %+v", len(evs), evs)
+	}
+	if evs[0].Kind != KindAlloc || evs[1].Kind != KindLoad || evs[2].Kind != KindZombiePush {
+		t.Errorf("sink event kinds = %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	if evs[1].Addr != 0x99 || evs[1].Retries != 2 {
+		t.Errorf("sink load event lost fields: %+v", evs[1])
+	}
+}
+
+func TestRecordCarriesTransitionValues(t *testing.T) {
+	r := New(WithSampleEvery(1), WithStripes(1))
+	r.RecordT(r.Sample(), KindCopy, 0x10, 0, true, 0, 3, 4)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(evs))
+	}
+	if evs[0].Old != 3 || evs[0].New != 4 {
+		t.Errorf("transition = %d->%d, want 3->4", evs[0].Old, evs[0].New)
+	}
+	if !strings.Contains(evs[0].String(), "3->4") {
+		t.Errorf("String() omits the transition: %s", evs[0])
 	}
 }

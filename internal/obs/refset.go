@@ -1,0 +1,160 @@
+package obs
+
+import "sync/atomic"
+
+// RefSet is a fixed-capacity lock-free membership set of object refs. It is
+// the hot-path gate between the recorder and a Sink: the recorder asks Has
+// for every event with a nonzero ref — including operations its own 1-in-N
+// sampling skipped — so membership checks must cost nanoseconds, not a map
+// lookup through an interface. The implementation is an open-addressed table
+// of atomic words probed linearly; when the set is empty (the common case for
+// a disabled or freshly started ledger) Has is a single atomic load.
+//
+// The writer side (Add/Remove) is expected to be rare — one Add per sampled
+// allocation, one Remove per retirement — and tolerates concurrent callers,
+// but a given ref must not be Added twice without an intervening Remove (the
+// ledger's track table enforces this).
+type RefSet struct {
+	mask uint32
+	n    atomic.Int64
+
+	// summary is a 64-bit bloom filter over the membership: bit
+	// hash(ref)%64 is set while any member maps to it (bitCounts holds the
+	// per-bit member counts so Remove can clear exactly). Has rejects on a
+	// clear bit with a single load of this one read-mostly word — without
+	// it, every miss probes a random, likely uncached line of the slot
+	// table, which at operation rate is the tap's dominant cost.
+	summary   atomic.Uint64
+	bitCounts [64]atomic.Int64
+
+	slots []atomic.Uint64
+}
+
+// refTombstone marks a slot whose ref was removed. Probe chains walk through
+// tombstones (clearing to zero would break lookups of refs displaced past
+// this slot); Add reuses them so chains stay short.
+const refTombstone = ^uint64(0)
+
+// NewRefSet creates a set able to hold capacity refs. The table is sized at
+// 4x capacity (rounded up to a power of two) so load factor stays low enough
+// that misses terminate on the first or second probe.
+func NewRefSet(capacity int) *RefSet {
+	size := 64
+	for size < capacity*4 {
+		size <<= 1
+	}
+	return &RefSet{mask: uint32(size - 1), slots: make([]atomic.Uint64, size)}
+}
+
+// slotFor is Fibonacci hashing plus linear probe offset i.
+func (s *RefSet) slotFor(ref, i uint32) *atomic.Uint64 {
+	return &s.slots[(ref*2654435761+i)&s.mask]
+}
+
+// bitFor picks the summary bit from the top hash bits (the slot index uses
+// the low ones, so the two stay decorrelated).
+func bitFor(ref uint32) uint64 {
+	return 1 << ((ref * 2654435761) >> 26)
+}
+
+// Has reports membership. Nil-safe; a single load of the summary word when
+// ref's bloom bit is clear — the overwhelmingly common case for untracked
+// refs.
+func (s *RefSet) Has(ref uint32) bool {
+	if s == nil || ref == 0 || s.summary.Load()&bitFor(ref) == 0 {
+		return false
+	}
+	for i := uint32(0); i <= s.mask; i++ {
+		switch v := s.slotFor(ref, i).Load(); v {
+		case 0:
+			return false
+		case uint64(ref):
+			return true
+		}
+	}
+	return false
+}
+
+// summaryFix reconciles ref's bloom bit with its member count after a
+// membership change (CAS loop: the module floor predates
+// atomic.Uint64.Or/And). It loops until bit and count agree, so concurrent
+// adders and removers of colliding refs cannot strand the bit in the wrong
+// state — the last writer out re-checks and repairs.
+func (s *RefSet) summaryFix(ref uint32) {
+	idx := (ref * 2654435761) >> 26
+	bit := uint64(1) << idx
+	for {
+		old := s.summary.Load()
+		want := old &^ bit
+		if s.bitCounts[idx].Load() > 0 {
+			want = old | bit
+		}
+		if want == old || s.summary.CompareAndSwap(old, want) {
+			if (s.bitCounts[idx].Load() > 0) == (s.summary.Load()&bit != 0) {
+				return
+			}
+		}
+	}
+}
+
+// Add inserts ref, reusing the first tombstone or empty slot on its probe
+// chain. It reports whether the insert happened (false when the table is
+// full or ref is 0).
+func (s *RefSet) Add(ref uint32) bool {
+	if s == nil || ref == 0 {
+		return false
+	}
+	for i := uint32(0); i <= s.mask; i++ {
+		slot := s.slotFor(ref, i)
+		for {
+			v := slot.Load()
+			if v == uint64(ref) {
+				return false
+			}
+			if v != 0 && v != refTombstone {
+				break // occupied by another ref; next probe
+			}
+			if slot.CompareAndSwap(v, uint64(ref)) {
+				s.n.Add(1)
+				s.bitCounts[(ref*2654435761)>>26].Add(1)
+				s.summaryFix(ref)
+				return true
+			}
+			// Lost a race for this slot; re-read and reconsider it.
+		}
+	}
+	return false
+}
+
+// Remove deletes ref, leaving a tombstone so other refs' probe chains stay
+// intact. It reports whether ref was present.
+func (s *RefSet) Remove(ref uint32) bool {
+	if s == nil || ref == 0 {
+		return false
+	}
+	for i := uint32(0); i <= s.mask; i++ {
+		slot := s.slotFor(ref, i)
+		v := slot.Load()
+		if v == 0 {
+			return false
+		}
+		if v == uint64(ref) {
+			if slot.CompareAndSwap(v, refTombstone) {
+				s.n.Add(-1)
+				s.bitCounts[(ref*2654435761)>>26].Add(-1)
+				s.summaryFix(ref)
+				return true
+			}
+			return false // concurrent remover won
+		}
+	}
+	return false
+}
+
+// Len reports the current membership count.
+func (s *RefSet) Len() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n.Load()
+}

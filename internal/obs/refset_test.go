@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRefSetAddHasRemove(t *testing.T) {
+	s := NewRefSet(8)
+	if s.Has(0x10) {
+		t.Fatalf("empty set claims membership")
+	}
+	if !s.Add(0x10) || !s.Add(0x20) {
+		t.Fatalf("Add failed on fresh set")
+	}
+	if s.Add(0x10) {
+		t.Fatalf("duplicate Add reported success")
+	}
+	if !s.Has(0x10) || !s.Has(0x20) || s.Has(0x30) {
+		t.Fatalf("membership wrong after adds")
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if !s.Remove(0x10) {
+		t.Fatalf("Remove of member failed")
+	}
+	if s.Remove(0x10) {
+		t.Fatalf("second Remove reported success")
+	}
+	if s.Has(0x10) || !s.Has(0x20) {
+		t.Fatalf("membership wrong after remove")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestRefSetZeroAndNil(t *testing.T) {
+	var nilSet *RefSet
+	if nilSet.Has(1) || nilSet.Add(1) || nilSet.Remove(1) || nilSet.Len() != 0 {
+		t.Fatalf("nil RefSet is not a no-op")
+	}
+	s := NewRefSet(4)
+	if s.Add(0) || s.Has(0) || s.Remove(0) {
+		t.Fatalf("ref 0 must never be a member")
+	}
+}
+
+// TestRefSetTombstoneReuse churns adds and removes of colliding refs far past
+// the table capacity: tombstone reuse must keep the table from filling up and
+// probe chains must stay correct across displacements.
+func TestRefSetTombstoneReuse(t *testing.T) {
+	s := NewRefSet(4) // table of 64 slots
+	// Refs spaced by the table size collide on the same probe chain.
+	const stride = 64
+	for round := 0; round < 1000; round++ {
+		a := uint32(1 + round*stride)
+		b := uint32(2 + round*stride)
+		if !s.Add(a) || !s.Add(b) {
+			t.Fatalf("round %d: Add failed (table clogged by tombstones?)", round)
+		}
+		if !s.Has(a) || !s.Has(b) {
+			t.Fatalf("round %d: members missing", round)
+		}
+		if !s.Remove(a) || !s.Remove(b) {
+			t.Fatalf("round %d: Remove failed", round)
+		}
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d after churn, want 0", got)
+	}
+}
+
+// TestRefSetConcurrent exercises disjoint add/remove churn from many
+// goroutines with concurrent readers — the recorder-vs-ledger access pattern.
+func TestRefSetConcurrent(t *testing.T) {
+	s := NewRefSet(256)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ref := uint32(1 + w*1000 + i%16)
+				s.Add(ref)
+				s.Has(ref)
+				s.Remove(ref)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Has(uint32(1 + w*1000 + i%16))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d after balanced churn, want 0", got)
+	}
+}
+
+// TestRefSetBloomCollision removes one of two refs sharing a summary bit:
+// the survivor must stay visible (the bit only clears at member count 0).
+func TestRefSetBloomCollision(t *testing.T) {
+	a := uint32(1)
+	b := uint32(0)
+	for c := uint32(2); c < 1<<20; c++ {
+		if (c*2654435761)>>26 == (a*2654435761)>>26 {
+			b = c
+			break
+		}
+	}
+	if b == 0 {
+		t.Fatalf("no colliding ref found")
+	}
+	s := NewRefSet(8)
+	s.Add(a)
+	s.Add(b)
+	if !s.Remove(a) {
+		t.Fatalf("Remove(a) failed")
+	}
+	if s.Has(a) {
+		t.Fatalf("removed ref still a member")
+	}
+	if !s.Has(b) {
+		t.Fatalf("bloom bit cleared while a colliding member remains")
+	}
+	if s.Remove(b); s.summary.Load() != 0 {
+		t.Fatalf("summary not empty after last member removed: %#x", s.summary.Load())
+	}
+}
+
+// BenchmarkRefSetMiss prices the recorder's per-operation gate for an
+// untracked ref while members exist — the sampled-mode hot path.
+func BenchmarkRefSetMiss(b *testing.B) {
+	s := NewRefSet(4096)
+	s.Add(42)
+	r := uint32(0)
+	for i := 0; i < b.N; i++ {
+		r += 97
+		if s.Has(r) {
+			b.Fatal("unexpected member")
+		}
+	}
+}

@@ -3,9 +3,12 @@ package workload
 import (
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lfrc/internal/lifecycle"
 )
 
 // Mix is a weighted operation mix. Zero weights omit the operation.
@@ -73,27 +76,32 @@ func RunThroughput(d Deque, workers int, dur time.Duration, mix Mix, prefill int
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
-			local := int64(0)
-			v := uint64(w)<<32 + 1
-			for !stop.Load() {
-				switch mix.pick(rng) {
-				case 0:
-					if d.PushLeft(v) == nil {
-						v++
+			// Label the worker for diagnosis: pprof profiles filter on
+			// lfrc_workload/lfrc_worker, and ledger timelines touched by
+			// this goroutine carry its name in Chrome trace export.
+			lifecycle.Do("throughput", func() {
+				rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+				local := int64(0)
+				v := uint64(w)<<32 + 1
+				for !stop.Load() {
+					switch mix.pick(rng) {
+					case 0:
+						if d.PushLeft(v) == nil {
+							v++
+						}
+					case 1:
+						if d.PushRight(v) == nil {
+							v++
+						}
+					case 2:
+						d.PopLeft()
+					case 3:
+						d.PopRight()
 					}
-				case 1:
-					if d.PushRight(v) == nil {
-						v++
-					}
-				case 2:
-					d.PopLeft()
-				case 3:
-					d.PopRight()
+					local++
 				}
-				local++
-			}
-			ops.Add(local)
+				ops.Add(local)
+			}, "lfrc_worker", strconv.Itoa(w))
 		}(w)
 	}
 	time.Sleep(dur)
@@ -164,25 +172,27 @@ func RunWithStall(d Deque, healthy int, dur time.Duration, arm func() (release f
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w) + 42))
-			local := int64(0)
-			v := uint64(w)<<32 + 2
-			for !stop.Load() {
-				switch Balanced.pick(rng) {
-				case 0:
-					_ = d.PushLeft(v)
-					v++
-				case 1:
-					_ = d.PushRight(v)
-					v++
-				case 2:
-					d.PopLeft()
-				case 3:
-					d.PopRight()
+			lifecycle.Do("stall_healthy", func() {
+				rng := rand.New(rand.NewSource(int64(w) + 42))
+				local := int64(0)
+				v := uint64(w)<<32 + 2
+				for !stop.Load() {
+					switch Balanced.pick(rng) {
+					case 0:
+						_ = d.PushLeft(v)
+						v++
+					case 1:
+						_ = d.PushRight(v)
+						v++
+					case 2:
+						d.PopLeft()
+					case 3:
+						d.PopRight()
+					}
+					local++
 				}
-				local++
-			}
-			ops.Add(local)
+				ops.Add(local)
+			}, "lfrc_worker", strconv.Itoa(w))
 		}(w)
 	}
 	timer := time.NewTimer(dur)

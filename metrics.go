@@ -67,8 +67,8 @@ func (s *System) WriteMetrics(w io.Writer) {
 	writeScalar(w, "lfrc_trace_sample_every", int64(s.obs.SampleEvery()))
 	writeHeader(w, "lfrc_trace_recorded_total", "counter", "Events recorded by the flight recorder.")
 	writeScalar(w, "lfrc_trace_recorded_total", int64(s.obs.Recorded()))
-	writeHeader(w, "lfrc_postmortems_total", "counter", "Violation postmortems captured.")
-	writeScalar(w, "lfrc_postmortems_total", int64(len(s.obs.Postmortems())))
+	writeHeader(w, "lfrc_postmortems_total", "counter", "Violation postmortems captured (including ones retention has dropped).")
+	writeScalar(w, "lfrc_postmortems_total", int64(s.obs.PostmortemCount()))
 
 	writeHeader(w, "lfrc_op_retries", "histogram", "Retries per sampled operation.")
 	writeHist(w, "lfrc_op_retries", "", s.obs.RetrySnapshot())
@@ -83,6 +83,45 @@ func (s *System) WriteMetrics(w io.Writer) {
 	for _, k := range kinds {
 		writeHist(w, "lfrc_op_latency_ns", fmt.Sprintf("op=%q", k), lat[k])
 	}
+
+	if !st.Lifecycle.Enabled {
+		return
+	}
+	writeHeader(w, "lfrc_lifecycle_sample_every", "gauge", "Lifecycle ledger object sampling interval (0 = installed but off).")
+	writeScalar(w, "lfrc_lifecycle_sample_every", int64(st.Lifecycle.SampleEvery))
+	writeHeader(w, "lfrc_lifecycle_tracked", "gauge", "Objects currently tracked by the lifecycle ledger.")
+	writeScalar(w, "lfrc_lifecycle_tracked", st.Lifecycle.Tracked)
+	writeHeader(w, "lfrc_lifecycle_sampled_total", "counter", "Objects ever selected for lifecycle tracking.")
+	writeScalar(w, "lfrc_lifecycle_sampled_total", int64(st.Lifecycle.SampledObjects))
+	writeHeader(w, "lfrc_audit_passes_total", "counter", "Lifecycle invariant-auditor passes.")
+	writeScalar(w, "lfrc_audit_passes_total", int64(st.Lifecycle.AuditPasses))
+	writeHeader(w, "lfrc_audit_violations_total", "counter", "Lifecycle invariant violations flagged.")
+	writeScalar(w, "lfrc_audit_violations_total", int64(st.Lifecycle.Violations))
+
+	// The census walks the heap; at metrics-scrape cadence that is cheap
+	// relative to a scrape, and it is the leak-triage signal: live objects
+	// bucketed by rc, tracked objects by age.
+	c := s.Census()
+	writeHeader(w, "lfrc_census_live_objects", "gauge", "Live objects by reference-count bucket (online census).")
+	for _, b := range sortedBuckets(c.ByRC) {
+		writeLabeled(w, "lfrc_census_live_objects", "rc", b, c.ByRC[b])
+	}
+	writeHeader(w, "lfrc_census_tracked_objects", "gauge", "Ledger-tracked live objects by age bucket (online census).")
+	for _, b := range sortedBuckets(c.ByAge) {
+		writeLabeled(w, "lfrc_census_tracked_objects", "age", b, c.ByAge[b])
+	}
+	writeHeader(w, "lfrc_census_oldest_tracked_ns", "gauge", "Age of the oldest ledger-tracked live object in nanoseconds.")
+	writeScalar(w, "lfrc_census_oldest_tracked_ns", c.OldestNS)
+}
+
+// sortedBuckets returns a census bucket map's keys in stable order.
+func sortedBuckets(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // MetricsHandler serves WriteMetrics over HTTP — the system's /metrics
@@ -137,11 +176,12 @@ var (
 
 // NewDebugMux builds the debug/ops HTTP mux for a System:
 //
-//	/metrics            Prometheus text exposition (MetricsHandler)
-//	/debug/vars         expvar JSON, including an "lfrc" variable with Stats
-//	/debug/lfrc/stats   Stats() as one JSON object
-//	/debug/lfrc/trace   Trace() as one JSON object (flight recorder dump)
-//	/debug/pprof/...    the standard Go profiler endpoints
+//	/metrics               Prometheus text exposition (MetricsHandler)
+//	/debug/vars            expvar JSON, including an "lfrc" variable with Stats
+//	/debug/lfrc/stats      Stats() as one JSON object
+//	/debug/lfrc/trace      Trace() as one JSON object (flight recorder dump)
+//	/debug/lfrc/trace.json Chrome trace_event export (open in Perfetto)
+//	/debug/pprof/...       the standard Go profiler endpoints
 //
 // get is called per request so callers can swap the live system (benchmark
 // harnesses rebuild systems per phase); use func() *System { return s } for a
@@ -187,6 +227,15 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Trace())
+	}))
+	mux.Handle("/debug/lfrc/trace.json", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		// Chrome trace_event export: save the response and load it in
+		// Perfetto or chrome://tracing.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="lfrc-trace.json"`)
+		if err := s.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -2,13 +2,16 @@ package lfrc
 
 import (
 	"fmt"
+	"io"
 	"sync"
+	"time"
 
 	"lfrc/internal/check"
 	"lfrc/internal/core"
 	"lfrc/internal/dcas"
 	"lfrc/internal/dlist"
 	"lfrc/internal/gctrace"
+	"lfrc/internal/lifecycle"
 	"lfrc/internal/mem"
 	"lfrc/internal/msqueue"
 	"lfrc/internal/obs"
@@ -57,13 +60,15 @@ type Option interface {
 }
 
 type config struct {
-	engine        Engine
-	maxHeapWords  uint64
-	destroyBudget int
-	poisonCheck   bool
-	allocShards   int
-	observer      bool
-	sampleEvery   int
+	engine         Engine
+	maxHeapWords   uint64
+	destroyBudget  int
+	poisonCheck    bool
+	allocShards    int
+	observer       bool
+	sampleEvery    int
+	lifecycleEvery int
+	auditEvery     time.Duration
 }
 
 type optionFunc func(*config)
@@ -124,6 +129,47 @@ func WithTraceSampling(n int) Option {
 	})
 }
 
+// WithLifecycleLedger enables the sampled per-object lifecycle ledger and
+// implies WithObserver(true): one in every n allocations is selected at
+// birth, and every subsequent event touching a selected object — including
+// operations the flight recorder's own op sampling skips — is appended to
+// that object's timeline with goroutine attribution. Read timelines back
+// with System.Timeline, population reports with System.Census, and export
+// everything with System.WriteChromeTrace. n == 1 tracks every object;
+// n == 0 installs the ledger with object sampling off — since an off ledger
+// can never claim an object it is detached from the recorder, so the
+// "disabled" mode of experiment O2 costs only the recorder's nil sink check.
+func WithLifecycleLedger(n int) Option {
+	return optionFunc(func(c *config) {
+		c.observer = true
+		if n < 0 {
+			n = 0
+		}
+		c.lifecycleEvery = n + 1 // internal encoding: 0 = off, k+1 = every k
+	})
+}
+
+// WithLifecycleAudit starts the online invariant auditor: a background
+// goroutine that sweeps the lifecycle ledger every interval, cross-checks
+// tracked objects against the heap, and flags leak candidates, use-after-
+// free, double frees, and stuck zombies (see System.Violations). Each new
+// finding also captures a flight-recorder postmortem, so auditor findings
+// surface through System.Postmortems alongside poison corruptions. Implies
+// WithLifecycleLedger at its default sampling when no ledger was requested.
+// Call System.Close to stop the auditor.
+func WithLifecycleAudit(interval time.Duration) Option {
+	return optionFunc(func(c *config) {
+		c.observer = true
+		if c.lifecycleEvery == 0 {
+			c.lifecycleEvery = lifecycle.DefaultSampleEvery + 1
+		}
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		c.auditEvery = interval
+	})
+}
+
 // System bundles a manual heap, a DCAS engine, the LFRC operations, and the
 // backup tracing collector. All methods are safe for concurrent use unless
 // noted otherwise.
@@ -133,6 +179,11 @@ type System struct {
 	rc        *core.RC
 	collector *gctrace.Collector
 	obs       *obs.Recorder // nil unless WithObserver/WithTraceSampling
+
+	// ledger and auditor are nil unless WithLifecycleLedger /
+	// WithLifecycleAudit; every consumer below is nil-safe.
+	ledger  *lifecycle.Ledger
+	auditor *lifecycle.Auditor
 
 	// Each structure family's heap types are registered lazily on first
 	// use; a system that never creates a Queue never pays for (or exposes)
@@ -179,6 +230,18 @@ func New(opts ...Option) (*System, error) {
 		rec = obs.New(obsOpts...)
 	}
 
+	var led *lifecycle.Ledger
+	if cfg.lifecycleEvery > 0 {
+		led = lifecycle.New(lifecycle.WithSampleEvery(cfg.lifecycleEvery - 1))
+		// A sampling-off ledger can never claim an object, so it detaches
+		// from the recorder entirely: "disabled" costs exactly the nil
+		// sink check. Install before the recorder is shared: SetSink is
+		// not synchronized.
+		if cfg.lifecycleEvery > 1 {
+			rec.SetSink(led)
+		}
+	}
+
 	h := mem.NewHeap(
 		mem.WithMaxWords(cfg.maxHeapWords),
 		mem.WithPoisonCheck(cfg.poisonCheck),
@@ -201,13 +264,58 @@ func New(opts ...Option) (*System, error) {
 	}
 	rcOpts = append(rcOpts, core.WithObserver(rec))
 
-	return &System{
+	s := &System{
 		heap:      h,
 		engine:    e,
 		rc:        core.New(h, e, rcOpts...),
 		collector: gctrace.New(h),
 		obs:       rec,
-	}, nil
+		ledger:    led,
+	}
+	if led != nil {
+		var audOpts []lifecycle.AuditOption
+		if cfg.auditEvery > 0 {
+			audOpts = append(audOpts, lifecycle.WithInterval(cfg.auditEvery))
+		}
+		s.auditor = lifecycle.NewAuditor(led, heapProbe{h}, rec, audOpts...)
+		if cfg.auditEvery > 0 {
+			s.auditor.Start()
+		}
+	}
+	return s, nil
+}
+
+// heapProbe adapts the heap to the auditor's Probe interface.
+type heapProbe struct{ h *mem.Heap }
+
+func (p heapProbe) RCOf(ref uint32) uint64 {
+	r := mem.Ref(ref)
+	if r == 0 || !p.h.InArena(r) {
+		return 0
+	}
+	rc := p.h.Load(p.h.RCAddr(r))
+	if rc >= mem.Poison {
+		// A poisoned rc cell means the slot is freed (or corrupted);
+		// either way it is not a live stuck count.
+		return 0
+	}
+	return rc
+}
+
+func (p heapProbe) Freed(ref uint32) bool {
+	r := mem.Ref(ref)
+	return r != 0 && p.h.InArena(r) && p.h.IsFreed(r)
+}
+
+func (p heapProbe) AdvanceEpoch() uint64 { return p.h.AdvanceEpoch() }
+
+// Close stops the system's background machinery (the lifecycle auditor
+// started by WithLifecycleAudit). It is safe to call on any System, multiple
+// times; the system's data structures remain usable afterwards.
+func (s *System) Close() {
+	if s.auditor != nil {
+		s.auditor.Stop()
+	}
 }
 
 // Trace is the flight recorder's dump: the surviving ring events in sequence
@@ -225,6 +333,59 @@ func (s *System) Trace() Trace { return s.obs.Trace() }
 // violation, each naming the offending ref and carrying the trailing flight
 // events that touched it.
 func (s *System) Postmortems() []obs.Postmortem { return s.obs.Postmortems() }
+
+// Timeline is one sampled object's ledgered event chain: allocation, every
+// rc-manipulating touch with before/after counts and goroutine attribution,
+// zombie transit, and free. See WithLifecycleLedger.
+type Timeline = lifecycle.Timeline
+
+// Violation is one invariant breach flagged by the lifecycle auditor,
+// carrying the offending object's timeline. See WithLifecycleAudit.
+type Violation = lifecycle.Violation
+
+// Census is a point-in-time heap population report bucketed by reference
+// count, with age distribution for ledger-tracked objects.
+type Census = lifecycle.Census
+
+// Timeline returns the lifecycle timeline for ref — the live incarnation if
+// the object is still tracked, else its most recent completed incarnation.
+// Without WithLifecycleLedger (or for unsampled objects) it reports false.
+func (s *System) Timeline(ref uint32) (Timeline, bool) { return s.ledger.Timeline(ref) }
+
+// Census walks the heap and reports its population bucketed by reference
+// count, plus the lifecycle ledger's tracked-object age distribution. The
+// walk is online (no stop-the-world): counts are a triage snapshot, not an
+// exact quiescent census.
+func (s *System) Census() Census { return lifecycle.TakeCensus(s.heap, s.ledger) }
+
+// AuditPass runs one lifecycle audit pass immediately and returns the
+// violations newly flagged by it. It requires WithLifecycleLedger (the
+// auditor exists whenever the ledger does; WithLifecycleAudit additionally
+// runs passes on a background interval) and returns nil without one.
+func (s *System) AuditPass() []Violation {
+	if s.auditor == nil {
+		return nil
+	}
+	return s.auditor.RunPass()
+}
+
+// Violations returns the lifecycle violations flagged so far, oldest first
+// (bounded retention; each was also captured as a postmortem when the
+// flight recorder is enabled).
+func (s *System) Violations() []Violation {
+	if s.auditor == nil {
+		return nil
+	}
+	return s.auditor.Violations()
+}
+
+// WriteChromeTrace exports the flight recorder's trace and the lifecycle
+// ledger's timelines as Chrome trace_event JSON, loadable in Perfetto or
+// chrome://tracing: one track per goroutine, instants for flight-ring
+// events, and one async span per sampled object lifetime.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	return lifecycle.WriteChromeTrace(w, s.Trace(), s.ledger)
+}
 
 // EngineName reports which DCAS engine the system runs on.
 func (s *System) EngineName() string { return s.engine.Name() }
@@ -245,13 +406,26 @@ func (s *System) Stats() Stats {
 	for i, sh := range ms.PerShard {
 		a.PerShard[i] = ShardStats(sh)
 	}
-	return Stats{
+	st := Stats{
 		Engine:  s.engine.Name(),
 		Heap:    HeapStats(s.heap.Stats()),
 		RC:      RCStats(s.rc.Stats()),
 		Alloc:   a,
 		Zombies: s.rc.ZombieCount(),
 	}
+	if s.ledger != nil {
+		st.Lifecycle = LifecycleStats{
+			Enabled:        true,
+			SampleEvery:    s.ledger.SampleEvery(),
+			Tracked:        s.ledger.TrackedCount(),
+			SampledObjects: s.ledger.SampledObjects(),
+			SkippedFull:    s.ledger.SkippedFull(),
+			AuditPasses:    s.auditor.Passes(),
+			Violations:     s.auditor.ViolationCount(),
+			Epoch:          s.heap.Epoch(),
+		}
+	}
+	return st
 }
 
 // Stats is the one-call snapshot of everything the system counts.
@@ -273,6 +447,34 @@ type Stats struct {
 	// Zombies is the number of objects currently awaiting deferred
 	// reclamation (see WithIncrementalDestroy).
 	Zombies int64 `json:"zombies"`
+
+	// Lifecycle is the diagnosis layer's accounting; zero unless the
+	// system was built WithLifecycleLedger / WithLifecycleAudit.
+	Lifecycle LifecycleStats `json:"lifecycle"`
+}
+
+// LifecycleStats is the lifecycle ledger and auditor accounting.
+type LifecycleStats struct {
+	// Enabled reports whether a lifecycle ledger is installed.
+	Enabled bool `json:"enabled"`
+
+	// SampleEvery is the object sampling interval (1 = every object,
+	// 0 = installed but off).
+	SampleEvery int `json:"sample_every"`
+
+	// Tracked is the number of currently tracked objects; SampledObjects
+	// counts objects ever selected; SkippedFull counts selections dropped
+	// because the track table was at capacity.
+	Tracked        int64  `json:"tracked"`
+	SampledObjects uint64 `json:"sampled_objects"`
+	SkippedFull    uint64 `json:"skipped_full"`
+
+	// AuditPasses counts invariant-auditor sweeps; Violations counts
+	// breaches ever flagged; Epoch is the reclamation epoch (one tick
+	// per pass).
+	AuditPasses uint64 `json:"audit_passes"`
+	Violations  uint64 `json:"violations"`
+	Epoch       uint64 `json:"epoch"`
 }
 
 // HeapStats snapshots the heap accounting: live objects and words, allocs,
