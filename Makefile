@@ -2,19 +2,32 @@
 
 GO ?= go
 
-.PHONY: all check build vet test check-race race cover bench bench-smoke fuzz experiments stress explore examples clean
+# Per-benchmark time budget for `make bench` (passed to -benchtime when set;
+# e.g. `make bench BENCHTIME=100ms` for a quick sweep, `BENCHTIME=5x` for
+# iteration counts).
+BENCHTIME ?=
+
+# Perf-regression gate knobs (see perf-check). PERF_BASELINE is the committed
+# trajectory point to compare against; PERF_TOL the relative tolerance;
+# PERF_STRICT=1 turns a regression into a hard failure.
+PERF_BASELINE ?= BENCH_0004.json
+PERF_TOL ?= 0.25
+PERF_STRICT ?= 0
+
+.PHONY: all check build vet test check-race race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
 # The default gate: compile, vet, tests, and the race detector in one target.
 # check-race runs first: it covers the packages with the trickiest
 # concurrency (seqlock rings, the lifecycle ledger/auditor, the LFRC core)
-# and fails fast before the full -race sweep.
-check: build vet test check-race race
+# and fails fast before the full -race sweep. perf-check rides along as a
+# soft gate (warn-only unless PERF_STRICT=1).
+check: build vet test check-race race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
-	$(GO) test -race ./internal/obs ./internal/lifecycle ./internal/core
+	$(GO) test -race ./internal/obs ./internal/lifecycle ./internal/core ./internal/contend
 
 build:
 	$(GO) build ./...
@@ -32,12 +45,35 @@ cover:
 	$(GO) test -cover ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' ./...
+	$(GO) test -bench=. -benchmem -run='^$$' $(if $(BENCHTIME),-benchtime=$(BENCHTIME)) ./...
 
-# One quick pass over the sharded-allocator benchmark (experiment A3) and
-# the observer-overhead benchmark (experiment O1).
+# One quick pass over the sharded-allocator benchmark (experiment A3), the
+# observer-overhead benchmark (O1), the lifecycle-ledger benchmark (O2) and
+# the contention-observatory benchmark (O3).
 bench-smoke:
-	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead|BenchmarkLifecycleLedger|BenchmarkContention' -benchtime=1x -run='^$$' .
+
+# Record a new perf-trajectory point against which perf-check gates. Commit
+# the refreshed $(PERF_BASELINE) when the change in performance is intended.
+perf-baseline:
+	$(GO) run ./cmd/lfrcbench -bench-json $(PERF_BASELINE) -bench-runs 5 -dur 250ms
+
+# Compare current performance against the committed baseline. Soft by
+# default: a regression prints the lfrcperf table and a warning. Set
+# PERF_STRICT=1 (CI on quiet hardware) to fail the build instead.
+perf-check:
+	@tmp=$$(mktemp /tmp/lfrc-bench-XXXXXX.json); \
+	$(GO) run ./cmd/lfrcbench -bench-json $$tmp -bench-runs 5 -dur 250ms >/dev/null || exit 1; \
+	if $(GO) run ./cmd/lfrcperf -old $(PERF_BASELINE) -new $$tmp -tol $(PERF_TOL); then \
+		rm -f $$tmp; \
+	else \
+		status=$$?; rm -f $$tmp; \
+		if [ "$(PERF_STRICT)" = "1" ]; then \
+			echo "perf-check: FAILED (PERF_STRICT=1)"; exit $$status; \
+		else \
+			echo "perf-check: regression vs $(PERF_BASELINE) (warn-only; set PERF_STRICT=1 to enforce)"; \
+		fi; \
+	fi
 
 # Short fuzzing burst per fuzzer (seed corpora always run under `make test`).
 fuzz:

@@ -727,6 +727,94 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	}
 }
 
+// benchDequeMix drives the balanced deque mix on a fresh system built with
+// opts, serially or under RunParallel — the shared body of the telemetry
+// overhead benchmarks below.
+func benchDequeMix(b *testing.B, parallel bool, opts ...lfrc.Option) {
+	sys, err := lfrc.New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := sys.NewDeque()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 64; i++ {
+		_ = d.PushRight(lfrc.Value(i + 1))
+	}
+	step := func(i int) {
+		switch i % 4 {
+		case 0:
+			_ = d.PushLeft(lfrc.Value(i + 1))
+		case 1:
+			_ = d.PushRight(lfrc.Value(i + 1))
+		case 2:
+			d.PopLeft()
+		case 3:
+			d.PopRight()
+		}
+	}
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				step(i)
+				i++
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			step(i)
+		}
+	}
+}
+
+// BenchmarkLifecycleLedger measures the lifecycle ledger's cost on the
+// balanced deque mix (experiment O2's workload): no ledger, the default
+// 1-in-64 sampling, and full (every object tracked). Compare with benchstat
+// over -count=10 runs.
+func BenchmarkLifecycleLedger(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []lfrc.Option
+	}{
+		{"baseline", nil},
+		{"sampled64", []lfrc.Option{lfrc.WithLifecycleLedger(64)}},
+		{"full", []lfrc.Option{lfrc.WithLifecycleLedger(1)}},
+	}
+	for _, m := range modes {
+		b.Run(m.name+"/g1", func(b *testing.B) { benchDequeMix(b, false, m.opts...) })
+		b.Run(fmt.Sprintf("%s/g%d", m.name, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			benchDequeMix(b, true, m.opts...)
+		})
+	}
+}
+
+// BenchmarkContention measures the contention observatory's cost on the
+// balanced deque mix (experiment O3's workload). The observer mode isolates
+// the tax: WithContention implies the recorder, so its delta over
+// observer64 alone is the observatory's own cost — failed-attempt
+// attribution plus the wasted-ns aggregation tap. Under g1 there is no
+// contention, so only the fixed per-retry-loop nil checks are visible.
+func BenchmarkContention(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []lfrc.Option
+	}{
+		{"baseline", nil},
+		{"observer64", []lfrc.Option{lfrc.WithTraceSampling(64)}},
+		{"contention", []lfrc.Option{lfrc.WithContention(true), lfrc.WithTraceSampling(64)}},
+	}
+	for _, m := range modes {
+		b.Run(m.name+"/g1", func(b *testing.B) { benchDequeMix(b, false, m.opts...) })
+		b.Run(fmt.Sprintf("%s/g%d", m.name, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			benchDequeMix(b, true, m.opts...)
+		})
+	}
+}
+
 // TestMain gives the parallel benchmarks a few schedulable threads even on
 // single-CPU CI machines.
 func TestMain(m *testing.M) {

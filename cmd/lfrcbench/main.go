@@ -1,5 +1,5 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1, O1, O2 — see DESIGN.md §4 and EXPERIMENTS.md) and prints
+// A2, A3, L1, G1, O1, O2, O3 — see DESIGN.md §4 and EXPERIMENTS.md) and prints
 // one table per experiment, in the same format EXPERIMENTS.md records. A3's
 // notes include the unified System.Stats snapshot as JSON.
 //
@@ -8,17 +8,22 @@
 //	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-scale N]
 //	          [-dur 250ms] [-workers 1,2,4,8] [-markdown]
 //	          [-stats-json] [-metrics addr] [-trace out.json]
+//	          [-bench-json out.json] [-bench-runs N]
 //
 // With no -run flag every experiment runs. -stats-json appends the final
 // unified System.Stats of the last system an experiment published (O1, O2,
-// A3) as one JSON object on stdout. -metrics serves /metrics (Prometheus
+// O3, A3) as one JSON object on stdout. -metrics serves /metrics (Prometheus
 // text), /debug/vars (expvar), /debug/lfrc/{stats,trace} (JSON),
 // /debug/lfrc/trace.json (Chrome trace_event export) and /debug/pprof on
 // addr for the lifetime of the run, reporting on the same published system;
 // the bound address is echoed as a machine-readable "metrics_addr=" line so
 // harnesses can pass ":0". -trace writes the published system's Chrome
 // trace_event export (flight events plus lifecycle timelines; open in
-// Perfetto) to a file after the run.
+// Perfetto) to a file after the run. -bench-json skips the experiment tables
+// and instead writes a schema-versioned perf-telemetry record (medians over
+// -bench-runs adjacent runs per workload, plus a contention summary) for
+// cmd/lfrcperf to gate regressions on; the path is echoed as a
+// machine-readable "bench_json=" line.
 package main
 
 import (
@@ -56,6 +61,8 @@ func run(args []string, stdout io.Writer) error {
 		statsJSON = fs.Bool("stats-json", false, "dump the published system's unified Stats as JSON on stdout after the run")
 		metrics   = fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9100) during the run")
 		tracePath = fs.String("trace", "", "write the published system's Chrome trace_event export to this file after the run")
+		benchJSON = fs.String("bench-json", "", "skip the experiment tables and write a perf-telemetry record (for cmd/lfrcperf) to this file")
+		benchRuns = fs.Int("bench-runs", 5, "adjacent runs per workload in -bench-json mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,7 +99,34 @@ func run(args []string, stdout io.Writer) error {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	want := func(id string) bool { return len(wanted) == 0 || wanted[id] }
+	// -bench-json replaces the experiment tables with the perf-telemetry
+	// harness; the tail flags (-metrics, -stats-json, -trace) still apply to
+	// the system the harness publishes.
+	benchMode := *benchJSON != ""
+	want := func(id string) bool { return !benchMode && (len(wanted) == 0 || wanted[id]) }
+
+	if benchMode {
+		if len(kinds) != 1 {
+			return fmt.Errorf("-bench-json: pick a single engine (locking or mcas), not both")
+		}
+		if *benchRuns < 1 {
+			return fmt.Errorf("-bench-runs %d < 1", *benchRuns)
+		}
+		rec, err := workload.RunBenchJSON(kinds[0], *dur, *benchRuns)
+		if err != nil {
+			return fmt.Errorf("-bench-json: %w", err)
+		}
+		rec.CreatedUnixNS = time.Now().UnixNano()
+		raw, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return fmt.Errorf("-bench-json: %w", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("-bench-json: %w", err)
+		}
+		// Machine-readable form, mirroring metrics_addr=.
+		fmt.Fprintf(stdout, "bench_json=%s\n", *benchJSON)
+	}
 
 	emit := func(t *workload.Table) {
 		if *markdown {
@@ -138,6 +172,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if want("O2") {
 			emit(workload.RunO2(kind, *dur))
+		}
+		if want("O3") {
+			emit(workload.RunO3(kind, *dur))
 		}
 	}
 	// Engine-sweeping experiments run once.

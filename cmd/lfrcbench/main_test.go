@@ -251,6 +251,88 @@ func TestTraceFlagWritesChromeExport(t *testing.T) {
 	}
 }
 
+func TestBenchJSONWritesRecordAndComposesWithMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench-json", path, "-bench-runs", "2", "-dur", "10ms",
+		"-metrics", "127.0.0.1:0", "-stats-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run(-bench-json -metrics): %v", err)
+	}
+
+	// Both machine-readable lines must be present: harnesses scrape
+	// metrics_addr= for the port and bench_json= for the record path.
+	var benchPath, metricsAddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if p, ok := strings.CutPrefix(line, "bench_json="); ok {
+			benchPath = strings.TrimSpace(p)
+		}
+		if a, ok := strings.CutPrefix(line, "metrics_addr="); ok {
+			metricsAddr = strings.TrimSpace(a)
+		}
+	}
+	if benchPath != path {
+		t.Errorf("bench_json= line = %q, want %q", benchPath, path)
+	}
+	if metricsAddr == "" {
+		t.Errorf("no metrics_addr= line alongside -bench-json:\n%.400s", out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("record not written: %v", err)
+	}
+	var rec workload.BenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if rec.SchemaVersion != workload.BenchSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rec.SchemaVersion, workload.BenchSchemaVersion)
+	}
+	if rec.CreatedUnixNS == 0 {
+		t.Error("created_unix_ns not stamped")
+	}
+	if rec.Engine != "locking" {
+		t.Errorf("engine = %q, want locking", rec.Engine)
+	}
+	if len(rec.Experiments) == 0 {
+		t.Fatal("record has no experiments")
+	}
+	for _, e := range rec.Experiments {
+		if len(e.Runs) != 2 {
+			t.Errorf("%s: %d runs, want 2", e.ID, len(e.Runs))
+		}
+		if e.Median <= 0 {
+			t.Errorf("%s: non-positive median %v", e.ID, e.Median)
+		}
+	}
+	if rec.Contention == nil {
+		t.Error("record lacks the contention summary")
+	}
+
+	// The contention-instrumented run publishes its system, so -stats-json
+	// composes with -bench-json: the last line is a Stats object.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var stats struct {
+		Engine string `json:"engine"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &stats); err != nil {
+		t.Errorf("-stats-json after -bench-json did not emit a Stats object: %v", err)
+	}
+}
+
+func TestBenchJSONRejectsBothEngines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-bench-json", path, "-engine", "both"}, io.Discard); err == nil {
+		t.Error("run accepted -bench-json with -engine both")
+	}
+	if err := run([]string{"-bench-json", path, "-bench-runs", "0"}, io.Discard); err == nil {
+		t.Error("run accepted -bench-runs 0")
+	}
+}
+
 func TestTraceFlagWithoutPublishingExperimentErrors(t *testing.T) {
 	workload.SetCurrentSystem(nil)
 	path := filepath.Join(t.TempDir(), "out.json")

@@ -1,0 +1,170 @@
+// Command lfrcperf compares two machine-readable benchmark records written
+// by `lfrcbench -bench-json` and fails (exit 1) on performance regression.
+//
+// Usage:
+//
+//	lfrcperf -old BENCH_0004.json -new current.json [-tol 0.10]
+//
+// Throughput on a shared machine drifts by tens of percent across seconds,
+// so a naive "median got smaller" check would cry wolf constantly. The
+// verdict is therefore noise-aware, per experiment:
+//
+//   - the i-th runs of the two records are paired (both records interleave
+//     their runs round-robin, so run i saw comparable machine state) and a
+//     sign test counts how many pairs degraded by more than the tolerance;
+//   - an experiment regresses only when a majority of pairs degraded AND
+//     the median ratio new/old is below 1 - tolerance.
+//
+// A record is refused when the schema versions differ; a host mismatch is
+// reported but compared anyway (with a warning — cross-host ratios need
+// generous tolerance).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lfrc/internal/workload"
+)
+
+func main() {
+	regressions, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfrcperf:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the comparison and returns how many experiments regressed.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("lfrcperf", flag.ContinueOnError)
+	var (
+		oldPath = fs.String("old", "", "baseline record (from lfrcbench -bench-json)")
+		newPath = fs.String("new", "", "candidate record to judge against the baseline")
+		tol     = fs.Float64("tol", 0.10, "relative tolerance: a run pair degrades when new < old*(1-tol)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return 0, fmt.Errorf("both -old and -new are required")
+	}
+	if *tol < 0 || *tol >= 1 {
+		return 0, fmt.Errorf("-tol %v out of range [0, 1)", *tol)
+	}
+
+	oldRec, err := readRecord(*oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRec, err := readRecord(*newPath)
+	if err != nil {
+		return 0, err
+	}
+	if oldRec.SchemaVersion != newRec.SchemaVersion {
+		return 0, fmt.Errorf("schema version mismatch: %s is v%d, %s is v%d",
+			*oldPath, oldRec.SchemaVersion, *newPath, newRec.SchemaVersion)
+	}
+	if oldRec.Host != newRec.Host {
+		fmt.Fprintf(stdout, "warning: host mismatch (%+v vs %+v); cross-host ratios need generous -tol\n",
+			oldRec.Host, newRec.Host)
+	}
+	if oldRec.Engine != newRec.Engine {
+		fmt.Fprintf(stdout, "warning: engine mismatch (%s vs %s)\n", oldRec.Engine, newRec.Engine)
+	}
+
+	oldByID := map[string]workload.BenchExperiment{}
+	for _, e := range oldRec.Experiments {
+		oldByID[e.ID] = e
+	}
+
+	fmt.Fprintf(stdout, "%-20s %14s %14s %8s %8s  %s\n",
+		"experiment", "old median", "new median", "ratio", "pairs", "verdict")
+	regressions := 0
+	compared := 0
+	for _, ne := range newRec.Experiments {
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			fmt.Fprintf(stdout, "%-20s %14s %14s %8s %8s  new (no baseline)\n",
+				ne.ID, "-", fmtRate(ne.Median), "-", "-")
+			continue
+		}
+		delete(oldByID, ne.ID)
+		compared++
+
+		n := len(oe.Runs)
+		if len(ne.Runs) < n {
+			n = len(ne.Runs)
+		}
+		worse, better := 0, 0
+		for i := 0; i < n; i++ {
+			switch {
+			case ne.Runs[i] < oe.Runs[i]*(1-*tol):
+				worse++
+			case ne.Runs[i] > oe.Runs[i]*(1+*tol):
+				better++
+			}
+		}
+		ratio := 0.0
+		if oe.Median > 0 {
+			ratio = ne.Median / oe.Median
+		}
+
+		verdict := "ok"
+		switch {
+		case n == 0 || oe.Median <= 0:
+			verdict = "no data"
+		case worse > n/2 && ratio < 1-*tol:
+			verdict = "REGRESSION"
+			regressions++
+		case better > n/2 && ratio > 1+*tol:
+			verdict = "improved"
+		}
+		fmt.Fprintf(stdout, "%-20s %14s %14s %7.2fx %5d/%-2d  %s\n",
+			ne.ID, fmtRate(oe.Median), fmtRate(ne.Median), ratio, worse, n, verdict)
+	}
+	for id := range oldByID {
+		fmt.Fprintf(stdout, "%-20s dropped from the new record\n", id)
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no experiments in common between the two records")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "%d regression(s) beyond tol=%.0f%%\n", regressions, *tol*100)
+	} else {
+		fmt.Fprintf(stdout, "no regressions beyond tol=%.0f%%\n", *tol*100)
+	}
+	return regressions, nil
+}
+
+func readRecord(path string) (*workload.BenchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec workload.BenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: not a lfrcbench -bench-json record (no schema_version)", path)
+	}
+	return &rec, nil
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
+}

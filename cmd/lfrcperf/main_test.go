@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lfrc/internal/workload"
+)
+
+// record builds a minimal BenchRecord with the given per-experiment runs.
+func record(t *testing.T, runs map[string][]float64) *workload.BenchRecord {
+	t.Helper()
+	rec := &workload.BenchRecord{
+		SchemaVersion: workload.BenchSchemaVersion,
+		CreatedUnixNS: 1,
+		Host: workload.BenchHost{
+			GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GOMAXPROCS: 8, GoVersion: "go1.22",
+		},
+		Engine: "locking",
+		Config: workload.BenchConfig{DurNS: 1e8, Runs: 5, Workers: 4, Prefill: 64},
+	}
+	// Deterministic order keeps output assertions simple.
+	for _, id := range []string{"deque/balanced", "deque/push_heavy", "deque/pop_heavy"} {
+		rs, ok := runs[id]
+		if !ok {
+			continue
+		}
+		sorted := append([]float64(nil), rs...)
+		for i := 1; i < len(sorted); i++ { // insertion sort; tiny n
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		med := sorted[len(sorted)/2]
+		if len(sorted)%2 == 0 {
+			med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+		}
+		rec.Experiments = append(rec.Experiments, workload.BenchExperiment{
+			ID: id, Unit: "ops/sec", Runs: rs, Median: med,
+		})
+	}
+	return rec
+}
+
+func writeRecord(t *testing.T, rec *workload.BenchRecord) string {
+	t.Helper()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "rec.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestIdenticalRecordsPass(t *testing.T) {
+	runs := map[string][]float64{
+		"deque/balanced":   {1e6, 1.1e6, 0.9e6, 1.05e6, 0.95e6},
+		"deque/push_heavy": {2e6, 2.2e6, 1.8e6, 2.1e6, 1.9e6},
+	}
+	path := writeRecord(t, record(t, runs))
+	var out bytes.Buffer
+	n, err := run([]string{"-old", path, "-new", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("identical records reported %d regressions:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("missing pass summary:\n%s", out.String())
+	}
+}
+
+func TestInjectedSlowdownFlagged(t *testing.T) {
+	old := map[string][]float64{
+		"deque/balanced":   {1e6, 1.1e6, 0.9e6, 1.05e6, 0.95e6},
+		"deque/push_heavy": {2e6, 2.2e6, 1.8e6, 2.1e6, 1.9e6},
+	}
+	// balanced runs at half throughput — a 2x slowdown; push_heavy unchanged.
+	slow := map[string][]float64{
+		"deque/balanced":   {0.5e6, 0.55e6, 0.45e6, 0.52e6, 0.48e6},
+		"deque/push_heavy": old["deque/push_heavy"],
+	}
+	oldPath := writeRecord(t, record(t, old))
+	newPath := writeRecord(t, record(t, slow))
+	var out bytes.Buffer
+	n, err := run([]string{"-old", oldPath, "-new", newPath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("2x slowdown on one experiment reported %d regressions, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION verdict:\n%s", out.String())
+	}
+}
+
+func TestNoisyButStableRunsPassAndSpeedupIsNotRegression(t *testing.T) {
+	old := map[string][]float64{
+		"deque/balanced": {1e6, 1.1e6, 0.9e6, 1.05e6, 0.95e6},
+	}
+	// Per-run jitter within tolerance of the pair, median ~unchanged.
+	jitter := map[string][]float64{
+		"deque/balanced": {0.95e6, 1.15e6, 0.87e6, 1.0e6, 1.0e6},
+	}
+	faster := map[string][]float64{
+		"deque/balanced": {2e6, 2.2e6, 1.8e6, 2.1e6, 1.9e6},
+	}
+	oldPath := writeRecord(t, record(t, old))
+	for name, rec := range map[string]map[string][]float64{"jitter": jitter, "faster": faster} {
+		newPath := writeRecord(t, record(t, rec))
+		var out bytes.Buffer
+		n, err := run([]string{"-old", oldPath, "-new", newPath}, &out)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		if n != 0 {
+			t.Errorf("%s record reported %d regressions:\n%s", name, n, out.String())
+		}
+	}
+}
+
+func TestOneBadRunDoesNotFail(t *testing.T) {
+	// A single outlier run (GC pause, scheduler hiccup) must not trip the
+	// gate: the sign test needs a majority of degraded pairs.
+	old := map[string][]float64{
+		"deque/balanced": {1e6, 1e6, 1e6, 1e6, 1e6},
+	}
+	oneBad := map[string][]float64{
+		"deque/balanced": {1e6, 0.3e6, 1e6, 1e6, 1e6},
+	}
+	oldPath := writeRecord(t, record(t, old))
+	newPath := writeRecord(t, record(t, oneBad))
+	n, err := run([]string{"-old", oldPath, "-new", newPath}, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("one outlier run out of five reported %d regressions", n)
+	}
+}
+
+func TestSchemaVersionMismatchRefused(t *testing.T) {
+	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
+	oldRec := record(t, runs)
+	newRec := record(t, runs)
+	newRec.SchemaVersion = workload.BenchSchemaVersion + 1
+	_, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("mismatched schema versions not refused: %v", err)
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	runs := map[string][]float64{"deque/balanced": {1e6}}
+	good := writeRecord(t, record(t, runs))
+	if _, err := run([]string{"-new", good}, io.Discard); err == nil {
+		t.Error("missing -old accepted")
+	}
+	if _, err := run([]string{"-old", good, "-new", good, "-tol", "1.5"}, io.Discard); err == nil {
+		t.Error("-tol 1.5 accepted")
+	}
+	notJSON := filepath.Join(t.TempDir(), "x.json")
+	os.WriteFile(notJSON, []byte("{}"), 0o644)
+	if _, err := run([]string{"-old", notJSON, "-new", good}, io.Discard); err == nil {
+		t.Error("record without schema_version accepted")
+	}
+	disjoint := record(t, map[string][]float64{"deque/pop_heavy": {1e6}})
+	if _, err := run([]string{"-old", good, "-new", writeRecord(t, disjoint)}, io.Discard); err == nil {
+		t.Error("records with no common experiments accepted")
+	}
+}
+
+func TestHostMismatchWarnsButCompares(t *testing.T) {
+	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
+	oldRec := record(t, runs)
+	newRec := record(t, runs)
+	newRec.Host.NumCPU = 64
+	var out bytes.Buffer
+	n, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("host mismatch alone reported %d regressions", n)
+	}
+	if !strings.Contains(out.String(), "host mismatch") {
+		t.Errorf("no host-mismatch warning:\n%s", out.String())
+	}
+}

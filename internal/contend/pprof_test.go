@@ -1,0 +1,291 @@
+package contend
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"testing"
+
+	"lfrc/internal/obs"
+)
+
+// --- minimal profile.proto reader (test-only) ---------------------------
+
+type pbField struct {
+	num  int
+	wire int
+	varV uint64
+	data []byte
+}
+
+func pbParse(t *testing.T, buf []byte) []pbField {
+	t.Helper()
+	var out []pbField
+	for len(buf) > 0 {
+		key, n := pbVarint(buf)
+		if n == 0 {
+			t.Fatalf("truncated key at %d fields", len(out))
+		}
+		buf = buf[n:]
+		f := pbField{num: int(key >> 3), wire: int(key & 7)}
+		switch f.wire {
+		case 0:
+			v, n := pbVarint(buf)
+			if n == 0 {
+				t.Fatal("truncated varint")
+			}
+			f.varV, buf = v, buf[n:]
+		case 2:
+			l, n := pbVarint(buf)
+			if n == 0 || uint64(len(buf[n:])) < l {
+				t.Fatal("truncated bytes field")
+			}
+			f.data, buf = buf[n:n+int(l)], buf[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d", f.wire)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func pbVarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7F) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func pbPacked(t *testing.T, data []byte) []uint64 {
+	t.Helper()
+	var out []uint64
+	for len(data) > 0 {
+		v, n := pbVarint(data)
+		if n == 0 {
+			t.Fatal("truncated packed varint")
+		}
+		out = append(out, v)
+		data = data[n:]
+	}
+	return out
+}
+
+// parsedProfile is the subset of profile.proto the tests assert on.
+type parsedProfile struct {
+	strings    []string
+	sampleType [][2]string // (type, unit) resolved
+	samples    []parsedSample
+	locNames   map[uint64]string // location id -> function name
+	comment    []string
+	defaultST  uint64
+	period     uint64
+}
+
+type parsedSample struct {
+	locs   []uint64
+	values []uint64
+	labels map[string]string
+}
+
+func parseProfile(t *testing.T, gzBytes []byte) parsedProfile {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gzBytes))
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+
+	p := parsedProfile{locNames: map[uint64]string{}}
+	fields := pbParse(t, raw)
+
+	// First pass: string table.
+	var sampleTypeRaw [][]byte
+	var samplesRaw [][]byte
+	var locsRaw [][]byte
+	var fnsRaw [][]byte
+	var commentIdx []uint64
+	for _, f := range fields {
+		switch f.num {
+		case 1:
+			sampleTypeRaw = append(sampleTypeRaw, f.data)
+		case 2:
+			samplesRaw = append(samplesRaw, f.data)
+		case 4:
+			locsRaw = append(locsRaw, f.data)
+		case 5:
+			fnsRaw = append(fnsRaw, f.data)
+		case 6:
+			p.strings = append(p.strings, string(f.data))
+		case 12:
+			p.period = f.varV
+		case 13:
+			commentIdx = append(commentIdx, f.varV)
+		case 14:
+			p.defaultST = f.varV
+		}
+	}
+	str := func(i uint64) string {
+		if i >= uint64(len(p.strings)) {
+			t.Fatalf("string index %d out of range (%d strings)", i, len(p.strings))
+		}
+		return p.strings[i]
+	}
+	for _, i := range commentIdx {
+		p.comment = append(p.comment, str(i))
+	}
+	for _, d := range sampleTypeRaw {
+		var typ, unit uint64
+		for _, f := range pbParse(t, d) {
+			switch f.num {
+			case 1:
+				typ = f.varV
+			case 2:
+				unit = f.varV
+			}
+		}
+		p.sampleType = append(p.sampleType, [2]string{str(typ), str(unit)})
+	}
+	fnName := map[uint64]string{}
+	for _, d := range fnsRaw {
+		var id, name uint64
+		for _, f := range pbParse(t, d) {
+			switch f.num {
+			case 1:
+				id = f.varV
+			case 2:
+				name = f.varV
+			}
+		}
+		fnName[id] = str(name)
+	}
+	for _, d := range locsRaw {
+		var id, fn uint64
+		for _, f := range pbParse(t, d) {
+			switch f.num {
+			case 1:
+				id = f.varV
+			case 4:
+				for _, lf := range pbParse(t, f.data) {
+					if lf.num == 1 {
+						fn = lf.varV
+					}
+				}
+			}
+		}
+		p.locNames[id] = fnName[fn]
+	}
+	for _, d := range samplesRaw {
+		s := parsedSample{labels: map[string]string{}}
+		for _, f := range pbParse(t, d) {
+			switch f.num {
+			case 1:
+				s.locs = pbPacked(t, f.data)
+			case 2:
+				s.values = pbPacked(t, f.data)
+			case 3:
+				var k, v uint64
+				for _, lf := range pbParse(t, f.data) {
+					switch lf.num {
+					case 1:
+						k = lf.varV
+					case 2:
+						v = lf.varV
+					}
+				}
+				s.labels[str(k)] = str(v)
+			}
+		}
+		p.samples = append(p.samples, s)
+	}
+	return p
+}
+
+// --- tests ---------------------------------------------------------------
+
+func TestWriteProfileWellFormed(t *testing.T) {
+	tb := New(WithStripes(1))
+	tb.SetOpScale(8)
+	tb.Declare(0xA0, RoleRightHat)
+	tb.Attempt(obs.KindPushRight, 0xA0, RolePointer, 0xA1, RoleNodeLink, true, true)
+	tb.Attempt(obs.KindPushRight, 0xA0, RolePointer, 0xA1, RoleNodeLink, true, false)
+	tb.Aggregate(obs.Event{Kind: obs.KindPushRight, Addr: 0xA0, Retries: 1}, 1000)
+
+	var buf bytes.Buffer
+	if err := tb.WriteProfile(&buf); err != nil {
+		t.Fatalf("WriteProfile: %v", err)
+	}
+	p := parseProfile(t, buf.Bytes())
+
+	if len(p.sampleType) != 2 ||
+		p.sampleType[0] != [2]string{"failures", "count"} ||
+		p.sampleType[1] != [2]string{"wasted", "nanoseconds"} {
+		t.Fatalf("sample types = %v", p.sampleType)
+	}
+	if p.defaultST != 1 {
+		t.Fatalf("default_sample_type = %d, want 1 (wasted)", p.defaultST)
+	}
+	if p.period != 8 {
+		t.Fatalf("period = %d, want op scale 8", p.period)
+	}
+	if len(p.comment) != 1 || !bytes.Contains([]byte(p.comment[0]), []byte("1-in-8")) {
+		t.Fatalf("comment = %q", p.comment)
+	}
+
+	if len(p.samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (two contended cells)", len(p.samples))
+	}
+	var hat *parsedSample
+	for i := range p.samples {
+		if p.samples[i].labels["cell"] == "0xa0" {
+			hat = &p.samples[i]
+		}
+	}
+	if hat == nil {
+		t.Fatalf("no sample labeled cell=0xa0: %+v", p.samples)
+	}
+	// Declared role wins over the generic one the recording site passed.
+	if hat.labels["role"] != "right_hat" || hat.labels["op"] != "push_right" {
+		t.Fatalf("hat labels = %v", hat.labels)
+	}
+	// values[0] = failures, values[1] = wasted (500ns sampled * scale 8).
+	if hat.values[0] != 2 || hat.values[1] != 4000 {
+		t.Fatalf("hat values = %v, want [2 4000]", hat.values)
+	}
+	// Two-frame stack, leaf (the cell) first, caller (the op) second.
+	if len(hat.locs) != 2 {
+		t.Fatalf("hat stack = %v", hat.locs)
+	}
+	leaf, caller := p.locNames[hat.locs[0]], p.locNames[hat.locs[1]]
+	if leaf != fmt.Sprintf("cell %#x (%s)", 0xA0, "right_hat") {
+		t.Fatalf("leaf frame = %q", leaf)
+	}
+	if caller != "op:push_right" {
+		t.Fatalf("caller frame = %q", caller)
+	}
+	if p.strings[0] != "" {
+		t.Fatalf("string table index 0 = %q, want empty", p.strings[0])
+	}
+}
+
+func TestWriteProfileEmptyTable(t *testing.T) {
+	tb := New(WithStripes(1))
+	var buf bytes.Buffer
+	if err := tb.WriteProfile(&buf); err != nil {
+		t.Fatalf("WriteProfile on empty table: %v", err)
+	}
+	p := parseProfile(t, buf.Bytes())
+	if len(p.samples) != 0 {
+		t.Fatalf("samples = %d, want 0", len(p.samples))
+	}
+	if len(p.sampleType) != 2 {
+		t.Fatalf("sample types = %v", p.sampleType)
+	}
+}

@@ -1,0 +1,263 @@
+package contend
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lfrc/internal/obs"
+)
+
+// CellStats is one (cell, op-kind) row of the contention profile.
+type CellStats struct {
+	// Addr is the cell's word address in the simulated heap.
+	Addr uint32 `json:"addr"`
+
+	// Role names what the cell is (hat, rc word, node link, ...).
+	Role string `json:"role"`
+
+	// Op names the operation kind the row accounts for.
+	Op string `json:"op"`
+
+	// Attempts counts DCAS/CAS attempts involving the cell; Failures the
+	// failed attempts attributed to it (the comparand that moved).
+	Attempts int64 `json:"attempts"`
+	Failures int64 `json:"failures"`
+
+	// Ops counts completed operations that resolved on this cell;
+	// RetrySum and RetryMax describe their retry-chain lengths.
+	Ops      int64 `json:"ops"`
+	RetrySum int64 `json:"retry_sum"`
+	RetryMax int64 `json:"retry_max"`
+
+	// WastedNS estimates the nanoseconds burned in failed attempts on
+	// this cell (sampled latencies scaled by the op-sampling interval).
+	WastedNS int64 `json:"wasted_ns"`
+
+	// Hot is the decaying activity score the heatmap ranks by.
+	Hot int64 `json:"hot"`
+}
+
+// HotCell is one row of the per-address heatmap: every op kind touching the
+// address merged together, ranked by the decaying activity score.
+type HotCell struct {
+	Addr     uint32 `json:"addr"`
+	Role     string `json:"role"`
+	Attempts int64  `json:"attempts"`
+	Failures int64  `json:"failures"`
+	WastedNS int64  `json:"wasted_ns"`
+	Hot      int64  `json:"hot"`
+
+	// Ops lists the operation kinds seen on this cell, hottest first.
+	Ops []string `json:"ops"`
+}
+
+// Report is the one-call dump of the observatory's state.
+type Report struct {
+	// OpScale is the wasted-ns scaling factor (the recorder's op-sampling
+	// interval); estimates approximate un-sampled totals.
+	OpScale int `json:"op_scale"`
+
+	// Dropped counts records lost because a stripe's table was full.
+	Dropped int64 `json:"dropped"`
+
+	// Cells holds every (cell, op) accumulator, most wasted-ns first.
+	Cells []CellStats `json:"cells"`
+
+	// Heatmap is the decaying top-K per-address ranking, hottest first.
+	Heatmap []HotCell `json:"heatmap"`
+}
+
+// heatmapK is how many cells the heatmap ranks.
+const heatmapK = 16
+
+// merged is the snapshot-time merge accumulator for one (addr, kind) key.
+type merged struct {
+	addr  uint32
+	kind  obs.Kind
+	role  Role
+	stats CellStats
+}
+
+// Snapshot merges the stripes into a Report. Cold path; allocates. Racy
+// reads of individual counters are acceptable: the profile is a triage
+// surface, not an audit.
+func (t *Table) Snapshot() Report {
+	if t == nil {
+		return Report{OpScale: 1}
+	}
+	t.decayTick()
+	byKey := map[uint64]*merged{}
+	for i := range t.stripes {
+		es := t.stripes[i].entries
+		for j := range es {
+			e := &es[j]
+			k := e.key.Load()
+			if k == 0 {
+				continue
+			}
+			m := byKey[k]
+			if m == nil {
+				m = &merged{addr: uint32(k >> 8), kind: obs.Kind(k & 0xFF)}
+				byKey[k] = m
+			}
+			if r := Role(e.role.Load()); r.specificity() > m.role.specificity() {
+				m.role = r
+			}
+			m.stats.Attempts += e.attempts.Load()
+			m.stats.Failures += e.failures.Load()
+			m.stats.Ops += e.ops.Load()
+			m.stats.RetrySum += e.retrySum.Load()
+			if rm := e.retryMax.Load(); rm > m.stats.RetryMax {
+				m.stats.RetryMax = rm
+			}
+			m.stats.WastedNS += e.wastedNS.Load()
+			m.stats.Hot += e.hot.Load()
+		}
+	}
+
+	rep := Report{OpScale: t.OpScale(), Dropped: t.Dropped()}
+	byAddr := map[uint32]*HotCell{}
+	type opHeat struct {
+		op  string
+		hot int64
+	}
+	opsByAddr := map[uint32][]opHeat{}
+	for _, m := range byKey {
+		m.stats.Addr = m.addr
+		m.stats.Role = m.role.String()
+		m.stats.Op = m.kind.String()
+		rep.Cells = append(rep.Cells, m.stats)
+
+		h := byAddr[m.addr]
+		if h == nil {
+			h = &HotCell{Addr: m.addr}
+			byAddr[m.addr] = h
+		}
+		if h.Role == "" || m.role.specificity() > roleSpecificityOf(h.Role) {
+			h.Role = m.role.String()
+		}
+		h.Attempts += m.stats.Attempts
+		h.Failures += m.stats.Failures
+		h.WastedNS += m.stats.WastedNS
+		h.Hot += m.stats.Hot
+		opsByAddr[m.addr] = append(opsByAddr[m.addr], opHeat{m.kind.String(), m.stats.Hot})
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool {
+		a, b := rep.Cells[i], rep.Cells[j]
+		if a.WastedNS != b.WastedNS {
+			return a.WastedNS > b.WastedNS
+		}
+		if a.Failures != b.Failures {
+			return a.Failures > b.Failures
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Op < b.Op
+	})
+
+	for addr, h := range byAddr {
+		ops := opsByAddr[addr]
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].hot != ops[j].hot {
+				return ops[i].hot > ops[j].hot
+			}
+			return ops[i].op < ops[j].op
+		})
+		for _, o := range ops {
+			h.Ops = append(h.Ops, o.op)
+		}
+		rep.Heatmap = append(rep.Heatmap, *h)
+	}
+	sort.Slice(rep.Heatmap, func(i, j int) bool {
+		a, b := rep.Heatmap[i], rep.Heatmap[j]
+		if a.Hot != b.Hot {
+			return a.Hot > b.Hot
+		}
+		if a.WastedNS != b.WastedNS {
+			return a.WastedNS > b.WastedNS
+		}
+		return a.Addr < b.Addr
+	})
+	if len(rep.Heatmap) > heatmapK {
+		rep.Heatmap = rep.Heatmap[:heatmapK]
+	}
+	return rep
+}
+
+// roleSpecificityOf recovers merge precedence from a rendered role name.
+func roleSpecificityOf(name string) int {
+	switch name {
+	case "", "unknown":
+		return 0
+	case "pointer":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// WriteReport renders the human-readable contention report served on
+// /debug/lfrc/contention: the heatmap first (what is hot now), then the
+// full per-(cell, op) table ranked by wasted work.
+func (t *Table) WriteReport(w io.Writer) {
+	rep := t.Snapshot()
+	fmt.Fprintf(w, "lfrc contention observatory (wasted-ns scaled x%d; %d records dropped)\n\n",
+		rep.OpScale, rep.Dropped)
+	if len(rep.Cells) == 0 {
+		fmt.Fprintln(w, "no contention recorded")
+		return
+	}
+
+	fmt.Fprintf(w, "hot cells (decaying top-%d):\n", heatmapK)
+	fmt.Fprintf(w, "  %-4s %-10s %-10s %10s %10s %14s  %s\n",
+		"rank", "cell", "role", "attempts", "failures", "wasted", "ops")
+	for i, h := range rep.Heatmap {
+		fmt.Fprintf(w, "  %-4d %-10s %-10s %10d %10d %14s  %s\n",
+			i+1, fmt.Sprintf("%#x", h.Addr), h.Role, h.Attempts, h.Failures,
+			fmtNS(h.WastedNS), joinMax(h.Ops, 4))
+	}
+
+	fmt.Fprintf(w, "\nper-(cell, op) profile, most wasted first:\n")
+	fmt.Fprintf(w, "  %-10s %-10s %-12s %10s %10s %10s %9s %9s %14s\n",
+		"cell", "role", "op", "attempts", "failures", "ops", "retry/op", "retrymax", "wasted")
+	for _, c := range rep.Cells {
+		perOp := 0.0
+		if c.Ops > 0 {
+			perOp = float64(c.RetrySum) / float64(c.Ops)
+		}
+		fmt.Fprintf(w, "  %-10s %-10s %-12s %10d %10d %10d %9.2f %9d %14s\n",
+			fmt.Sprintf("%#x", c.Addr), c.Role, c.Op, c.Attempts, c.Failures,
+			c.Ops, perOp, c.RetryMax, fmtNS(c.WastedNS))
+	}
+}
+
+// fmtNS renders nanoseconds with a unit suffix for the text report.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// joinMax joins up to n strings with "+", appending "…" when truncated.
+func joinMax(ss []string, n int) string {
+	out := ""
+	for i, s := range ss {
+		if i == n {
+			return out + "+…"
+		}
+		if i > 0 {
+			out += "+"
+		}
+		out += s
+	}
+	return out
+}

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"lfrc/internal/contend"
 	"lfrc/internal/dcas"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
@@ -66,6 +67,11 @@ type RC struct {
 	// obs is the optional flight recorder. A nil recorder is fully
 	// disabled: every hot-path call on it is a single nil check.
 	obs *obs.Recorder
+
+	// ct is the optional contention observatory. A nil table is fully
+	// disabled; when installed, every retry loop reports its failed
+	// attempts (attributed to the comparand that moved) and retry chains.
+	ct *contend.Table
 }
 
 // Option configures an RC.
@@ -85,6 +91,16 @@ func WithIncrementalDestroy(budget int) Option {
 // per-stripe rings. A nil recorder leaves observation disabled.
 func WithObserver(r *obs.Recorder) Option {
 	return func(rc *RC) { rc.obs = r }
+}
+
+// WithContention attaches a contention observatory: the DCAS/CAS retry
+// loops of every LFRC operation report failed attempts per cell (split
+// across the two comparands by re-reading them — see dcas.Attribute) and
+// retry-chain lengths per completed contended operation. Uncontended
+// operations (no retry) record nothing, so the hot path pays one nil/zero
+// check. A nil table leaves observation disabled.
+func WithContention(t *contend.Table) Option {
+	return func(rc *RC) { rc.ct = t }
 }
 
 // New creates an RC over the given heap and engine.
@@ -107,6 +123,11 @@ func (rc *RC) st() *opStripe { return &rc.stats[stripe.Hint(len(rc.stats))] }
 // disabled recorder) unless WithObserver was used. Structure packages built
 // on this RC record their own op-level events through it.
 func (rc *RC) Observer() *obs.Recorder { return rc.obs }
+
+// Contention returns the attached contention observatory, which is nil (a
+// valid, disabled table) unless WithContention was used. Structure packages
+// built on this RC attribute their own retry loops through it.
+func (rc *RC) Contention() *contend.Table { return rc.ct }
 
 // Heap returns the underlying heap (for address computation and stats).
 func (rc *RC) Heap() *mem.Heap { return rc.h }
@@ -152,8 +173,20 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 		}
 		retries++
 		rc.st().loadRetries.Add(1)
+		if rc.ct != nil {
+			m0, m1 := dcas.Attribute(rc.e, a, rc.h.RCAddr(v), uint64(v), r)
+			rc.ct.Attempt(obs.KindLoad, uint32(a), contend.RolePointer,
+				uint32(rc.h.RCAddr(v)), contend.RoleRC, m0, m1)
+		}
 	}
 	rc.st().loads.Add(1)
+	if retries > 0 {
+		var rcA uint32
+		if *dest != 0 {
+			rcA = uint32(rc.h.RCAddr(*dest))
+		}
+		rc.ct.OpDone(obs.KindLoad, uint32(a), contend.RolePointer, rcA, contend.RoleRC, retries)
+	}
 	rc.recordT(t0, obs.KindLoad, *dest, a, true, retries, oldrc, 1)
 	rc.Destroy(olddest)
 }
@@ -178,16 +211,20 @@ func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 		if rc.NaiveHook != nil {
 			rc.NaiveHook(v)
 		}
-		oldrc = rc.addToRC(v, 1) // unsafe: v may already be freed
+		oldrc = rc.addToRC(obs.KindNaiveLoad, v, 1) // unsafe: v may already be freed
 		if mem.Ref(rc.e.Read(a)) == v {
 			*dest = v
 			break
 		}
-		rc.addToRC(v, -1)
+		rc.addToRC(obs.KindNaiveLoad, v, -1)
 		retries++
 		rc.st().loadRetries.Add(1)
+		rc.ct.Attempt(obs.KindNaiveLoad, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
 	}
 	rc.st().loads.Add(1)
+	if retries > 0 {
+		rc.ct.OpDone(obs.KindNaiveLoad, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
+	}
 	rc.recordT(t0, obs.KindNaiveLoad, *dest, a, true, retries, oldrc, 1)
 	rc.Destroy(olddest)
 }
@@ -199,18 +236,22 @@ func (rc *RC) Store(a mem.Addr, v mem.Ref) {
 	t0 := rc.obs.Sample()
 	var oldrc uint64
 	if v != 0 {
-		oldrc = rc.addToRC(v, 1)
+		oldrc = rc.addToRC(obs.KindStore, v, 1)
 	}
 	var retries uint32
 	for {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
+			if retries > 0 {
+				rc.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
+			}
 			rc.recordT(t0, obs.KindStore, v, a, true, retries, oldrc, 1)
 			rc.Destroy(old)
 			return
 		}
 		retries++
+		rc.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
 	}
 }
 
@@ -226,11 +267,15 @@ func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
 		old := mem.Ref(rc.e.Read(a))
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
+			if retries > 0 {
+				rc.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
+			}
 			rc.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
 			rc.Destroy(old)
 			return
 		}
 		retries++
+		rc.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
 	}
 }
 
@@ -240,7 +285,7 @@ func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
 	t0 := rc.obs.Sample()
 	var oldrc uint64
 	if w != 0 {
-		oldrc = rc.addToRC(w, 1)
+		oldrc = rc.addToRC(obs.KindCopy, w, 1)
 	}
 	old := *v
 	*v = w
@@ -255,7 +300,7 @@ func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 	t0 := rc.obs.Sample()
 	var oldrc uint64
 	if new != 0 {
-		oldrc = rc.addToRC(new, 1)
+		oldrc = rc.addToRC(obs.KindCAS, new, 1)
 	}
 	rc.st().casOps.Add(1)
 	if rc.e.CAS(a, uint64(old), uint64(new)) {
@@ -276,10 +321,10 @@ func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 	t0 := rc.obs.Sample()
 	var oldrc0 uint64
 	if new0 != 0 {
-		oldrc0 = rc.addToRC(new0, 1)
+		oldrc0 = rc.addToRC(obs.KindDCAS, new0, 1)
 	}
 	if new1 != 0 {
-		rc.addToRC(new1, 1)
+		rc.addToRC(obs.KindDCAS, new1, 1)
 	}
 	rc.st().dcasOps.Add(1)
 	if rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
@@ -305,7 +350,7 @@ func (rc *RC) Destroy(vs ...mem.Ref) {
 			continue
 		}
 		rc.st().destroys.Add(1)
-		old := rc.addToRC(v, -1)
+		old := rc.addToRC(obs.KindDestroy, v, -1)
 		hitZero := old == 1
 		// The first released ref carries the sampled latency token; the
 		// rest are sink-only (t0 = 0) so every decrement still reaches a
@@ -345,7 +390,7 @@ func (rc *RC) reclaim(stack []mem.Ref, budget int) int {
 					continue
 				}
 				rc.st().destroys.Add(1)
-				old := rc.addToRC(c, -1)
+				old := rc.addToRC(obs.KindDestroy, c, -1)
 				rc.recordT(0, obs.KindDestroy, c, 0, old == 1, 0, old, -1)
 				if old == 1 {
 					stack = append(stack, c)
@@ -425,16 +470,22 @@ func (rc *RC) popZombie() mem.Ref {
 // poison in the count cell — evidence of a use-after-free — are tallied in
 // Stats().PoisonedRCUpdates and still performed, faithfully simulating the
 // memory corruption the paper describes.
-func (rc *RC) addToRC(p mem.Ref, v int64) uint64 {
+func (rc *RC) addToRC(kind obs.Kind, p mem.Ref, v int64) uint64 {
 	a := rc.h.RCAddr(p)
+	var retries uint32
 	for {
 		old := rc.e.Read(a)
 		if old >= mem.Poison && old <= mem.Poison+8 {
 			rc.st().poisonedRCUpdates.Add(1)
 		}
 		if rc.e.CAS(a, old, uint64(int64(old)+v)) {
+			if retries > 0 {
+				rc.ct.OpDone(kind, uint32(a), contend.RoleRC, 0, contend.RoleUnknown, retries)
+			}
 			return old
 		}
+		retries++
+		rc.ct.Attempt(kind, uint32(a), contend.RoleRC, 0, contend.RoleUnknown, true, false)
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "lfrc/internal/mem"
+import (
+	"lfrc/internal/mem"
+	"lfrc/internal/obs"
+)
 
 // This file implements the extension the paper's §2.1 invites: "it should
 // be straightforward to extend our methodology to support other operations
@@ -72,7 +75,7 @@ func (rc *RC) Unlink(l *Link) {
 // (package dlist) is its client.
 func (rc *RC) DCASMixed(a0 mem.Addr, old0, new0 mem.Ref, a1 mem.Addr, old1, new1 uint64) bool {
 	if new0 != 0 {
-		rc.addToRC(new0, 1)
+		rc.addToRC(obs.KindDCAS, new0, 1)
 	}
 	rc.st().dcasOps.Add(1)
 	if rc.e.DCAS(a0, a1, uint64(old0), old1, uint64(new0), new1) {

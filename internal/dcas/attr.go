@@ -1,0 +1,24 @@
+package dcas
+
+import "lfrc/internal/mem"
+
+// Attribute assigns blame for a failed DCAS attempt: it re-reads the two
+// comparands through the engine and reports which of them no longer holds
+// the value the attempt expected. The contention observatory uses it to
+// charge a failure to the cell that actually moved rather than splitting it
+// blindly — a Load that keeps losing because the *pointer* is churning is a
+// different diagnosis from one losing because the referent's *count* is.
+//
+// The attribution is best-effort, not linearized with the failure: by the
+// time of the re-read a cell may have changed again, or changed and changed
+// back (ABA), in which case neither re-read mismatches and both results are
+// false. Callers conventionally charge such transient failures to the
+// operation's primary cell. For a degenerate attempt (a0 == a1) only m0 is
+// meaningful; m1 is reported false.
+func Attribute(e Engine, a0, a1 mem.Addr, old0, old1 uint64) (m0, m1 bool) {
+	m0 = e.Read(a0) != old0
+	if a1 != a0 {
+		m1 = e.Read(a1) != old1
+	}
+	return m0, m1
+}

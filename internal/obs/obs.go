@@ -272,6 +272,20 @@ type Sink interface {
 	OnEvent(e Event)
 }
 
+// Agg is the recorder's aggregation tap: a consumer of every op-sampled
+// event together with the operation's measured latency, which the Event
+// itself does not carry. The contention observatory (package contend)
+// implements it to charge retried operations' wasted time to their cells.
+// Unlike a Sink, an Agg sees only ring-recorded events — its cost is paid
+// once per sampled operation, never on the unsampled fast path — and its
+// implementation must be lock-free and allocation-free.
+type Agg interface {
+	// Aggregate receives one op-sampled event and its latency in
+	// nanoseconds. The event's Seq is 0: aggregation is independent of
+	// the ring.
+	Aggregate(e Event, latencyNS int64)
+}
+
 // Recorder is the flight recorder. The zero value is not usable; call New.
 // A nil *Recorder is a valid disabled recorder: every hot-path method on it
 // is a cheap no-op, so callers embed one pointer and never branch twice.
@@ -287,6 +301,10 @@ type Recorder struct {
 	// is a direct call on the concrete set, not interface dispatch.
 	sink     Sink
 	sinkRefs *RefSet
+
+	// agg is the optional aggregation tap; nil costs one branch per
+	// sampled record. Set once via SetAgg before the recorder is shared.
+	agg Agg
 
 	lat     [numKinds]hist.Concurrent
 	retries hist.Concurrent
@@ -345,6 +363,16 @@ func (r *Recorder) SetSink(s Sink) {
 	} else {
 		r.sinkRefs = nil
 	}
+}
+
+// SetAgg installs the aggregation tap. Like SetSink it must be called
+// before the recorder starts receiving events (the field is read without
+// synchronization on the hot path). A nil agg leaves aggregation disabled.
+func (r *Recorder) SetAgg(a Agg) {
+	if r == nil {
+		return
+	}
+	r.agg = a
 }
 
 // SampleEvery reports the configured sampling interval (0 = disabled).
@@ -417,6 +445,9 @@ func (r *Recorder) RecordT(t0 int64, kind Kind, ref, addr uint32, ok bool, retri
 		r.lat[kind].Observe(now - t0)
 	}
 	r.retries.Observe(int64(retries))
+	if r.agg != nil {
+		r.agg.Aggregate(e, now-t0)
+	}
 	r.append(e)
 }
 

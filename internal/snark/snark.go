@@ -32,7 +32,9 @@ import (
 	"errors"
 	"fmt"
 
+	"lfrc/internal/contend"
 	"lfrc/internal/core"
+	"lfrc/internal/dcas"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
 )
@@ -136,7 +138,8 @@ type Deque struct {
 	rc  *core.RC
 	h   *mem.Heap
 	ts  Types
-	obs *obs.Recorder // rc's recorder, cached; nil means disabled
+	obs *obs.Recorder  // rc's recorder, cached; nil means disabled
+	ct  *contend.Table // rc's contention observatory, cached; nil means disabled
 
 	anchor mem.Ref // counted reference owned by the Deque
 	dummyA mem.Addr
@@ -154,7 +157,7 @@ type Deque struct {
 // neighbour pointers are the sentinel value (null here, itself under
 // WithCyclicSentinels) and both hats point at Dummy.
 func New(rc *core.RC, ts Types, opts ...Option) (*Deque, error) {
-	d := &Deque{rc: rc, h: rc.Heap(), ts: ts, obs: rc.Observer()}
+	d := &Deque{rc: rc, h: rc.Heap(), ts: ts, obs: rc.Observer(), ct: rc.Contention()}
 	for _, o := range opts {
 		o(d)
 	}
@@ -167,6 +170,12 @@ func New(rc *core.RC, ts Types, opts ...Option) (*Deque, error) {
 	d.dummyA = d.h.FieldAddr(anchor, aDummy)
 	d.leftA = d.h.FieldAddr(anchor, aLeft)
 	d.rightA = d.h.FieldAddr(anchor, aRight)
+	// Register the long-lived anchor cells with the contention observatory
+	// so every recording site — even core's generic Load loop — profiles
+	// them under their structural names.
+	d.ct.Declare(uint32(d.dummyA), contend.RoleAnchor)
+	d.ct.Declare(uint32(d.leftA), contend.RoleLeftHat)
+	d.ct.Declare(uint32(d.rightA), contend.RoleRightHat)
 
 	dummy, err := rc.NewObject(ts.SNode)
 	if err != nil {
@@ -219,6 +228,24 @@ func (d *Deque) hookDCAS() {
 	}
 }
 
+// attFail reports a failed hat-DCAS attempt to the contention observatory,
+// re-reading the comparands to blame the cell that actually moved.
+func (d *Deque) attFail(op obs.Kind, a0 mem.Addr, r0 contend.Role, a1 mem.Addr, r1 contend.Role, old0, old1 mem.Ref) {
+	if d.ct == nil {
+		return
+	}
+	m0, m1 := dcas.Attribute(d.rc.Engine(), a0, a1, uint64(old0), uint64(old1))
+	d.ct.Attempt(op, uint32(a0), r0, uint32(a1), r1, m0, m1)
+}
+
+// attDone reports a contended operation's successful final attempt (and its
+// retry-chain length). Uncontended operations record nothing.
+func (d *Deque) attDone(op obs.Kind, a0 mem.Addr, r0 contend.Role, a1 mem.Addr, r1 contend.Role, retries uint32) {
+	if retries > 0 {
+		d.ct.OpDone(op, uint32(a0), r0, uint32(a1), r1, retries)
+	}
+}
+
 // PushRight appends v on the right (paper Figure 1, lines 49–68).
 func (d *Deque) PushRight(v Value) error {
 	if v > MaxValue {
@@ -241,18 +268,22 @@ func (d *Deque) PushRight(v Value) error {
 			d.rc.Load(d.leftA, &lh)           // line 61
 			d.hookDCAS()
 			if d.rc.DCAS(d.rightA, d.leftA, rh, lh, nd, nd) { // line 62
+				d.attDone(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, retries)
 				d.obs.Record(t0, obs.KindPushRight, uint32(nd), 0, true, retries)
 				d.rc.Destroy(rhR, nd, rh, lh) // line 63
 				return nil                    // line 64
 			}
+			d.attFail(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, rh, lh)
 		} else {
 			d.rc.Store(d.fieldL(nd), rh) // line 65
 			d.hookDCAS()
 			if d.rc.DCAS(d.rightA, d.fieldR(rh), rh, rhR, nd, nd) { // line 66
+				d.attDone(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.fieldR(rh), contend.RoleNodeLink, retries)
 				d.obs.Record(t0, obs.KindPushRight, uint32(nd), 0, true, retries)
 				d.rc.Destroy(rhR, nd, rh, lh) // line 67
 				return nil                    // line 68
 			}
+			d.attFail(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.fieldR(rh), contend.RoleNodeLink, rh, rhR)
 		}
 	}
 }
@@ -279,18 +310,22 @@ func (d *Deque) PushLeft(v Value) error {
 			d.rc.Load(d.rightA, &rh)
 			d.hookDCAS()
 			if d.rc.DCAS(d.leftA, d.rightA, lh, rh, nd, nd) {
+				d.attDone(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, retries)
 				d.obs.Record(t0, obs.KindPushLeft, uint32(nd), 0, true, retries)
 				d.rc.Destroy(lhL, nd, lh, rh)
 				return nil
 			}
+			d.attFail(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, lh, rh)
 		} else {
 			d.rc.Store(d.fieldR(nd), lh)
 			d.hookDCAS()
 			if d.rc.DCAS(d.leftA, d.fieldL(lh), lh, lhL, nd, nd) {
+				d.attDone(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.fieldL(lh), contend.RoleNodeLink, retries)
 				d.obs.Record(t0, obs.KindPushLeft, uint32(nd), 0, true, retries)
 				d.rc.Destroy(lhL, nd, lh, rh)
 				return nil
 			}
+			d.attFail(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.fieldL(lh), contend.RoleNodeLink, lh, lhL)
 		}
 	}
 }
@@ -315,6 +350,7 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 		if rh == lh { // exactly one (apparent) node
 			d.hookDCAS()
 			if d.rc.DCAS(d.rightA, d.leftA, rh, lh, d.dummy, d.dummy) {
+				d.attDone(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, retries)
 				v, claimed := d.takeValue(rh)
 				if !claimed {
 					continue
@@ -323,10 +359,12 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 				d.rc.Destroy(rh, lh, rhR, rhL)
 				return v, true
 			}
+			d.attFail(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, rh, lh)
 		} else {
 			d.rc.Load(d.fieldL(rh), &rhL)
 			d.hookDCAS()
 			if d.rc.DCAS(d.rightA, d.fieldL(rh), rh, rhL, rhL, d.sentinelFor(rh)) {
+				d.attDone(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.fieldL(rh), contend.RoleNodeLink, retries)
 				v, claimed := d.takeValue(rh)
 				if !claimed {
 					continue
@@ -338,6 +376,7 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 				d.rc.Destroy(rh, lh, rhR, rhL)
 				return v, true
 			}
+			d.attFail(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.fieldL(rh), contend.RoleNodeLink, rh, rhL)
 		}
 	}
 }
@@ -358,6 +397,7 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 		if lh == rh {
 			d.hookDCAS()
 			if d.rc.DCAS(d.leftA, d.rightA, lh, rh, d.dummy, d.dummy) {
+				d.attDone(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, retries)
 				v, claimed := d.takeValue(lh)
 				if !claimed {
 					continue
@@ -366,10 +406,12 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 				d.rc.Destroy(lh, rh, lhL, lhR)
 				return v, true
 			}
+			d.attFail(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, lh, rh)
 		} else {
 			d.rc.Load(d.fieldR(lh), &lhR)
 			d.hookDCAS()
 			if d.rc.DCAS(d.leftA, d.fieldR(lh), lh, lhR, lhR, d.sentinelFor(lh)) {
+				d.attDone(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.fieldR(lh), contend.RoleNodeLink, retries)
 				v, claimed := d.takeValue(lh)
 				if !claimed {
 					continue
@@ -379,6 +421,7 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 				d.rc.Destroy(lh, rh, lhL, lhR)
 				return v, true
 			}
+			d.attFail(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.fieldR(lh), contend.RoleNodeLink, lh, lhR)
 		}
 	}
 }

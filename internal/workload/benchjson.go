@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lfrc"
+)
+
+// BenchSchemaVersion identifies the BenchRecord JSON layout. Bump it on any
+// breaking change; cmd/lfrcperf refuses to compare records with different
+// versions.
+const BenchSchemaVersion = 1
+
+// BenchRecord is one machine-readable performance measurement of this
+// reproduction: the trajectory point `lfrcbench -bench-json` emits and
+// cmd/lfrcperf compares. BENCH_*.json files at the repo root are committed
+// records of past points, so regressions are caught against history instead
+// of folklore.
+type BenchRecord struct {
+	// SchemaVersion is BenchSchemaVersion at write time.
+	SchemaVersion int `json:"schema_version"`
+
+	// CreatedUnixNS timestamps the record (UnixNano).
+	CreatedUnixNS int64 `json:"created_unix_ns"`
+
+	// Host describes the machine; records from different hosts are
+	// comparable only with generous tolerance.
+	Host BenchHost `json:"host"`
+
+	// Engine names the DCAS engine measured.
+	Engine string `json:"engine"`
+
+	// Config is the workload geometry shared by all experiments.
+	Config BenchConfig `json:"config"`
+
+	// Experiments holds one entry per measured workload.
+	Experiments []BenchExperiment `json:"experiments"`
+
+	// Contention summarizes the observatory's view of one contention-
+	// instrumented balanced run (nil when that run failed).
+	Contention *BenchContention `json:"contention,omitempty"`
+}
+
+// BenchHost pins the environment a record was taken in.
+type BenchHost struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// BenchConfig is the workload geometry of a record.
+type BenchConfig struct {
+	// DurNS is each run's measurement window in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+
+	// Runs is how many adjacent runs each experiment made; medians are
+	// taken over them.
+	Runs int `json:"runs"`
+
+	Workers int `json:"workers"`
+	Prefill int `json:"prefill"`
+}
+
+// BenchExperiment is one measured workload: the raw per-run rates (adjacent
+// back-to-back runs, in order) and their median. Rates are ops/sec: higher
+// is better, and cmd/lfrcperf's sign test pairs Runs[i] across two records.
+type BenchExperiment struct {
+	ID     string    `json:"id"`
+	Unit   string    `json:"unit"`
+	Runs   []float64 `json:"runs"`
+	Median float64   `json:"median"`
+}
+
+// BenchContention is the contention observatory summary embedded in a
+// record: enough to see at a glance where the structure hurts, without the
+// full profile.
+type BenchContention struct {
+	Cells    int   `json:"cells"`
+	Failures int64 `json:"failures"`
+	WastedNS int64 `json:"wasted_ns"`
+	Dropped  int64 `json:"dropped"`
+
+	// TopCells is the heatmap head: "role op=failures" strings, hottest
+	// first, at most five.
+	TopCells []string `json:"top_cells"`
+}
+
+// benchWorkloads are the workloads a record measures. The balanced mix is
+// the headline; the one-sided mixes expose hat contention asymmetries.
+var benchWorkloads = []struct {
+	id  string
+	mix Mix
+}{
+	{"deque/balanced", Balanced},
+	{"deque/push_heavy", PushHeavy},
+	{"deque/pop_heavy", PopHeavy},
+}
+
+// benchRun builds a fresh system on kind and measures one throughput run.
+func benchRun(kind EngineKind, mix Mix, dur time.Duration, workers, prefill int, extra ...lfrc.Option) (float64, *lfrc.System, error) {
+	opts := []lfrc.Option{}
+	if kind == EngineMCAS {
+		opts = append(opts, lfrc.WithEngine(lfrc.EngineMCAS))
+	} else {
+		opts = append(opts, lfrc.WithEngine(lfrc.EngineLocking))
+	}
+	opts = append(opts, extra...)
+	sys, err := lfrc.New(opts...)
+	if err != nil {
+		return 0, nil, err
+	}
+	d, err := sys.NewDeque()
+	if err != nil {
+		return 0, nil, err
+	}
+	res := RunThroughput(d, workers, dur, mix, prefill)
+	d.Close()
+	runtime.GC() // keep one run's GC debt from billing the next
+	return res.OpsPerSec(), sys, nil
+}
+
+// RunBenchJSON measures the record's workloads with runs adjacent repeats
+// each and returns the trajectory point. The caller stamps CreatedUnixNS and
+// serializes it. One extra contention-instrumented balanced run fills the
+// Contention summary and publishes its system (SetCurrentSystem), so
+// -metrics and -stats-json report on it.
+func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, error) {
+	const (
+		workers = 4
+		prefill = 64
+	)
+	if runs < 1 {
+		runs = 1
+	}
+	rec := &BenchRecord{
+		SchemaVersion: BenchSchemaVersion,
+		Host: BenchHost{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+		Engine: kind.String(),
+		Config: BenchConfig{
+			DurNS:   int64(dur),
+			Runs:    runs,
+			Workers: workers,
+			Prefill: prefill,
+		},
+	}
+
+	// Warm up the process (page faults, scheduler, frequency) off the books.
+	if _, _, err := benchRun(kind, Balanced, dur/4, workers, prefill); err != nil {
+		return nil, fmt.Errorf("warmup: %w", err)
+	}
+
+	// Interleave the workloads round-robin rather than running each one's
+	// repeats in a block: run i of every workload sees near-identical
+	// machine state, which is what makes cmd/lfrcperf's run pairing fair.
+	rates := make([][]float64, len(benchWorkloads))
+	for r := 0; r < runs; r++ {
+		for i, wl := range benchWorkloads {
+			rate, _, err := benchRun(kind, wl.mix, dur, workers, prefill)
+			if err != nil {
+				return nil, fmt.Errorf("%s run %d: %w", wl.id, r, err)
+			}
+			rates[i] = append(rates[i], rate)
+		}
+	}
+	for i, wl := range benchWorkloads {
+		med, _ := median(rates[i])
+		rec.Experiments = append(rec.Experiments, BenchExperiment{
+			ID:     wl.id,
+			Unit:   "ops/sec",
+			Runs:   rates[i],
+			Median: med,
+		})
+	}
+
+	// One contention-instrumented run for the summary. Its rate is not
+	// recorded (the observatory tax would pollute the trajectory).
+	if _, sys, err := benchRun(kind, Balanced, dur, workers, prefill,
+		lfrc.WithContention(true), lfrc.WithTraceSampling(64)); err == nil {
+		crep := sys.ContentionReport()
+		c := &BenchContention{Cells: len(crep.Cells), Dropped: crep.Dropped}
+		for _, cell := range crep.Cells {
+			c.Failures += cell.Failures
+			c.WastedNS += cell.WastedNS
+		}
+		for i, h := range crep.Heatmap {
+			if i == 5 {
+				break
+			}
+			c.TopCells = append(c.TopCells,
+				fmt.Sprintf("%s failures=%d wasted_ns=%d", h.Role, h.Failures, h.WastedNS))
+		}
+		rec.Contention = c
+		SetCurrentSystem(sys)
+	}
+	return rec, nil
+}

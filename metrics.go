@@ -84,6 +84,10 @@ func (s *System) WriteMetrics(w io.Writer) {
 		writeHist(w, "lfrc_op_latency_ns", fmt.Sprintf("op=%q", k), lat[k])
 	}
 
+	if s.ct != nil {
+		writeContentionMetrics(w, s.ct.Snapshot())
+	}
+
 	if !st.Lifecycle.Enabled {
 		return
 	}
@@ -112,6 +116,72 @@ func (s *System) WriteMetrics(w io.Writer) {
 	}
 	writeHeader(w, "lfrc_census_oldest_tracked_ns", "gauge", "Age of the oldest ledger-tracked live object in nanoseconds.")
 	writeScalar(w, "lfrc_census_oldest_tracked_ns", c.OldestNS)
+}
+
+// writeContentionMetrics renders the contention observatory: totals
+// aggregated by (op, role) — cells come and go, op/role series are stable —
+// plus the decaying top-K heatmap as per-cell gauges for dashboards that want
+// "what is hot right now".
+func writeContentionMetrics(w io.Writer, rep ContentionReport) {
+	type orKey struct{ op, role string }
+	type orAgg struct{ attempts, failures, ops, retries, wasted int64 }
+	agg := map[orKey]*orAgg{}
+	keys := []orKey{}
+	for _, c := range rep.Cells {
+		k := orKey{c.Op, c.Role}
+		a := agg[k]
+		if a == nil {
+			a = &orAgg{}
+			agg[k] = a
+			keys = append(keys, k)
+		}
+		a.attempts += c.Attempts
+		a.failures += c.Failures
+		a.ops += c.Ops
+		a.retries += c.RetrySum
+		a.wasted += c.WastedNS
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].op != keys[j].op {
+			return keys[i].op < keys[j].op
+		}
+		return keys[i].role < keys[j].role
+	})
+
+	emit := func(name, typ, help string, get func(*orAgg) int64) {
+		writeHeader(w, name, typ, help)
+		for _, k := range keys {
+			writeLabels(w, name, fmt.Sprintf("op=%q,role=%q", k.op, k.role), get(agg[k]))
+		}
+	}
+	emit("lfrc_contention_attempts_total", "counter",
+		"Contended DCAS/CAS attempts by operation and cell role (uncontended traffic is not recorded).",
+		func(a *orAgg) int64 { return a.attempts })
+	emit("lfrc_contention_failures_total", "counter",
+		"Failed DCAS/CAS attempts attributed to the cell that moved, by operation and cell role.",
+		func(a *orAgg) int64 { return a.failures })
+	emit("lfrc_contention_ops_total", "counter",
+		"Completed contended operations (retries > 0) by operation and resolving cell role.",
+		func(a *orAgg) int64 { return a.ops })
+	emit("lfrc_contention_retries_total", "counter",
+		"Retry-chain length summed over completed contended operations.",
+		func(a *orAgg) int64 { return a.retries })
+	emit("lfrc_contention_wasted_ns_total", "counter",
+		"Estimated nanoseconds burned in failed attempts (sampled, scaled by lfrc_contention_op_scale).",
+		func(a *orAgg) int64 { return a.wasted })
+
+	writeHeader(w, "lfrc_contention_hot_cell", "gauge",
+		"Decaying activity score of the hottest cells (top-K heatmap).")
+	for _, h := range rep.Heatmap {
+		writeLabels(w, "lfrc_contention_hot_cell",
+			fmt.Sprintf("cell=\"%#x\",role=%q", h.Addr, h.Role), h.Hot)
+	}
+	writeHeader(w, "lfrc_contention_dropped_total", "counter",
+		"Contention records lost because a stripe's hot-cell table was full.")
+	writeScalar(w, "lfrc_contention_dropped_total", rep.Dropped)
+	writeHeader(w, "lfrc_contention_op_scale", "gauge",
+		"Scaling factor applied to sampled wasted-ns estimates (the recorder's op-sampling interval).")
+	writeScalar(w, "lfrc_contention_op_scale", int64(rep.OpScale))
 }
 
 // sortedBuckets returns a census bucket map's keys in stable order.
@@ -143,6 +213,11 @@ func writeScalar(w io.Writer, name string, v int64) {
 
 func writeLabeled(w io.Writer, name, label, value string, v int64) {
 	fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, v)
+}
+
+// writeLabels writes one sample with a preformatted label list (no braces).
+func writeLabels(w io.Writer, name, labels string, v int64) {
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
 }
 
 // writeHist writes one Prometheus histogram series (cumulative le buckets,
@@ -181,6 +256,10 @@ var (
 //	/debug/lfrc/stats      Stats() as one JSON object
 //	/debug/lfrc/trace      Trace() as one JSON object (flight recorder dump)
 //	/debug/lfrc/trace.json Chrome trace_event export (open in Perfetto)
+//	/debug/lfrc/contention human-readable contention report (WithContention)
+//	/debug/lfrc/contention.pb.gz
+//	                       pprof-compatible contention profile; feed it to
+//	                       `go tool pprof` to rank cells by wasted-ns
 //	/debug/pprof/...       the standard Go profiler endpoints
 //
 // get is called per request so callers can swap the live system (benchmark
@@ -234,6 +313,17 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="lfrc-trace.json"`)
 		if err := s.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}))
+	mux.Handle("/debug/lfrc/contention", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.WriteContentionReport(w)
+	}))
+	mux.Handle("/debug/lfrc/contention.pb.gz", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="lfrc-contention.pb.gz"`)
+		if err := s.WriteContentionProfile(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}))

@@ -1,11 +1,14 @@
 package lfrc_test
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"lfrc"
@@ -165,12 +168,170 @@ func TestDebugMuxEndpoints(t *testing.T) {
 func TestDebugMuxWithoutSystemAnswers503(t *testing.T) {
 	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return nil }))
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatalf("GET /metrics: %v", err)
+	for _, path := range []string{
+		"/metrics",
+		"/debug/lfrc/stats",
+		"/debug/lfrc/trace",
+		"/debug/lfrc/trace.json",
+		"/debug/lfrc/contention",
+		"/debug/lfrc/contention.pb.gz",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s without system: status %d, want 503", path, resp.StatusCode)
+		}
 	}
+}
+
+func TestDebugMuxContentTypesAnd404(t *testing.T) {
+	sys := tracedSystem(t)
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return sys }))
+	defer srv.Close()
+
+	for path, wantCT := range map[string]string{
+		"/metrics":               "text/plain",
+		"/debug/lfrc/stats":      "application/json",
+		"/debug/lfrc/trace":      "application/json",
+		"/debug/lfrc/trace.json": "application/json",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wantCT) {
+			t.Errorf("%s: Content-Type = %q, want prefix %q", path, ct, wantCT)
+		}
+	}
+
+	for _, path := range []string{"/nope", "/debug/lfrc/unknown", "/metricsx"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// contendedSystem builds a contention-observed system and hammers one deque
+// from several goroutines so the observatory has real failed attempts in it.
+func contendedSystem(t *testing.T) *lfrc.System {
+	t.Helper()
+	sys, err := lfrc.New(lfrc.WithContention(true), lfrc.WithTraceSampling(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := d.PushRight(lfrc.Value(i + 1)); err != nil {
+					t.Error(err)
+					return
+				}
+				d.PopRight()
+			}
+		}()
+	}
+	wg.Wait()
+	d.Close()
+	return sys
+}
+
+func TestDebugMuxContentionEndpoints(t *testing.T) {
+	sys := contendedSystem(t)
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return sys }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/lfrc/contention")
+	if err != nil {
+		t.Fatalf("GET contention: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("/metrics without system: status %d, want 503", resp.StatusCode)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/lfrc/contention: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("contention report Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(raw), "contention observatory") {
+		t.Errorf("contention report body = %q", string(raw[:min(len(raw), 120)]))
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/lfrc/contention.pb.gz")
+	if err != nil {
+		t.Fatalf("GET contention.pb.gz: %v", err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/lfrc/contention.pb.gz: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("contention profile Content-Type = %q", ct)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("contention profile is not gzip: %v", err)
+	}
+	if _, err := io.ReadAll(zr); err != nil {
+		t.Fatalf("contention profile gunzip: %v", err)
+	}
+}
+
+func TestMetricsIncludeContentionSeries(t *testing.T) {
+	sys := contendedSystem(t)
+	var sb strings.Builder
+	sys.WriteMetrics(&sb)
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE lfrc_contention_attempts_total counter",
+		"# TYPE lfrc_contention_failures_total counter",
+		"# TYPE lfrc_contention_wasted_ns_total counter",
+		"# TYPE lfrc_contention_hot_cell gauge",
+		"# TYPE lfrc_contention_dropped_total counter",
+		"lfrc_contention_op_scale 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Four goroutines on one deque must collide at least once; when they do
+	// the hat roles surface as labels.
+	rep := sys.ContentionReport()
+	if len(rep.Cells) == 0 {
+		t.Skip("no contention observed this run (scheduler never collided)")
+	}
+	if !strings.Contains(body, `role="right_hat"`) && !strings.Contains(body, `role="rc"`) &&
+		!strings.Contains(body, `role="pointer"`) && !strings.Contains(body, `role="left_hat"`) {
+		t.Errorf("no role-labeled contention series in:\n%s", body)
+	}
+	// A system without WithContention emits none of these series.
+	plain, err := lfrc.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sb.Reset()
+	plain.WriteMetrics(&sb)
+	if strings.Contains(sb.String(), "lfrc_contention_") {
+		t.Error("contention series present without WithContention")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lfrc/internal/check"
+	"lfrc/internal/contend"
 	"lfrc/internal/core"
 	"lfrc/internal/dcas"
 	"lfrc/internal/dlist"
@@ -69,6 +70,7 @@ type config struct {
 	sampleEvery    int
 	lifecycleEvery int
 	auditEvery     time.Duration
+	contention     bool
 }
 
 type optionFunc func(*config)
@@ -129,6 +131,25 @@ func WithTraceSampling(n int) Option {
 	})
 }
 
+// WithContention enables the DCAS contention observatory and implies
+// WithObserver(true): every LFRC and deque retry loop reports its failed
+// DCAS/CAS attempts per memory cell — blame split across the two comparands
+// by re-reading them — and the flight recorder's aggregation tap charges the
+// retried fraction of each sampled operation's latency to its cell as wasted
+// work. Read it back with System.ContentionReport, the human report on
+// /debug/lfrc/contention, Prometheus lfrc_contention_* series, or the
+// pprof-compatible profile on /debug/lfrc/contention.pb.gz. Uncontended
+// operations record nothing, so the overhead concentrates on paths that are
+// already losing races.
+func WithContention(on bool) Option {
+	return optionFunc(func(c *config) {
+		c.contention = on
+		if on {
+			c.observer = true
+		}
+	})
+}
+
 // WithLifecycleLedger enables the sampled per-object lifecycle ledger and
 // implies WithObserver(true): one in every n allocations is selected at
 // birth, and every subsequent event touching a selected object — including
@@ -178,7 +199,8 @@ type System struct {
 	engine    dcas.Engine
 	rc        *core.RC
 	collector *gctrace.Collector
-	obs       *obs.Recorder // nil unless WithObserver/WithTraceSampling
+	obs       *obs.Recorder  // nil unless WithObserver/WithTraceSampling
+	ct        *contend.Table // nil unless WithContention
 
 	// ledger and auditor are nil unless WithLifecycleLedger /
 	// WithLifecycleAudit; every consumer below is nil-safe.
@@ -230,6 +252,17 @@ func New(opts ...Option) (*System, error) {
 		rec = obs.New(obsOpts...)
 	}
 
+	var ct *contend.Table
+	if cfg.contention {
+		ct = contend.New()
+		// Sampled wasted-ns contributions are scaled by the recorder's op
+		// sampling interval so the profile estimates un-sampled totals.
+		if n := rec.SampleEvery(); n > 1 {
+			ct.SetOpScale(n)
+		}
+		rec.SetAgg(ct)
+	}
+
 	var led *lifecycle.Ledger
 	if cfg.lifecycleEvery > 0 {
 		led = lifecycle.New(lifecycle.WithSampleEvery(cfg.lifecycleEvery - 1))
@@ -263,6 +296,9 @@ func New(opts ...Option) (*System, error) {
 		rcOpts = append(rcOpts, core.WithIncrementalDestroy(cfg.destroyBudget))
 	}
 	rcOpts = append(rcOpts, core.WithObserver(rec))
+	if ct != nil {
+		rcOpts = append(rcOpts, core.WithContention(ct))
+	}
 
 	s := &System{
 		heap:      h,
@@ -270,6 +306,7 @@ func New(opts ...Option) (*System, error) {
 		rc:        core.New(h, e, rcOpts...),
 		collector: gctrace.New(h),
 		obs:       rec,
+		ct:        ct,
 		ledger:    led,
 	}
 	if led != nil {
@@ -378,6 +415,29 @@ func (s *System) Violations() []Violation {
 	}
 	return s.auditor.Violations()
 }
+
+// ContentionReport is the contention observatory's merged snapshot: every
+// (cell, op) accumulator ranked by wasted work, plus the decaying top-K
+// heatmap. See WithContention.
+type ContentionReport = contend.Report
+
+// ContentionReport snapshots the contention observatory. Without
+// WithContention it returns an empty report.
+func (s *System) ContentionReport() ContentionReport { return s.ct.Snapshot() }
+
+// WriteContentionReport writes the human-readable contention report (the
+// same text served on /debug/lfrc/contention).
+func (s *System) WriteContentionReport(w io.Writer) { s.ct.WriteReport(w) }
+
+// WriteContentionProfile writes the contention profile as a gzipped
+// pprof-compatible protobuf (the same bytes served on
+// /debug/lfrc/contention.pb.gz): samples are (cell, op) pairs weighted by
+// attributed failures and wasted nanoseconds, so
+//
+//	go tool pprof -top contention.pb.gz
+//
+// ranks the hot cells directly.
+func (s *System) WriteContentionProfile(w io.Writer) error { return s.ct.WriteProfile(w) }
 
 // WriteChromeTrace exports the flight recorder's trace and the lifecycle
 // ledger's timelines as Chrome trace_event JSON, loadable in Perfetto or
