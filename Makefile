@@ -14,20 +14,27 @@ PERF_BASELINE ?= BENCH_0004.json
 PERF_TOL ?= 0.25
 PERF_STRICT ?= 0
 
-.PHONY: all check build vet test check-race race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race check-fault race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
 # The default gate: compile, vet, tests, and the race detector in one target.
 # check-race runs first: it covers the packages with the trickiest
 # concurrency (seqlock rings, the lifecycle ledger/auditor, the LFRC core)
-# and fails fast before the full -race sweep. perf-check rides along as a
-# soft gate (warn-only unless PERF_STRICT=1).
-check: build vet test check-race race perf-check
+# and fails fast before the full -race sweep. check-fault stresses every
+# structure under deterministic fault injection with the lifecycle auditor
+# armed. perf-check rides along as a soft gate (warn-only unless
+# PERF_STRICT=1).
+check: build vet test check-race check-fault race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
 	$(GO) test -race ./internal/obs ./internal/lifecycle ./internal/core ./internal/contend
+
+# Fault-injection gate: the multi-seed chaos sweep and the degraded-mode /
+# typed-error tests, under the race detector.
+check-fault:
+	$(GO) test -race -count=1 -run 'TestFault|TestDegraded|TestHeapExhaust|TestErr' .
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lfrc"
+)
+
+// runChaos is lfrcbench's fault-injection mode (-fault-plan): it builds one
+// system with the plan armed, the lifecycle ledger sampling every object, and
+// the default heap-pressure policy; hammers all four structures from workers
+// goroutines for dur; then audits the survivors and prints the injection
+// accounting. The exit status is the verdict: any lifecycle violation,
+// rc-audit discrepancy, or leaked object fails the run.
+//
+// The firing schedule is replayable: the fault_seed= / fault_plan= /
+// fault_schedule= lines identify exactly which attempts were failed, and
+// rerunning with the same seed and plan re-fails the same attempt ordinals at
+// every point.
+func runChaos(stdout io.Writer, eng lfrc.Engine, plan string, seed uint64, dur time.Duration, workers int) error {
+	sys, err := lfrc.New(
+		lfrc.WithEngine(eng),
+		lfrc.WithFaultPlan(plan),
+		lfrc.WithFaultSeed(seed),
+		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
+		lfrc.WithLifecycleLedger(1),
+		lfrc.WithTraceSampling(64),
+	)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	d, err := sys.NewDeque()
+	if err != nil {
+		return err
+	}
+	q, err := sys.NewQueue()
+	if err != nil {
+		return err
+	}
+	st, err := sys.NewStack()
+	if err != nil {
+		return err
+	}
+	set, err := sys.NewSet()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "chaos: engine=%s workers=%d dur=%v\n", eng, workers, dur)
+	fmt.Fprintf(stdout, "fault_seed=%d\n", seed)
+	fmt.Fprintf(stdout, "fault_plan=%s\n", plan)
+
+	var ops, oom atomic.Int64
+	stop := make(chan struct{})
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			rng := id*0x9E3779B97F4A7C15 + 1
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*6364136223846793005 + 1442695040888963407
+				v := lfrc.Value(rng >> 16 & 0xFFFF)
+				var err error
+				switch rng % 8 {
+				case 0:
+					err = d.PushLeft(v)
+				case 1:
+					err = d.PushRight(v)
+				case 2:
+					_, _ = d.PopLeft()
+				case 3:
+					err = q.Enqueue(v)
+				case 4:
+					_, _ = q.Dequeue()
+				case 5:
+					err = st.Push(v)
+				case 6:
+					_, err = set.Insert(v)
+					if rng%2 == 0 {
+						set.Delete(v)
+					}
+				case 7:
+					if _, ok := st.Pop(); !ok {
+						_, _ = d.PopRight()
+					}
+				}
+				ops.Add(1)
+				if err != nil {
+					// Heap exhaustion (genuine or injected) is an expected
+					// chaos outcome; anything else is a bug.
+					if errors.Is(err, lfrc.ErrOutOfMemory) {
+						oom.Add(1)
+						continue
+					}
+					errc <- fmt.Errorf("worker %d: %w", id, err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	timer := time.NewTimer(dur)
+	select {
+	case err := <-errc:
+		close(stop)
+		wg.Wait()
+		return err
+	case <-timer.C:
+		close(stop)
+		wg.Wait()
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+
+	// Quiescent now: audit, then tear everything down and demand an empty
+	// heap.
+	violations := len(sys.AuditPass()) + len(sys.Violations())
+	rcAudit := sys.Audit()
+	d.Close()
+	q.Close()
+	st.Close()
+	set.Close()
+	sys.DrainZombies(0)
+	live := sys.Stats().Heap.LiveObjects
+
+	s := sys.Stats()
+	fmt.Fprintf(stdout, "\n%-20s %12s %12s\n", "point", "attempts", "injected")
+	for _, p := range s.Fault.Points {
+		fmt.Fprintf(stdout, "%-20s %12d %12d\n", p.Name, p.Attempts, p.Fires)
+	}
+	fmt.Fprintf(stdout, "ops=%d oom=%d injected_total=%d\n", ops.Load(), oom.Load(), s.Fault.Injected)
+	fmt.Fprintf(stdout, "degraded: retries=%d recoveries=%d exhaustions=%d zombies_drained=%d\n",
+		s.Degraded.Retries, s.Degraded.Recoveries, s.Degraded.Exhaustions, s.Degraded.ZombiesDrained)
+
+	// Machine-readable replay identity: the tail of the firing schedule.
+	sched := sys.FaultSchedule()
+	const tail = 32
+	if len(sched) > tail {
+		sched = sched[len(sched)-tail:]
+	}
+	var sb strings.Builder
+	for i, f := range sched {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s@%d", f.Name, f.Attempt)
+	}
+	fmt.Fprintf(stdout, "fault_schedule=%s\n", sb.String())
+
+	switch {
+	case violations > 0:
+		return fmt.Errorf("chaos: %d lifecycle violations (see postmortems)", violations)
+	case len(rcAudit) > 0:
+		return fmt.Errorf("chaos: rc audit failed: %s", strings.Join(rcAudit, "; "))
+	case live != 0:
+		return fmt.Errorf("chaos: %d objects leaked after close", live)
+	}
+	fmt.Fprintln(stdout, "chaos: PASS (0 violations, clean rc audit, 0 leaked objects)")
+	return nil
+}

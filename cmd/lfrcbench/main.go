@@ -63,6 +63,8 @@ func run(args []string, stdout io.Writer) error {
 		tracePath = fs.String("trace", "", "write the published system's Chrome trace_event export to this file after the run")
 		benchJSON = fs.String("bench-json", "", "skip the experiment tables and write a perf-telemetry record (for cmd/lfrcperf) to this file")
 		benchRuns = fs.Int("bench-runs", 5, "adjacent runs per workload in -bench-json mode")
+		faultPlan = fs.String("fault-plan", "", "chaos mode: skip the experiment tables and stress all structures under this fault-injection plan (e.g. 'core.*:p=0.01;mem.alloc:every=500')")
+		faultSeed = fs.Uint64("fault-seed", 1, "fault-injection seed; same seed and plan replay the same firing schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,11 +101,20 @@ func run(args []string, stdout io.Writer) error {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	// -bench-json replaces the experiment tables with the perf-telemetry
-	// harness; the tail flags (-metrics, -stats-json, -trace) still apply to
-	// the system the harness publishes.
+	// -bench-json and -fault-plan each replace the experiment tables with
+	// their own harness; the tail flags (-metrics, -stats-json, -trace) still
+	// apply to the system the harness publishes.
 	benchMode := *benchJSON != ""
-	want := func(id string) bool { return !benchMode && (len(wanted) == 0 || wanted[id]) }
+	chaosMode := *faultPlan != ""
+	want := func(id string) bool { return !benchMode && !chaosMode && (len(wanted) == 0 || wanted[id]) }
+
+	if chaosMode {
+		if len(kinds) != 1 {
+			return fmt.Errorf("-fault-plan: pick a single engine (locking or mcas), not both")
+		}
+		nw := workerCounts[len(workerCounts)-1]
+		return runChaos(stdout, lfrc.Engine(kinds[0]), *faultPlan, *faultSeed, *dur, nw)
+	}
 
 	if benchMode {
 		if len(kinds) != 1 {
@@ -224,17 +235,19 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// parseEngines accepts everything lfrc.ParseEngine does, plus "both" for the
+// engine-comparison sweeps. workload.EngineKind values are numerically
+// aligned with lfrc.Engine.
 func parseEngines(s string) ([]workload.EngineKind, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "locking":
-		return []workload.EngineKind{workload.EngineLocking}, nil
-	case "mcas":
-		return []workload.EngineKind{workload.EngineMCAS}, nil
-	case "both":
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "both" {
 		return workload.Engines, nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q (want locking, mcas or both)", s)
 	}
+	e, err := lfrc.ParseEngine(s)
+	if err != nil {
+		return nil, fmt.Errorf(`unknown engine %q (want "locking", "mcas" or "both")`, s)
+	}
+	return []workload.EngineKind{workload.EngineKind(e)}, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	lfrcexplore [-scenario all] [-preemptions 3] [-maxruns 200000]
-//	            [-claiming] [-random 0] [-maxsteps 200000]
+//	lfrcexplore [-scenario all] [-engine locking|mcas] [-preemptions 3]
+//	            [-maxruns 200000] [-claiming] [-random 0] [-maxsteps 200000]
 //
 // With -random N > 0, N seeded random schedules run instead of the
 // preemption-bounded DFS. Exit status is 0 even when anomalies are found —
@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"lfrc"
 	"lfrc/internal/core"
 	"lfrc/internal/dcas"
 	"lfrc/internal/explore"
@@ -71,10 +72,16 @@ func scenarios() []namedScenario {
 	}
 }
 
-func buildScenario(sc namedScenario, claiming bool) explore.Scenario {
+func buildScenario(sc namedScenario, engine lfrc.Engine, claiming bool) explore.Scenario {
 	return func(instrument func(dcas.Engine) dcas.Engine) ([]func(), func() error) {
 		h := mem.NewHeap()
-		e := instrument(dcas.NewLocking(h))
+		var base dcas.Engine
+		if engine == lfrc.EngineMCAS {
+			base = dcas.NewMCAS(h)
+		} else {
+			base = dcas.NewLocking(h)
+		}
+		e := instrument(base)
 		rc := core.New(h, e)
 		var sopts []snark.Option
 		if claiming {
@@ -161,6 +168,7 @@ func buildScenario(sc namedScenario, claiming bool) explore.Scenario {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lfrcexplore", flag.ContinueOnError)
+	engine := lfrc.EngineLocking
 	var (
 		scenarioName = fs.String("scenario", "all", "scenario name or 'all' (see -list)")
 		list         = fs.Bool("list", false, "list scenarios and exit")
@@ -170,6 +178,7 @@ func run(args []string) error {
 		claiming     = fs.Bool("claiming", false, "use the value-claiming deque variant")
 		random       = fs.Int("random", 0, "run N random schedules instead of DFS")
 	)
+	fs.Var(&engine, "engine", "DCAS engine under exploration: locking or mcas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,7 +194,7 @@ func run(args []string) error {
 		if *scenarioName != "all" && sc.name != *scenarioName {
 			continue
 		}
-		s := buildScenario(sc, *claiming)
+		s := buildScenario(sc, engine, *claiming)
 		start := time.Now()
 		var res explore.Result
 		mode := fmt.Sprintf("dfs(<=%d preemptions)", *preemptions)

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lfrc"
 	"lfrc/internal/check"
 	"lfrc/internal/mem"
 	"lfrc/internal/snark"
@@ -47,27 +48,21 @@ type options struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("snarkstress", flag.ContinueOnError)
+	engine := lfrc.EngineLocking
 	var (
 		dur        = fs.Duration("dur", 10*time.Second, "total soak duration per structure")
 		workers    = fs.Int("workers", 8, "concurrent workers")
-		engineName = fs.String("engine", "locking", "DCAS engine: locking or mcas")
 		structure  = fs.String("structure", "all", "deque, queue, stack or all")
 		checkpoint = fs.Duration("checkpoint", 2*time.Second, "interval between quiescent audits")
 		claim      = fs.Bool("claim", true, "use the value-claiming deque variant")
 	)
+	fs.Var(&engine, "engine", "DCAS engine: locking or mcas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var kind workload.EngineKind
-	switch strings.ToLower(*engineName) {
-	case "locking":
-		kind = workload.EngineLocking
-	case "mcas":
-		kind = workload.EngineMCAS
-	default:
-		return fmt.Errorf("unknown engine %q", *engineName)
-	}
+	// workload.EngineKind is numerically aligned with lfrc.Engine.
+	kind := workload.EngineKind(engine)
 
 	var structures []string
 	switch strings.ToLower(*structure) {

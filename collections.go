@@ -1,6 +1,7 @@
 package lfrc
 
 import (
+	"iter"
 	"sync/atomic"
 
 	"lfrc/internal/mem"
@@ -85,20 +86,44 @@ func (s *System) NewDeque(opts ...DequeOption) (*Deque, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := snark.New(s.rc, ts, sopts...)
-	if err != nil {
+	var d *snark.Deque
+	if err := s.withPressure(func() error {
+		var err error
+		d, err = snark.New(s.rc, ts, sopts...)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Deque{d: d, handle: s.newHandle(d.Anchor(), d.Close)}, nil
 }
 
-// PushLeft prepends v. It fails only if v exceeds MaxValue or the heap is
-// exhausted.
-func (d *Deque) PushLeft(v Value) error { return d.d.PushLeft(v) }
+// PushLeft prepends v. It fails with ErrValueRange if v exceeds MaxValue,
+// ErrClosed after Close, and ErrOutOfMemory if the heap is exhausted (after
+// the heap-pressure policy, if any, has run).
+func (d *Deque) PushLeft(v Value) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	err := d.d.PushLeft(v)
+	if err != nil {
+		err = d.sys.retryPressure(err, func() error { return d.d.PushLeft(v) })
+	}
+	return err
+}
 
-// PushRight appends v. It fails only if v exceeds MaxValue or the heap is
-// exhausted.
-func (d *Deque) PushRight(v Value) error { return d.d.PushRight(v) }
+// PushRight appends v. It fails with ErrValueRange if v exceeds MaxValue,
+// ErrClosed after Close, and ErrOutOfMemory if the heap is exhausted (after
+// the heap-pressure policy, if any, has run).
+func (d *Deque) PushRight(v Value) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	err := d.d.PushRight(v)
+	if err != nil {
+		err = d.sys.retryPressure(err, func() error { return d.d.PushRight(v) })
+	}
+	return err
+}
 
 // PopLeft removes and returns the leftmost value; ok is false when the
 // deque is observed empty.
@@ -107,6 +132,27 @@ func (d *Deque) PopLeft() (v Value, ok bool) { return d.d.PopLeft() }
 // PopRight removes and returns the rightmost value; ok is false when the
 // deque is observed empty.
 func (d *Deque) PopRight() (v Value, ok bool) { return d.d.PopRight() }
+
+// Drain returns an iterator that pops values from the left end until the
+// deque is observed empty, consuming the deque:
+//
+//	for v := range d.Drain() { use(v) }
+//
+// Each value is produced by one PopLeft, so draining is safe to run
+// concurrently with other operations — every value is delivered to exactly
+// one consumer — though concurrent pushes can of course keep a drain from
+// terminating. Breaking out of the loop simply stops popping. A closed
+// deque yields nothing.
+func (d *Deque) Drain() iter.Seq[Value] {
+	return func(yield func(Value) bool) {
+		for !d.closed.Load() {
+			v, ok := d.d.PopLeft()
+			if !ok || !yield(v) {
+				return
+			}
+		}
+	}
+}
 
 // Queue is a GC-independent Michael–Scott lock-free FIFO queue.
 type Queue struct {
@@ -120,16 +166,30 @@ func (s *System) NewQueue() (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	q, err := msqueue.New(s.rc, ts)
-	if err != nil {
+	var q *msqueue.Queue
+	if err := s.withPressure(func() error {
+		var err error
+		q, err = msqueue.New(s.rc, ts)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Queue{q: q, handle: s.newHandle(q.Anchor(), q.Close)}, nil
 }
 
-// Enqueue appends v. It fails only if v exceeds the representable range or
-// the heap is exhausted.
-func (q *Queue) Enqueue(v Value) error { return q.q.Enqueue(v) }
+// Enqueue appends v. It fails with ErrValueRange if v exceeds the
+// representable range, ErrClosed after Close, and ErrOutOfMemory if the heap
+// is exhausted (after the heap-pressure policy, if any, has run).
+func (q *Queue) Enqueue(v Value) error {
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	err := q.q.Enqueue(v)
+	if err != nil {
+		err = q.sys.retryPressure(err, func() error { return q.q.Enqueue(v) })
+	}
+	return err
+}
 
 // Dequeue removes and returns the oldest value; ok is false when the queue
 // is observed empty.
@@ -147,15 +207,30 @@ func (s *System) NewStack() (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := stackrc.New(s.rc, ts)
-	if err != nil {
+	var st *stackrc.Stack
+	if err := s.withPressure(func() error {
+		var err error
+		st, err = stackrc.New(s.rc, ts)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Stack{s: st, handle: s.newHandle(st.Anchor(), st.Close)}, nil
 }
 
-// Push places v on top of the stack.
-func (s *Stack) Push(v Value) error { return s.s.Push(v) }
+// Push places v on top of the stack. It fails with ErrValueRange if v
+// exceeds MaxValue, ErrClosed after Close, and ErrOutOfMemory if the heap is
+// exhausted (after the heap-pressure policy, if any, has run).
+func (s *Stack) Push(v Value) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	err := s.s.Push(v)
+	if err != nil {
+		err = s.sys.retryPressure(err, func() error { return s.s.Push(v) })
+	}
+	return err
+}
 
 // Pop removes and returns the top value; ok is false when the stack is
 // observed empty.

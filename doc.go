@@ -42,9 +42,30 @@
 // overrides the default of runtime.GOMAXPROCS shards (pin it for
 // reproducible benchmarks; values are clamped to [1, 64]). Stats returns the
 // system's whole accounting in one snapshot — heap counters, LFRC operation
-// counters, per-shard allocator state, and the deferred-reclamation
-// backlog — with stable JSON tags; HeapStats and RCStats remain as
-// deprecated slices of the same numbers.
+// counters, per-shard allocator state, the deferred-reclamation backlog, and
+// the fault-injection and degraded-mode sections — with stable JSON tags. It
+// is the only stats surface: the former HeapStats and RCStats methods were
+// removed in favour of Stats().Heap and Stats().RC.
+//
+// # Errors
+//
+// Every error the package returns is, or wraps, one of four sentinels, so
+// callers branch with errors.Is instead of string matching: ErrOutOfMemory
+// (heap exhausted; with WithHeapPressurePolicy it surfaces only after the
+// bounded retry/drain/backoff cycle runs dry), ErrValueRange (payload too
+// large for a cell), ErrTooManyTypes (heap type table full), and ErrClosed
+// (operation on a structure after its Close).
+//
+// # Fault injection and degraded mode
+//
+// WithFaultPlan arms a deterministic fault injector inside the LFRC
+// operations' CAS/DCAS attempts, the structures' retry loops, and the
+// allocator: an injected failure makes the code take exactly the path a lost
+// race or exhausted heap takes, and the firing schedule is a pure function
+// of (seed, point, attempt) — same WithFaultSeed, same schedule.
+// WithHeapPressurePolicy independently arms graceful degradation under heap
+// exhaustion: bounded retries that drain the zombie backlog and back off
+// before the error surfaces. Both are off by default at zero hot-path cost.
 //
 // # Values
 //

@@ -1,0 +1,29 @@
+package lfrc
+
+import "fmt"
+
+// ParseEngine resolves an engine name ("locking" or "mcas", as printed by
+// Engine.String) to its Engine value. It is the inverse of String and the
+// canonical way for command-line tools to accept an -engine flag; Engine also
+// implements flag.Value, so flag.Var(&engine, "engine", ...) works directly.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "locking":
+		return EngineLocking, nil
+	case "mcas":
+		return EngineMCAS, nil
+	default:
+		return 0, fmt.Errorf(`lfrc: unknown engine %q (want "locking" or "mcas")`, s)
+	}
+}
+
+// Set implements flag.Value: together with String it lets an Engine variable
+// be bound straight to a command-line flag.
+func (e *Engine) Set(s string) error {
+	v, err := ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	*e = v
+	return nil
+}

@@ -1,0 +1,33 @@
+package lfrc
+
+import (
+	"errors"
+
+	"lfrc/internal/mem"
+)
+
+// Typed error sentinels. Every error the package returns either is one of
+// these or wraps one, so callers branch with errors.Is rather than string
+// matching:
+//
+//	if errors.Is(err, lfrc.ErrOutOfMemory) { shedLoad() }
+var (
+	// ErrOutOfMemory reports heap exhaustion: the arena limit
+	// (WithMaxHeapWords) was reached and the free lists and deferred-
+	// reclamation backlog had nothing to recycle. With a heap-pressure
+	// policy installed (WithHeapPressurePolicy), operations surface it only
+	// after the policy's bounded retry/backoff/drain cycle has run dry.
+	ErrOutOfMemory = mem.ErrOutOfMemory
+
+	// ErrValueRange reports a payload or key that does not fit in a cell:
+	// values must be at most MaxValue.
+	ErrValueRange = mem.ErrValueRange
+
+	// ErrTooManyTypes reports that the heap's type table is full; it can
+	// surface from the first constructor of a structure family, whose
+	// lazy type registration overflowed the table.
+	ErrTooManyTypes = mem.ErrTooManyTypes
+
+	// ErrClosed reports an operation on a structure after its Close.
+	ErrClosed = errors.New("lfrc: structure is closed")
+)

@@ -32,7 +32,7 @@ func Example() {
 	}
 	fmt.Println(drained)
 	d.Close()
-	fmt.Printf("live objects after close: %d\n", sys.HeapStats().LiveObjects)
+	fmt.Printf("live objects after close: %d\n", sys.Stats().Heap.LiveObjects)
 	// Output:
 	// [0 1 2]
 	// live objects after close: 0
@@ -79,6 +79,63 @@ func ExampleSystem_NewSet() {
 	// keys: [7 13 42]
 }
 
+// ExampleSet_All iterates a set with the Go 1.23 range-over-func iterator;
+// Deque.Drain does the same for consuming a deque.
+func ExampleSet_All() {
+	sys, _ := lfrc.New()
+	s, _ := sys.NewSet()
+	defer s.Close()
+	for _, k := range []lfrc.Value{42, 7, 13} {
+		_, _ = s.Insert(k)
+	}
+	for k := range s.All() {
+		fmt.Println(k)
+	}
+	// Output:
+	// 7
+	// 13
+	// 42
+}
+
+// ExampleDeque_Drain consumes a deque with the range-over-func iterator:
+// each value is delivered exactly once even with concurrent consumers.
+func ExampleDeque_Drain() {
+	sys, _ := lfrc.New()
+	d, _ := sys.NewDeque()
+	defer d.Close()
+	for v := lfrc.Value(1); v <= 4; v++ {
+		_ = d.PushRight(v * 10)
+	}
+	sum := lfrc.Value(0)
+	for v := range d.Drain() {
+		sum += v
+	}
+	fmt.Println("sum:", sum)
+	// Output:
+	// sum: 100
+}
+
+// ExampleWithFaultPlan arms the deterministic fault injector: the same plan
+// and seed reproduce the identical injection schedule, so a failure found
+// under chaos is replayable.
+func ExampleWithFaultPlan() {
+	sys, _ := lfrc.New(
+		lfrc.WithFaultPlan("stack.push:nth=2+4"),
+		lfrc.WithFaultSeed(7),
+	)
+	st, _ := sys.NewStack()
+	defer st.Close()
+	for v := lfrc.Value(1); v <= 4; v++ {
+		_ = st.Push(v) // attempts 2 and 4 are forced to retry internally
+	}
+	for _, f := range sys.FaultSchedule() {
+		fmt.Printf("%s@%d\n", f.Name, f.Attempt)
+	}
+	// Output:
+	// stack.push@2
+	// stack.push@4
+}
+
 // ExampleSystem_Audit shows the quiescent reference-count audit: the counts
 // of a live structure are re-derived from the heap graph and must match
 // exactly.
@@ -113,7 +170,7 @@ func ExampleWithIncrementalDestroy() {
 	}
 	q.Close() // bounded work per release; the rest is parked
 	sys.DrainZombies(0)
-	fmt.Println("live objects:", sys.HeapStats().LiveObjects)
+	fmt.Println("live objects:", sys.Stats().Heap.LiveObjects)
 	// Output:
 	// live objects: 0
 }

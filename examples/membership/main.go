@@ -93,7 +93,7 @@ func run() error {
 	fmt.Println("rc audit: clean")
 
 	seen.Close()
-	if got := sys.HeapStats().LiveObjects; got != 0 {
+	if got := sys.Stats().Heap.LiveObjects; got != 0 {
 		return fmt.Errorf("leaked %d objects", got)
 	}
 	fmt.Println("set closed; heap back to zero live objects")

@@ -35,7 +35,7 @@ func run() error {
 		return err
 	}
 
-	resting := sys.HeapStats().LiveWords
+	resting := sys.Stats().Heap.LiveWords
 	waves := []int{8000, 4000, 2000, 1000}
 	maxWords := int64(0)
 
@@ -45,7 +45,7 @@ func run() error {
 	}
 	var samples []sample
 	record := func(label string) {
-		w := sys.HeapStats().LiveWords
+		w := sys.Stats().Heap.LiveWords
 		if w > maxWords {
 			maxWords = w
 		}
@@ -76,18 +76,18 @@ func run() error {
 		fmt.Printf("%-12s %8d |%s\n", s.label, s.words, strings.Repeat("#", bar))
 	}
 
-	final := sys.HeapStats().LiveWords
+	final := sys.Stats().Heap.LiveWords
 	if final != resting {
 		return fmt.Errorf("footprint did not return to resting level: %d != %d", final, resting)
 	}
 	fmt.Printf("\nfootprint returned to its resting level (%d words) after every drain\n", resting)
 
-	hs := sys.HeapStats()
+	hs := sys.Stats().Heap
 	fmt.Printf("allocator: %d allocs, %d frees, %d recycled slots, high water %d words\n",
 		hs.Allocs, hs.Frees, hs.Recycles, hs.HighWater)
 
 	d.Close()
-	if got := sys.HeapStats().LiveObjects; got != 0 {
+	if got := sys.Stats().Heap.LiveObjects; got != 0 {
 		return fmt.Errorf("leaked %d objects", got)
 	}
 	return nil

@@ -62,7 +62,7 @@ func run() error {
 		for {
 			select {
 			case <-ticker.C:
-				w := sys.HeapStats().LiveWords
+				w := sys.Stats().Heap.LiveWords
 				for {
 					p := peakWords.Load()
 					if w <= p || peakWords.CompareAndSwap(p, w) {
@@ -129,7 +129,7 @@ func run() error {
 	close(stopTelemetry)
 	<-telemetryDone
 
-	restingBefore := sys.HeapStats().LiveWords
+	restingBefore := sys.Stats().Heap.LiveWords
 	fmt.Printf("pipeline done: produced=%d transformed=%d consumed=%d\n",
 		produced.Load(), transformed.Load(), consumed.Load())
 	if got, want := checksumOut.Load(), 2*checksumIn.Load(); got != want {
@@ -141,7 +141,7 @@ func run() error {
 
 	stage1.Close()
 	stage2.Close()
-	hs := sys.HeapStats()
+	hs := sys.Stats().Heap
 	fmt.Printf("after close: %d live objects (want 0)\n", hs.LiveObjects)
 	if hs.LiveObjects != 0 {
 		return fmt.Errorf("leaked %d objects", hs.LiveObjects)

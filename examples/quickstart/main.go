@@ -86,11 +86,11 @@ func run() error {
 	fmt.Println()
 
 	// Tear down: reference counting frees every node deterministically.
-	before := sys.HeapStats()
+	before := sys.Stats().Heap
 	d.Close()
 	q.Close()
 	st.Close()
-	after := sys.HeapStats()
+	after := sys.Stats().Heap
 	fmt.Printf("\nheap: %d allocs, %d frees, live %d -> %d (want 0), corruptions %d\n",
 		after.Allocs, after.Frees, before.LiveObjects, after.LiveObjects, after.Corruptions)
 

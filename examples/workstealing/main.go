@@ -137,7 +137,7 @@ func run() error {
 	for _, d := range deques {
 		d.Close()
 	}
-	hs := sys.HeapStats()
+	hs := sys.Stats().Heap
 	fmt.Printf("heap after close: %d live objects (want 0), %d allocs recycled %d times\n",
 		hs.LiveObjects, hs.Allocs, hs.Recycles)
 	if hs.LiveObjects != 0 {

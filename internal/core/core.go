@@ -29,6 +29,7 @@ import (
 
 	"lfrc/internal/contend"
 	"lfrc/internal/dcas"
+	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
 	"lfrc/internal/stripe"
@@ -72,6 +73,14 @@ type RC struct {
 	// disabled; when installed, every retry loop reports its failed
 	// attempts (attributed to the comparand that moved) and retry chains.
 	ct *contend.Table
+
+	// fj is the optional fault injector. A nil injector is fully disabled;
+	// when installed, every CAS/DCAS attempt in the LFRC operations and the
+	// zombie machinery consults it and treats a firing as a genuine failure
+	// — taking exactly the retry or compensation path a lost race takes.
+	// Injected failures are not reported to the contention observatory:
+	// no comparand actually moved.
+	fj *fault.Injector
 }
 
 // Option configures an RC.
@@ -103,6 +112,13 @@ func WithContention(t *contend.Table) Option {
 	return func(rc *RC) { rc.ct = t }
 }
 
+// WithFault attaches a fault injector: the DCAS/CAS attempts of every LFRC
+// operation, add_to_rc, and the zombie push/drain loops consult it and treat
+// a firing as a failed attempt. A nil injector leaves injection disabled.
+func WithFault(in *fault.Injector) Option {
+	return func(rc *RC) { rc.fj = in }
+}
+
 // New creates an RC over the given heap and engine.
 func New(h *mem.Heap, e dcas.Engine, opts ...Option) *RC {
 	rc := &RC{
@@ -128,6 +144,11 @@ func (rc *RC) Observer() *obs.Recorder { return rc.obs }
 // valid, disabled table) unless WithContention was used. Structure packages
 // built on this RC attribute their own retry loops through it.
 func (rc *RC) Contention() *contend.Table { return rc.ct }
+
+// Fault returns the attached fault injector, which is nil (a valid, disabled
+// injector) unless WithFault was used. Structure packages built on this RC
+// consult it in their own retry loops.
+func (rc *RC) Fault() *fault.Injector { return rc.fj }
 
 // Heap returns the underlying heap (for address computation and stats).
 func (rc *RC) Heap() *mem.Heap { return rc.h }
@@ -165,6 +186,13 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 		r := rc.e.Read(rc.h.RCAddr(v))
 		if rc.LoadHook != nil {
 			rc.LoadHook(v)
+		}
+		// An injected firing here lands in the paper's §5 window — between
+		// reading (v, rc) and the DCAS — and forces the retry path.
+		if rc.fj.Inject(fault.CoreLoad) {
+			retries++
+			rc.st().loadRetries.Add(1)
+			continue
 		}
 		if rc.e.DCAS(a, rc.h.RCAddr(v), uint64(v), r, uint64(v), r+1) {
 			*dest = v
@@ -241,6 +269,10 @@ func (rc *RC) Store(a mem.Addr, v mem.Ref) {
 	var retries uint32
 	for {
 		old := mem.Ref(rc.e.Read(a))
+		if rc.fj.Inject(fault.CoreStore) {
+			retries++
+			continue
+		}
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
 			if retries > 0 {
@@ -265,6 +297,10 @@ func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
 	var retries uint32
 	for {
 		old := mem.Ref(rc.e.Read(a))
+		if rc.fj.Inject(fault.CoreStoreAlloc) {
+			retries++
+			continue
+		}
 		if rc.e.CAS(a, uint64(old), uint64(v)) {
 			rc.st().stores.Add(1)
 			if retries > 0 {
@@ -303,7 +339,10 @@ func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 		oldrc = rc.addToRC(obs.KindCAS, new, 1)
 	}
 	rc.st().casOps.Add(1)
-	if rc.e.CAS(a, uint64(old), uint64(new)) {
+	// An injected firing fails the whole operation: the caller observes a
+	// lost CAS and the provisional increment on new is compensated below —
+	// the exact path a genuine failure takes.
+	if !rc.fj.Inject(fault.CoreCAS) && rc.e.CAS(a, uint64(old), uint64(new)) {
 		rc.recordT(t0, obs.KindCAS, new, a, true, 0, oldrc, 1)
 		rc.Destroy(old)
 		return true
@@ -327,7 +366,7 @@ func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 		rc.addToRC(obs.KindDCAS, new1, 1)
 	}
 	rc.st().dcasOps.Add(1)
-	if rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
+	if !rc.fj.Inject(fault.CoreDCAS) && rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
 		rc.recordT(t0, obs.KindDCAS, new0, a0, true, 0, oldrc0, 1)
 		rc.Destroy(old0, old1)
 		return true
@@ -436,6 +475,9 @@ func (rc *RC) pushZombie(p mem.Ref) {
 	for {
 		old := rc.zombieHead.Load()
 		rc.h.Store(rc.h.AuxAddr(p), old&0xFFFF_FFFF)
+		if rc.fj.Inject(fault.CoreZombiePush) {
+			continue
+		}
 		if rc.zombieHead.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(p)) {
 			rc.zombieCount.Add(1)
 			rc.st().zombiePushes.Add(1)
@@ -455,6 +497,9 @@ func (rc *RC) popZombie() mem.Ref {
 		}
 		next := rc.h.Load(rc.h.AuxAddr(p)) & 0xFFFF_FFFF
 		cnt := (old >> 32) + 1
+		if rc.fj.Inject(fault.CoreZombieDrain) {
+			continue
+		}
 		if rc.zombieHead.CompareAndSwap(old, cnt<<32|next) {
 			rc.zombieCount.Add(-1)
 			rc.obs.Note(obs.KindZombieDrain, uint32(p), 0)
@@ -477,6 +522,10 @@ func (rc *RC) addToRC(kind obs.Kind, p mem.Ref, v int64) uint64 {
 		old := rc.e.Read(a)
 		if old >= mem.Poison && old <= mem.Poison+8 {
 			rc.st().poisonedRCUpdates.Add(1)
+		}
+		if rc.fj.Inject(fault.CoreAddToRC) {
+			retries++
+			continue
 		}
 		if rc.e.CAS(a, old, uint64(int64(old)+v)) {
 			if retries > 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
 )
@@ -78,7 +79,7 @@ func (rc *RC) DCASMixed(a0 mem.Addr, old0, new0 mem.Ref, a1 mem.Addr, old1, new1
 		rc.addToRC(obs.KindDCAS, new0, 1)
 	}
 	rc.st().dcasOps.Add(1)
-	if rc.e.DCAS(a0, a1, uint64(old0), old1, uint64(new0), new1) {
+	if !rc.fj.Inject(fault.CoreDCAS) && rc.e.DCAS(a0, a1, uint64(old0), old1, uint64(new0), new1) {
 		rc.Destroy(old0)
 		return true
 	}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"lfrc/internal/core"
+	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 )
 
@@ -81,6 +82,7 @@ type List struct {
 	rc *core.RC
 	h  *mem.Heap
 	ts Types
+	fj *fault.Injector // rc's fault injector, cached; nil means disabled
 
 	anchor mem.Ref
 	headA  mem.Addr
@@ -89,7 +91,7 @@ type List struct {
 
 // New builds an empty set.
 func New(rc *core.RC, ts Types) (*List, error) {
-	l := &List{rc: rc, h: rc.Heap(), ts: ts}
+	l := &List{rc: rc, h: rc.Heap(), ts: ts, fj: rc.Fault()}
 	anchor, err := rc.NewObject(ts.Anchor)
 	if err != nil {
 		return nil, fmt.Errorf("dlist: allocate anchor: %w", err)
@@ -147,7 +149,7 @@ func (l *List) search(k Key) (pred, curr mem.Ref) {
 // already present.
 func (l *List) Insert(k Key) (bool, error) {
 	if k > mem.ValueMask {
-		return false, fmt.Errorf("dlist: key %#x out of range", k)
+		return false, fmt.Errorf("dlist: %w: %#x", mem.ErrValueRange, k)
 	}
 	n, err := l.rc.NewObject(l.ts.Node)
 	if err != nil {
@@ -162,6 +164,12 @@ func (l *List) Insert(k Key) (bool, error) {
 			return false, nil
 		}
 		l.rc.Store(l.nextA(n), curr)
+		// Injected failure lands between the search and the link attempt;
+		// the counted (pred, curr) pair must be released before retrying.
+		if l.fj.Inject(fault.SetInsert) {
+			l.rc.Destroy(pred, curr)
+			continue
+		}
 		var ok bool
 		if pred == 0 {
 			ok = l.rc.CAS(l.headA, curr, n)
@@ -183,6 +191,10 @@ func (l *List) Delete(k Key) bool {
 		if curr == 0 || l.rc.WordLoad(l.keyA(curr)) != k {
 			l.rc.Destroy(pred, curr)
 			return false
+		}
+		if l.fj.Inject(fault.SetDelete) {
+			l.rc.Destroy(pred, curr)
+			continue
 		}
 		if !l.rc.WordCAS(l.deadA(curr), 0, 1) {
 			// Another deleter marked it first; retry — a fresh live
@@ -215,6 +227,10 @@ func (l *List) PopMin() (k Key, ok bool) {
 			return 0, false
 		}
 		key := l.rc.WordLoad(l.keyA(curr))
+		if l.fj.Inject(fault.SetPopMin) {
+			l.rc.Destroy(pred, curr)
+			continue
+		}
 		if !l.rc.WordCAS(l.deadA(curr), 0, 1) {
 			// Lost the claim to a deleter; retry from a fresh search.
 			l.rc.Destroy(pred, curr)
@@ -257,18 +273,32 @@ func (l *List) Len() int {
 	return n
 }
 
-// Keys returns the live elements in ascending order. Exact at quiescence.
-func (l *List) Keys() []Key {
-	var out []Key
+// Range walks the live elements in ascending order, calling yield for each
+// until it returns false. The traversal holds a counted reference to the node
+// it stands on — and releases it even on early exit — so concurrent deleters
+// can never free the ground under it. Exact at quiescence; a snapshot
+// otherwise.
+func (l *List) Range(yield func(Key) bool) {
 	var curr mem.Ref
 	l.rc.Load(l.headA, &curr)
 	for curr != 0 {
 		if l.rc.WordLoad(l.deadA(curr)) == 0 {
-			out = append(out, l.rc.WordLoad(l.keyA(curr)))
+			if !yield(l.rc.WordLoad(l.keyA(curr))) {
+				break
+			}
 		}
 		l.rc.Load(l.nextA(curr), &curr)
 	}
 	l.rc.Destroy(curr)
+}
+
+// Keys returns the live elements in ascending order. Exact at quiescence.
+func (l *List) Keys() []Key {
+	var out []Key
+	l.Range(func(k Key) bool {
+		out = append(out, k)
+		return true
+	})
 	return out
 }
 

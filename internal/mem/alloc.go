@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"lfrc/internal/fault"
 	"lfrc/internal/obs"
 )
 
@@ -30,7 +31,18 @@ func (h *Heap) Alloc(t TypeID) (Ref, error) {
 	sh := &h.shards[idx]
 	st := &h.stats[idx]
 
-	r, recycled := sh.popLocal(h, size)
+	// Injected exhaustion takes the same accounting path a real one does,
+	// so degraded-mode policies above see an indistinguishable failure.
+	if h.fj.Inject(fault.MemAlloc) {
+		st.allocFailures.Add(1)
+		return 0, fmt.Errorf("%w (injected)", ErrOutOfMemory)
+	}
+
+	var r Ref
+	recycled := false
+	if !h.fj.Inject(fault.MemAllocSlow) {
+		r, recycled = sh.popLocal(h, size)
+	}
 	if !recycled {
 		r, recycled = h.popGlobal(sh, size)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lfrc/internal/fault"
 	"lfrc/internal/obs"
 	"lfrc/internal/stripe"
 )
@@ -50,6 +51,11 @@ type Heap struct {
 	// means disabled (every call on it is a single nil check).
 	obs *obs.Recorder
 
+	// fj is the optional fault injector shared with the RC layer; nil
+	// means disabled. Alloc consults it to force exhaustion (fault.MemAlloc)
+	// or the allocator slow path (fault.MemAllocSlow).
+	fj *fault.Injector
+
 	// stats is striped in lockstep with shards (stats[i] counts work
 	// routed to shards[i]); highWater is global but updated only once per
 	// slab claim.
@@ -74,6 +80,7 @@ type heapConfig struct {
 	// means disabled (every call on it is a single nil check).
 	obs         *obs.Recorder
 	allocShards int
+	fj          *fault.Injector
 }
 
 // WithMaxWords caps the arena at n 64-bit words. The default is 64Mi words
@@ -105,6 +112,13 @@ func WithObserver(r *obs.Recorder) Option {
 	return func(c *heapConfig) { c.obs = r }
 }
 
+// WithFault attaches a fault injector: Alloc consults it at the declared
+// mem.alloc (forced ErrOutOfMemory) and mem.alloc.slow (forced allocator
+// slow path) injection points. A nil injector leaves injection disabled.
+func WithFault(in *fault.Injector) Option {
+	return func(c *heapConfig) { c.fj = in }
+}
+
 // NewHeap creates an empty heap.
 func NewHeap(opts ...Option) *Heap {
 	cfg := heapConfig{
@@ -125,6 +139,7 @@ func NewHeap(opts ...Option) *Heap {
 		limit:       cfg.maxWords,
 		poisonCheck: cfg.poisonCheck,
 		obs:         cfg.obs,
+		fj:          cfg.fj,
 		shards:      make([]allocShard, shards),
 		stats:       make([]statStripe, shards),
 	}

@@ -115,6 +115,12 @@ var (
 	// ErrBadType is returned for malformed type descriptors or unknown
 	// type ids.
 	ErrBadType = errors.New("mem: bad type descriptor")
+
+	// ErrValueRange is the shared sentinel wrapped by every structure
+	// package when a caller's value does not fit in a cell (bits 62..63
+	// are reserved for descriptor tags). It lives here, beside ValueMask,
+	// so the collections and the root package agree on one identity.
+	ErrValueRange = errors.New("value out of range")
 )
 
 // packHeader builds a header word.

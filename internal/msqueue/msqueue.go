@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"lfrc/internal/core"
+	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 )
 
@@ -82,6 +83,7 @@ type Queue struct {
 	rc *core.RC
 	h  *mem.Heap
 	ts Types
+	fj *fault.Injector // rc's fault injector, cached; nil means disabled
 
 	anchor mem.Ref
 	headA  mem.Addr
@@ -91,7 +93,7 @@ type Queue struct {
 
 // New builds an empty queue: Head and Tail point at a dummy node.
 func New(rc *core.RC, ts Types) (*Queue, error) {
-	q := &Queue{rc: rc, h: rc.Heap(), ts: ts}
+	q := &Queue{rc: rc, h: rc.Heap(), ts: ts, fj: rc.Fault()}
 	anchor, err := rc.NewObject(ts.Anchor)
 	if err != nil {
 		return nil, fmt.Errorf("msqueue: allocate anchor: %w", err)
@@ -121,7 +123,7 @@ func (q *Queue) vA(n mem.Ref) mem.Addr    { return q.h.FieldAddr(n, fV) }
 // Enqueue appends v at the tail.
 func (q *Queue) Enqueue(v Value) error {
 	if v > mem.ValueMask {
-		return fmt.Errorf("msqueue: value %#x out of range", v)
+		return fmt.Errorf("msqueue: %w: %#x", mem.ErrValueRange, v)
 	}
 	n, err := q.rc.NewObject(q.ts.QNode)
 	if err != nil {
@@ -134,6 +136,11 @@ func (q *Queue) Enqueue(v Value) error {
 		q.rc.Load(q.tailA, &tail)
 		q.rc.Load(q.nextA(tail), &next)
 		if next == 0 {
+			// Injected failure lands between the tail loads and the
+			// link CAS — the retry path of a lost enqueue race.
+			if q.fj.Inject(fault.QueueEnqueue) {
+				continue
+			}
 			if q.rc.CAS(q.nextA(tail), 0, n) {
 				// Swing the tail; losing this race is fine —
 				// some other thread already advanced it.
@@ -169,6 +176,9 @@ func (q *Queue) Dequeue() (v Value, ok bool) {
 			continue
 		}
 		value := q.rc.WordLoad(q.vA(next))
+		if q.fj.Inject(fault.QueueDequeue) {
+			continue
+		}
 		if q.rc.CAS(q.headA, head, next) {
 			q.rc.Destroy(head, tail, next)
 			return value, true

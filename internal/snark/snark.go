@@ -29,12 +29,12 @@
 package snark
 
 import (
-	"errors"
 	"fmt"
 
 	"lfrc/internal/contend"
 	"lfrc/internal/core"
 	"lfrc/internal/dcas"
+	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
 )
@@ -67,8 +67,10 @@ const (
 	aRight = 2
 )
 
-// ErrValueOutOfRange is returned by pushes of payloads above MaxValue.
-var ErrValueOutOfRange = errors.New("snark: value out of range")
+// ErrValueOutOfRange is returned by pushes of payloads above MaxValue. It
+// wraps the shared mem.ErrValueRange sentinel so errors.Is matches across
+// every structure package and the root API.
+var ErrValueOutOfRange = fmt.Errorf("snark: %w", mem.ErrValueRange)
 
 // Types holds the heap type ids the deque uses. Register them once per heap
 // and share across all deques on that heap.
@@ -138,8 +140,9 @@ type Deque struct {
 	rc  *core.RC
 	h   *mem.Heap
 	ts  Types
-	obs *obs.Recorder  // rc's recorder, cached; nil means disabled
-	ct  *contend.Table // rc's contention observatory, cached; nil means disabled
+	obs *obs.Recorder   // rc's recorder, cached; nil means disabled
+	ct  *contend.Table  // rc's contention observatory, cached; nil means disabled
+	fj  *fault.Injector // rc's fault injector, cached; nil means disabled
 
 	anchor mem.Ref // counted reference owned by the Deque
 	dummyA mem.Addr
@@ -157,7 +160,7 @@ type Deque struct {
 // neighbour pointers are the sentinel value (null here, itself under
 // WithCyclicSentinels) and both hats point at Dummy.
 func New(rc *core.RC, ts Types, opts ...Option) (*Deque, error) {
-	d := &Deque{rc: rc, h: rc.Heap(), ts: ts, obs: rc.Observer(), ct: rc.Contention()}
+	d := &Deque{rc: rc, h: rc.Heap(), ts: ts, obs: rc.Observer(), ct: rc.Contention(), fj: rc.Fault()}
 	for _, o := range opts {
 		o(d)
 	}
@@ -222,10 +225,15 @@ func (d *Deque) sentinelFor(node mem.Ref) mem.Ref {
 	return 0
 }
 
-func (d *Deque) hookDCAS() {
+// hookDCAS runs immediately before a hat-DCAS attempt: it fires the test
+// hook, then consults the fault injector. A true return means the attempt is
+// injected as failed — the caller retries without touching the hats, exactly
+// as if the DCAS had lost a race (no contention attribution: nothing moved).
+func (d *Deque) hookDCAS(p fault.Point) bool {
 	if d.beforeDCAS != nil {
 		d.beforeDCAS()
 	}
+	return d.fj.Inject(p)
 }
 
 // attFail reports a failed hat-DCAS attempt to the contention observatory,
@@ -266,7 +274,9 @@ func (d *Deque) PushRight(v Value) error {
 		if d.isSentinel(rhR, rh) {    // line 59
 			d.rc.Store(d.fieldL(nd), d.dummy) // line 60
 			d.rc.Load(d.leftA, &lh)           // line 61
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPushRight) {
+				continue
+			}
 			if d.rc.DCAS(d.rightA, d.leftA, rh, lh, nd, nd) { // line 62
 				d.attDone(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, retries)
 				d.obs.Record(t0, obs.KindPushRight, uint32(nd), 0, true, retries)
@@ -276,7 +286,9 @@ func (d *Deque) PushRight(v Value) error {
 			d.attFail(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, rh, lh)
 		} else {
 			d.rc.Store(d.fieldL(nd), rh) // line 65
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPushRight) {
+				continue
+			}
 			if d.rc.DCAS(d.rightA, d.fieldR(rh), rh, rhR, nd, nd) { // line 66
 				d.attDone(obs.KindPushRight, d.rightA, contend.RoleRightHat, d.fieldR(rh), contend.RoleNodeLink, retries)
 				d.obs.Record(t0, obs.KindPushRight, uint32(nd), 0, true, retries)
@@ -308,7 +320,9 @@ func (d *Deque) PushLeft(v Value) error {
 		if d.isSentinel(lhL, lh) {
 			d.rc.Store(d.fieldR(nd), d.dummy)
 			d.rc.Load(d.rightA, &rh)
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPushLeft) {
+				continue
+			}
 			if d.rc.DCAS(d.leftA, d.rightA, lh, rh, nd, nd) {
 				d.attDone(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, retries)
 				d.obs.Record(t0, obs.KindPushLeft, uint32(nd), 0, true, retries)
@@ -318,7 +332,9 @@ func (d *Deque) PushLeft(v Value) error {
 			d.attFail(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, lh, rh)
 		} else {
 			d.rc.Store(d.fieldR(nd), lh)
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPushLeft) {
+				continue
+			}
 			if d.rc.DCAS(d.leftA, d.fieldL(lh), lh, lhL, nd, nd) {
 				d.attDone(obs.KindPushLeft, d.leftA, contend.RoleLeftHat, d.fieldL(lh), contend.RoleNodeLink, retries)
 				d.obs.Record(t0, obs.KindPushLeft, uint32(nd), 0, true, retries)
@@ -348,7 +364,9 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 			return 0, false
 		}
 		if rh == lh { // exactly one (apparent) node
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPopRight) {
+				continue
+			}
 			if d.rc.DCAS(d.rightA, d.leftA, rh, lh, d.dummy, d.dummy) {
 				d.attDone(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, retries)
 				v, claimed := d.takeValue(rh)
@@ -362,7 +380,9 @@ func (d *Deque) PopRight() (v Value, ok bool) {
 			d.attFail(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.leftA, contend.RoleLeftHat, rh, lh)
 		} else {
 			d.rc.Load(d.fieldL(rh), &rhL)
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPopRight) {
+				continue
+			}
 			if d.rc.DCAS(d.rightA, d.fieldL(rh), rh, rhL, rhL, d.sentinelFor(rh)) {
 				d.attDone(obs.KindPopRight, d.rightA, contend.RoleRightHat, d.fieldL(rh), contend.RoleNodeLink, retries)
 				v, claimed := d.takeValue(rh)
@@ -395,7 +415,9 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 			return 0, false
 		}
 		if lh == rh {
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPopLeft) {
+				continue
+			}
 			if d.rc.DCAS(d.leftA, d.rightA, lh, rh, d.dummy, d.dummy) {
 				d.attDone(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, retries)
 				v, claimed := d.takeValue(lh)
@@ -409,7 +431,9 @@ func (d *Deque) PopLeft() (v Value, ok bool) {
 			d.attFail(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.rightA, contend.RoleRightHat, lh, rh)
 		} else {
 			d.rc.Load(d.fieldR(lh), &lhR)
-			d.hookDCAS()
+			if d.hookDCAS(fault.SnarkPopLeft) {
+				continue
+			}
 			if d.rc.DCAS(d.leftA, d.fieldR(lh), lh, lhR, lhR, d.sentinelFor(lh)) {
 				d.attDone(obs.KindPopLeft, d.leftA, contend.RoleLeftHat, d.fieldR(lh), contend.RoleNodeLink, retries)
 				v, claimed := d.takeValue(lh)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"lfrc/internal/core"
+	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 )
 
@@ -67,6 +68,7 @@ type Stack struct {
 	rc *core.RC
 	h  *mem.Heap
 	ts Types
+	fj *fault.Injector // rc's fault injector, cached; nil means disabled
 
 	anchor mem.Ref
 	topA   mem.Addr
@@ -75,7 +77,7 @@ type Stack struct {
 
 // New builds an empty stack.
 func New(rc *core.RC, ts Types) (*Stack, error) {
-	s := &Stack{rc: rc, h: rc.Heap(), ts: ts}
+	s := &Stack{rc: rc, h: rc.Heap(), ts: ts, fj: rc.Fault()}
 	anchor, err := rc.NewObject(ts.Anchor)
 	if err != nil {
 		return nil, fmt.Errorf("stackrc: allocate anchor: %w", err)
@@ -96,7 +98,7 @@ func (s *Stack) vA(n mem.Ref) mem.Addr    { return s.h.FieldAddr(n, fV) }
 // Push places v on top of the stack.
 func (s *Stack) Push(v Value) error {
 	if v > mem.ValueMask {
-		return fmt.Errorf("stackrc: value %#x out of range", v)
+		return fmt.Errorf("stackrc: %w: %#x", mem.ErrValueRange, v)
 	}
 	n, err := s.rc.NewObject(s.ts.Node)
 	if err != nil {
@@ -108,6 +110,9 @@ func (s *Stack) Push(v Value) error {
 	for {
 		s.rc.Load(s.topA, &top)
 		s.rc.Store(s.nextA(n), top)
+		if s.fj.Inject(fault.StackPush) {
+			continue
+		}
 		if s.rc.CAS(s.topA, top, n) {
 			s.rc.Destroy(top, n)
 			return nil
@@ -126,6 +131,9 @@ func (s *Stack) Pop() (v Value, ok bool) {
 			return 0, false
 		}
 		s.rc.Load(s.nextA(top), &next)
+		if s.fj.Inject(fault.StackPop) {
+			continue
+		}
 		if s.rc.CAS(s.topA, top, next) {
 			value := s.rc.WordLoad(s.vA(top))
 			s.rc.Destroy(top, next)

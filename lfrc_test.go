@@ -41,7 +41,7 @@ func TestQuickstartFlow(t *testing.T) {
 				t.Fatalf("PopRight = (%d,%v), want (42,true)", v, ok)
 			}
 			d.Close()
-			if got := sys.HeapStats().LiveObjects; got != 0 {
+			if got := sys.Stats().Heap.LiveObjects; got != 0 {
 				t.Errorf("LiveObjects = %d after Close, want 0", got)
 			}
 		})
@@ -81,7 +81,7 @@ func TestAllStructuresRoundTrip(t *testing.T) {
 			d.Close()
 			q.Close()
 			s.Close()
-			if got := sys.HeapStats().LiveObjects; got != 0 {
+			if got := sys.Stats().Heap.LiveObjects; got != 0 {
 				t.Errorf("LiveObjects = %d, want 0", got)
 			}
 		})
@@ -196,12 +196,12 @@ func TestIncrementalDestroyOption(t *testing.T) {
 	}
 	q.Close()
 
-	if sys.HeapStats().LiveObjects == 0 && sys.ZombieCount() == 0 {
+	if sys.Stats().Heap.LiveObjects == 0 && sys.ZombieCount() == 0 {
 		// Nothing deferred: acceptable only if drain already happened.
 		return
 	}
 	sys.DrainZombies(0)
-	if got := sys.HeapStats().LiveObjects; got != 0 {
+	if got := sys.Stats().Heap.LiveObjects; got != 0 {
 		t.Errorf("LiveObjects = %d after drain, want 0", got)
 	}
 }
@@ -268,13 +268,12 @@ func TestStatsExposed(t *testing.T) {
 	d.PopRight()
 	d.Close()
 
-	hs := sys.HeapStats()
-	if hs.Allocs == 0 || hs.Frees == 0 {
-		t.Errorf("HeapStats not populated: %+v", hs)
+	s := sys.Stats()
+	if s.Heap.Allocs == 0 || s.Heap.Frees == 0 {
+		t.Errorf("Stats.Heap not populated: %+v", s.Heap)
 	}
-	rs := sys.RCStats()
-	if rs.Loads == 0 || rs.DCASOps == 0 {
-		t.Errorf("RCStats not populated: %+v", rs)
+	if s.RC.Loads == 0 || s.RC.DCASOps == 0 {
+		t.Errorf("Stats.RC not populated: %+v", s.RC)
 	}
 	if sys.EngineName() != "locking" {
 		t.Errorf("EngineName = %q", sys.EngineName())

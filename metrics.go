@@ -60,6 +60,26 @@ func (s *System) WriteMetrics(w io.Writer) {
 	writeHeader(w, "lfrc_zombie_backlog", "gauge", "Objects awaiting deferred reclamation.")
 	writeScalar(w, "lfrc_zombie_backlog", st.Zombies)
 
+	writeHeader(w, "lfrc_degraded_retries_total", "counter", "Heap-pressure degraded-mode retry attempts.")
+	writeScalar(w, "lfrc_degraded_retries_total", st.Degraded.Retries)
+	writeHeader(w, "lfrc_degraded_recoveries_total", "counter", "Operations that recovered on a degraded-mode retry.")
+	writeScalar(w, "lfrc_degraded_recoveries_total", st.Degraded.Recoveries)
+	writeHeader(w, "lfrc_degraded_exhaustions_total", "counter", "Operations that failed even after the full heap-pressure policy.")
+	writeScalar(w, "lfrc_degraded_exhaustions_total", st.Degraded.Exhaustions)
+	writeHeader(w, "lfrc_degraded_zombies_drained_total", "counter", "Zombie objects reclaimed by degraded-mode drains.")
+	writeScalar(w, "lfrc_degraded_zombies_drained_total", st.Degraded.ZombiesDrained)
+
+	if st.Fault.Enabled {
+		writeHeader(w, "lfrc_fault_attempts_total", "counter", "Attempts seen at armed fault-injection points.")
+		for _, p := range st.Fault.Points {
+			writeLabeled(w, "lfrc_fault_attempts_total", "point", p.Name, int64(p.Attempts))
+		}
+		writeHeader(w, "lfrc_fault_injected_total", "counter", "Faults injected, by point.")
+		for _, p := range st.Fault.Points {
+			writeLabeled(w, "lfrc_fault_injected_total", "point", p.Name, int64(p.Fires))
+		}
+	}
+
 	if s.obs == nil {
 		return
 	}

@@ -23,6 +23,11 @@ func TestMetricNamesGolden(t *testing.T) {
 		lfrc.WithTraceSampling(1),
 		lfrc.WithLifecycleLedger(1),
 		lfrc.WithContention(true),
+		// Arm the fault injector with a rule that can never fire so the
+		// lfrc_fault_* names are part of the locked surface without
+		// perturbing the run, and enable the pressure policy.
+		lfrc.WithFaultPlan("core.load:nth=1000000000"),
+		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
 	)
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -38,7 +38,7 @@ func TestSetBasics(t *testing.T) {
 				t.Errorf("Len = %d, want 2", s.Len())
 			}
 			s.Close()
-			if got := sys.HeapStats().LiveObjects; got != 0 {
+			if got := sys.Stats().Heap.LiveObjects; got != 0 {
 				t.Errorf("LiveObjects = %d after Close, want 0", got)
 			}
 		})
@@ -108,7 +108,7 @@ func TestSetConcurrentSmoke(t *testing.T) {
 		t.Errorf("Len = %d, want %d", got, want)
 	}
 	s.Close()
-	if got := sys.HeapStats().LiveObjects; got != 0 {
+	if got := sys.Stats().Heap.LiveObjects; got != 0 {
 		t.Errorf("LiveObjects = %d, want 0", got)
 	}
 }

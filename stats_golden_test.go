@@ -20,7 +20,12 @@ import (
 //
 // Regenerate with: UPDATE_GOLDEN=1 go test -run TestStatsJSONKeysGolden .
 func TestStatsJSONKeysGolden(t *testing.T) {
-	sys, err := lfrc.New(lfrc.WithAllocShards(2), lfrc.WithIncrementalDestroy(4))
+	sys, err := lfrc.New(lfrc.WithAllocShards(2), lfrc.WithIncrementalDestroy(4),
+		// A never-firing fault rule and an armed pressure policy put the
+		// fault/degraded sections (including per-point stats) into the
+		// locked key set without perturbing the run.
+		lfrc.WithFaultPlan("core.load:nth=1000000000"),
+		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

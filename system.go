@@ -11,6 +11,7 @@ import (
 	"lfrc/internal/core"
 	"lfrc/internal/dcas"
 	"lfrc/internal/dlist"
+	"lfrc/internal/fault"
 	"lfrc/internal/gctrace"
 	"lfrc/internal/lifecycle"
 	"lfrc/internal/mem"
@@ -71,6 +72,9 @@ type config struct {
 	lifecycleEvery int
 	auditEvery     time.Duration
 	contention     bool
+	faultPlan      string
+	faultSeed      uint64
+	pressure       HeapPressurePolicy
 }
 
 type optionFunc func(*config)
@@ -207,6 +211,13 @@ type System struct {
 	ledger  *lifecycle.Ledger
 	auditor *lifecycle.Auditor
 
+	// fj is the fault injector; nil unless WithFaultPlan armed at least
+	// one injection point. pressure and deg implement graceful heap-
+	// pressure degradation (see WithHeapPressurePolicy).
+	fj       *fault.Injector
+	pressure HeapPressurePolicy
+	deg      degradedCounters
+
 	// Each structure family's heap types are registered lazily on first
 	// use; a system that never creates a Queue never pays for (or exposes)
 	// the queue's type table entries.
@@ -238,10 +249,17 @@ func New(opts ...Option) (*System, error) {
 		maxHeapWords: 64 << 20,
 		poisonCheck:  true,
 		sampleEvery:  -1,
+		faultSeed:    1,
 	}
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
+
+	plan, err := fault.Parse(cfg.faultPlan)
+	if err != nil {
+		return nil, fmt.Errorf("lfrc: fault plan: %w", err)
+	}
+	fj := fault.NewInjector(plan, cfg.faultSeed)
 
 	var rec *obs.Recorder
 	if cfg.observer {
@@ -280,6 +298,7 @@ func New(opts ...Option) (*System, error) {
 		mem.WithPoisonCheck(cfg.poisonCheck),
 		mem.WithAllocShards(cfg.allocShards),
 		mem.WithObserver(rec),
+		mem.WithFault(fj),
 	)
 	var e dcas.Engine
 	switch cfg.engine {
@@ -299,6 +318,9 @@ func New(opts ...Option) (*System, error) {
 	if ct != nil {
 		rcOpts = append(rcOpts, core.WithContention(ct))
 	}
+	if fj != nil {
+		rcOpts = append(rcOpts, core.WithFault(fj))
+	}
 
 	s := &System{
 		heap:      h,
@@ -308,6 +330,8 @@ func New(opts ...Option) (*System, error) {
 		obs:       rec,
 		ct:        ct,
 		ledger:    led,
+		fj:        fj,
+		pressure:  cfg.pressure,
 	}
 	if led != nil {
 		var audOpts []lifecycle.AuditOption
@@ -485,6 +509,21 @@ func (s *System) Stats() Stats {
 			Epoch:          s.heap.Epoch(),
 		}
 	}
+	if s.fj != nil {
+		st.Fault = FaultStats{
+			Enabled:  true,
+			Seed:     s.fj.Seed(),
+			Injected: s.fj.Fires(),
+			Points:   s.fj.Stats(),
+		}
+	}
+	st.Degraded = DegradedStats{
+		PolicyEnabled:  s.pressure.MaxRetries > 0,
+		Retries:        s.deg.retries.Load(),
+		Recoveries:     s.deg.recoveries.Load(),
+		Exhaustions:    s.deg.exhaustions.Load(),
+		ZombiesDrained: s.deg.zombiesDrained.Load(),
+	}
 	return st
 }
 
@@ -511,6 +550,14 @@ type Stats struct {
 	// Lifecycle is the diagnosis layer's accounting; zero unless the
 	// system was built WithLifecycleLedger / WithLifecycleAudit.
 	Lifecycle LifecycleStats `json:"lifecycle"`
+
+	// Fault is the fault injector's accounting; zero unless the system was
+	// built WithFaultPlan.
+	Fault FaultStats `json:"fault"`
+
+	// Degraded counts heap-pressure degraded-mode activity (see
+	// WithHeapPressurePolicy).
+	Degraded DegradedStats `json:"degraded"`
 }
 
 // LifecycleStats is the lifecycle ledger and auditor accounting.
@@ -536,18 +583,6 @@ type LifecycleStats struct {
 	Violations  uint64 `json:"violations"`
 	Epoch       uint64 `json:"epoch"`
 }
-
-// HeapStats snapshots the heap accounting: live objects and words, allocs,
-// frees, recycling, and the corruption detectors.
-//
-// Deprecated: use Stats, which returns the same numbers under Stats.Heap
-// alongside the rest of the system's accounting.
-func (s *System) HeapStats() HeapStats { return HeapStats(s.heap.Stats()) }
-
-// RCStats snapshots the LFRC operation counters.
-//
-// Deprecated: use Stats, which returns the same numbers under Stats.RC.
-func (s *System) RCStats() RCStats { return RCStats(s.rc.Stats()) }
 
 // HeapStats mirrors the heap's accounting snapshot. See the field docs on
 // the internal mem.Stats for precise semantics.
