@@ -14,7 +14,7 @@ PERF_BASELINE ?= BENCH_0004.json
 PERF_TOL ?= 0.25
 PERF_STRICT ?= 0
 
-.PHONY: all check build vet test check-race check-fault race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race check-fault check-reclaim race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
@@ -23,9 +23,9 @@ all: check
 # concurrency (seqlock rings, the lifecycle ledger/auditor, the LFRC core)
 # and fails fast before the full -race sweep. check-fault stresses every
 # structure under deterministic fault injection with the lifecycle auditor
-# armed. perf-check rides along as a soft gate (warn-only unless
-# PERF_STRICT=1).
-check: build vet test check-race check-fault race perf-check
+# armed. check-reclaim repeats that sweep across both reclamation backends.
+# perf-check rides along as a soft gate (warn-only unless PERF_STRICT=1).
+check: build vet test check-race check-fault check-reclaim race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
@@ -35,6 +35,14 @@ check-race:
 # typed-error tests, under the race detector.
 check-fault:
 	$(GO) test -race -count=1 -run 'TestFault|TestDegraded|TestHeapExhaust|TestErr' .
+
+# Cross-backend reclamation gate: the backend unit matrix (both backends share
+# one suite in internal/reclaim) plus the system-level fault/chaos/auditor
+# sweep parameterized over {lfrc, epoch}, 3 seeds each, under the race
+# detector.
+check-reclaim:
+	$(GO) test -race -count=1 ./internal/reclaim
+	$(GO) test -race -count=1 -run 'TestReclaim|TestReclamation' .
 
 build:
 	$(GO) build ./...

@@ -23,9 +23,10 @@ import (
 // fault_schedule= lines identify exactly which attempts were failed, and
 // rerunning with the same seed and plan re-fails the same attempt ordinals at
 // every point.
-func runChaos(stdout io.Writer, eng lfrc.Engine, plan string, seed uint64, dur time.Duration, workers int) error {
+func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string, seed uint64, dur time.Duration, workers int) error {
 	sys, err := lfrc.New(
 		lfrc.WithEngine(eng),
+		lfrc.WithReclamation(rec),
 		lfrc.WithFaultPlan(plan),
 		lfrc.WithFaultSeed(seed),
 		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
@@ -54,7 +55,7 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, plan string, seed uint64, dur t
 		return err
 	}
 
-	fmt.Fprintf(stdout, "chaos: engine=%s workers=%d dur=%v\n", eng, workers, dur)
+	fmt.Fprintf(stdout, "chaos: engine=%s reclaim=%s workers=%d dur=%v\n", eng, sys.ReclaimerName(), workers, dur)
 	fmt.Fprintf(stdout, "fault_seed=%d\n", seed)
 	fmt.Fprintf(stdout, "fault_plan=%s\n", plan)
 

@@ -1,12 +1,13 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1, O1, O2, O3 — see DESIGN.md §4 and EXPERIMENTS.md) and prints
+// A2, A3, L1, G1, R2, O1, O2, O3 — see DESIGN.md §4 and EXPERIMENTS.md) and
+// prints
 // one table per experiment, in the same format EXPERIMENTS.md records. A3's
 // notes include the unified System.Stats snapshot as JSON.
 //
 // Usage:
 //
-//	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-scale N]
-//	          [-dur 250ms] [-workers 1,2,4,8] [-markdown]
+//	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-reclaim lfrc|epoch]
+//	          [-scale N] [-dur 250ms] [-workers 1,2,4,8] [-markdown]
 //	          [-stats-json] [-metrics addr] [-trace out.json]
 //	          [-bench-json out.json] [-bench-runs N]
 //
@@ -23,7 +24,9 @@
 // and instead writes a schema-versioned perf-telemetry record (medians over
 // -bench-runs adjacent runs per workload, plus a contention summary) for
 // cmd/lfrcperf to gate regressions on; the path is echoed as a
-// machine-readable "bench_json=" line.
+// machine-readable "bench_json=" line. -reclaim selects the reclamation
+// backend for -bench-json, -fault-plan chaos runs, and the R2 backend
+// comparison (experiment R2 itself always measures both backends).
 package main
 
 import (
@@ -66,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 		faultPlan = fs.String("fault-plan", "", "chaos mode: skip the experiment tables and stress all structures under this fault-injection plan (e.g. 'core.*:p=0.01;mem.alloc:every=500')")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-injection seed; same seed and plan replay the same firing schedule")
 	)
+	reclaimer := lfrc.ReclaimerLFRC
+	fs.Var(&reclaimer, "reclaim", "reclamation backend: lfrc or epoch (applies to -bench-json, -fault-plan and R2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,7 +118,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-fault-plan: pick a single engine (locking or mcas), not both")
 		}
 		nw := workerCounts[len(workerCounts)-1]
-		return runChaos(stdout, lfrc.Engine(kinds[0]), *faultPlan, *faultSeed, *dur, nw)
+		return runChaos(stdout, lfrc.Engine(kinds[0]), reclaimer, *faultPlan, *faultSeed, *dur, nw)
 	}
 
 	if benchMode {
@@ -123,7 +128,7 @@ func run(args []string, stdout io.Writer) error {
 		if *benchRuns < 1 {
 			return fmt.Errorf("-bench-runs %d < 1", *benchRuns)
 		}
-		rec, err := workload.RunBenchJSON(kinds[0], *dur, *benchRuns)
+		rec, err := workload.RunBenchJSON(kinds[0], reclaimer, *dur, *benchRuns)
 		if err != nil {
 			return fmt.Errorf("-bench-json: %w", err)
 		}
@@ -177,6 +182,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if want("G1") {
 			emit(workload.RunG1(kind, *dur))
+		}
+		if want("R2") {
+			emit(workload.RunR2(kind, *dur))
 		}
 		if want("O1") {
 			emit(workload.RunO1(kind, *dur))

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	lfrcexplore [-scenario all] [-engine locking|mcas] [-preemptions 3]
-//	            [-maxruns 200000] [-claiming] [-random 0] [-maxsteps 200000]
+//	lfrcexplore [-scenario all] [-engine locking|mcas] [-reclaim lfrc|epoch]
+//	            [-preemptions 3] [-maxruns 200000] [-claiming] [-random 0]
+//	            [-maxsteps 200000]
 //
 // With -random N > 0, N seeded random schedules run instead of the
 // preemption-bounded DFS. Exit status is 0 even when anomalies are found —
@@ -28,6 +29,7 @@ import (
 	"lfrc/internal/dcas"
 	"lfrc/internal/explore"
 	"lfrc/internal/mem"
+	"lfrc/internal/reclaim"
 	"lfrc/internal/snark"
 )
 
@@ -72,7 +74,7 @@ func scenarios() []namedScenario {
 	}
 }
 
-func buildScenario(sc namedScenario, engine lfrc.Engine, claiming bool) explore.Scenario {
+func buildScenario(sc namedScenario, engine lfrc.Engine, rec lfrc.Reclaimer, claiming bool) explore.Scenario {
 	return func(instrument func(dcas.Engine) dcas.Engine) ([]func(), func() error) {
 		h := mem.NewHeap()
 		var base dcas.Engine
@@ -82,7 +84,8 @@ func buildScenario(sc namedScenario, engine lfrc.Engine, claiming bool) explore.
 			base = dcas.NewLocking(h)
 		}
 		e := instrument(base)
-		rc := core.New(h, e)
+		// lfrc.Reclaimer is numerically aligned with reclaim.Kind.
+		rc := core.New(h, e, core.WithReclaimerKind(reclaim.Kind(rec)))
 		var sopts []snark.Option
 		if claiming {
 			sopts = append(sopts, snark.WithValueClaiming())
@@ -152,6 +155,9 @@ func buildScenario(sc namedScenario, engine lfrc.Engine, claiming bool) explore.
 				}
 			}
 			d.Close()
+			// The epoch backend defers frees into limbo bins; finish its
+			// work before demanding an empty heap.
+			rc.DrainZombies(0)
 			if hs := h.Stats(); hs.Corruptions != 0 || hs.DoubleFrees != 0 || hs.LiveObjects != 0 {
 				problems = append(problems, fmt.Sprintf(
 					"HEAP: corruptions=%d doubleFrees=%d live=%d", hs.Corruptions, hs.DoubleFrees, hs.LiveObjects))
@@ -179,6 +185,8 @@ func run(args []string) error {
 		random       = fs.Int("random", 0, "run N random schedules instead of DFS")
 	)
 	fs.Var(&engine, "engine", "DCAS engine under exploration: locking or mcas")
+	reclaimer := lfrc.ReclaimerLFRC
+	fs.Var(&reclaimer, "reclaim", "reclamation backend under exploration: lfrc or epoch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,7 +202,7 @@ func run(args []string) error {
 		if *scenarioName != "all" && sc.name != *scenarioName {
 			continue
 		}
-		s := buildScenario(sc, engine, *claiming)
+		s := buildScenario(sc, engine, reclaimer, *claiming)
 		start := time.Now()
 		var res explore.Result
 		mode := fmt.Sprintf("dfs(<=%d preemptions)", *preemptions)

@@ -15,7 +15,11 @@
 //   - an experiment regresses only when a majority of pairs degraded AND
 //     the median ratio new/old is below 1 - tolerance.
 //
-// A record is refused when the schema versions differ; a host mismatch is
+// A record is refused when the schema versions differ, and when the two
+// records measured different reclamation backends — lfrc-vs-epoch deltas are
+// a policy comparison (experiment R2), not a regression signal, so comparing
+// them here would poison the gate. Records written before the reclaimer field
+// existed count as "lfrc", the only backend of their era. A host mismatch is
 // reported but compared anyway (with a warning — cross-host ratios need
 // generous tolerance).
 package main
@@ -70,6 +74,11 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if oldRec.SchemaVersion != newRec.SchemaVersion {
 		return 0, fmt.Errorf("schema version mismatch: %s is v%d, %s is v%d",
 			*oldPath, oldRec.SchemaVersion, *newPath, newRec.SchemaVersion)
+	}
+	if or, nr := reclaimerOf(oldRec), reclaimerOf(newRec); or != nr {
+		return 0, fmt.Errorf("reclaimer mismatch: %s measured %q, %s measured %q; "+
+			"backend policies are compared in experiment R2, not gated here",
+			*oldPath, or, *newPath, nr)
 	}
 	if oldRec.Host != newRec.Host {
 		fmt.Fprintf(stdout, "warning: host mismatch (%+v vs %+v); cross-host ratios need generous -tol\n",
@@ -141,6 +150,15 @@ func run(args []string, stdout io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "no regressions beyond tol=%.0f%%\n", *tol*100)
 	}
 	return regressions, nil
+}
+
+// reclaimerOf names a record's reclamation backend; records that predate the
+// field were all taken on the lfrc backend.
+func reclaimerOf(rec *workload.BenchRecord) string {
+	if rec.Reclaimer == "" {
+		return "lfrc"
+	}
+	return rec.Reclaimer
 }
 
 func readRecord(path string) (*workload.BenchRecord, error) {

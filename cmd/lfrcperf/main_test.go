@@ -197,3 +197,24 @@ func TestHostMismatchWarnsButCompares(t *testing.T) {
 		t.Errorf("no host-mismatch warning:\n%s", out.String())
 	}
 }
+
+func TestReclaimerMismatchRefused(t *testing.T) {
+	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
+	oldRec := record(t, runs) // no reclaimer field: legacy record, reads as lfrc
+	newRec := record(t, runs)
+	newRec.Reclaimer = "epoch"
+	_, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "reclaimer mismatch") {
+		t.Errorf("cross-backend records not refused: %v", err)
+	}
+
+	// Same backend — explicitly or via the legacy default — compares fine.
+	newRec.Reclaimer = "lfrc"
+	if _, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard); err != nil {
+		t.Errorf("legacy-vs-lfrc records refused: %v", err)
+	}
+	oldRec.Reclaimer, newRec.Reclaimer = "epoch", "epoch"
+	if _, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard); err != nil {
+		t.Errorf("epoch-vs-epoch records refused: %v", err)
+	}
+}

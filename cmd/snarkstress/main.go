@@ -7,7 +7,8 @@
 // Usage:
 //
 //	snarkstress [-dur 10s] [-workers 8] [-engine locking|mcas]
-//	            [-structure deque|queue|stack|all] [-checkpoint 2s] [-claim]
+//	            [-reclaim lfrc|epoch] [-structure deque|queue|stack|all]
+//	            [-checkpoint 2s] [-claim]
 //
 // Exit status is non-zero if any invariant is violated.
 package main
@@ -25,7 +26,9 @@ import (
 
 	"lfrc"
 	"lfrc/internal/check"
+	"lfrc/internal/core"
 	"lfrc/internal/mem"
+	"lfrc/internal/reclaim"
 	"lfrc/internal/snark"
 	"lfrc/internal/workload"
 )
@@ -41,6 +44,7 @@ type options struct {
 	dur        time.Duration
 	workers    int
 	engine     workload.EngineKind
+	reclaimer  lfrc.Reclaimer
 	structures []string
 	checkpoint time.Duration
 	claim      bool
@@ -57,6 +61,8 @@ func run(args []string) error {
 		claim      = fs.Bool("claim", true, "use the value-claiming deque variant")
 	)
 	fs.Var(&engine, "engine", "DCAS engine: locking or mcas")
+	reclaimer := lfrc.ReclaimerLFRC
+	fs.Var(&reclaimer, "reclaim", "reclamation backend: lfrc or epoch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +84,7 @@ func run(args []string) error {
 		dur:        *dur,
 		workers:    *workers,
 		engine:     kind,
+		reclaimer:  reclaimer,
 		structures: structures,
 		checkpoint: *checkpoint,
 		claim:      *claim,
@@ -88,8 +95,8 @@ func run(args []string) error {
 
 	failures := 0
 	for _, st := range opts.structures {
-		fmt.Printf("=== soaking %s (%s engine, %d workers, %v) ===\n",
-			st, opts.engine, opts.workers, opts.dur)
+		fmt.Printf("=== soaking %s (%s engine, %s reclaim, %d workers, %v) ===\n",
+			st, opts.engine, opts.reclaimer, opts.workers, opts.dur)
 		if err := soak(st, opts); err != nil {
 			fmt.Printf("FAIL %s: %v\n", st, err)
 			failures++
@@ -176,7 +183,8 @@ func buildOps(st string, env *workload.Env, claim bool) (ops, error) {
 }
 
 func soak(st string, o options) error {
-	env := workload.NewEnv(o.engine)
+	// lfrc.Reclaimer is numerically aligned with reclaim.Kind.
+	env := workload.NewEnv(o.engine, core.WithReclaimerKind(reclaim.Kind(o.reclaimer)))
 	structure, err := buildOps(st, env, o.claim)
 	if err != nil {
 		return err
@@ -258,6 +266,9 @@ func soak(st string, o options) error {
 			c.Name, c.Live, c.Freed, c.LiveWords)
 	}
 	structure.close()
+	// The epoch backend holds freed-at-count-zero objects in limbo; finish
+	// its deferred work before demanding an empty heap.
+	env.RC.DrainZombies(0)
 	if leaks := check.Leaks(env.Heap); len(leaks) != 0 {
 		return fmt.Errorf("%d objects leaked after close", len(leaks))
 	}

@@ -17,8 +17,9 @@ import (
 //	core.load:p=0.01;snark.popright:nth=3+7;mem.alloc:every=1000
 //
 // Injection points cover the LFRC operations' CAS/DCAS attempts (core.load,
-// core.store, core.storealloc, core.cas, core.dcas, core.addtorc), the zombie
-// machinery (core.zombie.push, core.zombie.drain), the four Snark hat loops
+// core.store, core.storealloc, core.cas, core.dcas, core.addtorc), the
+// reclamation backends (reclaim.push, reclaim.drain, reclaim.epoch — or
+// reclaim.* to arm all three), the four Snark hat loops
 // (snark.pushleft/pushright/popleft/popright), the queue, stack, and set
 // retry loops (queue.enqueue/dequeue, stack.push/pop,
 // set.insert/delete/popmin), and the allocator (mem.alloc forces an injected

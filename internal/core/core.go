@@ -19,6 +19,12 @@
 // check that the pointer still exists (paper §5). NaiveLoad preserves the
 // broken CAS-only protocol for experiment E1.
 //
+// What happens *after* a count reaches zero is not this package's policy:
+// count-zero objects are handed to a pluggable reclamation backend (the
+// internal/reclaim seam — the paper-faithful zombie stack by default, or
+// epoch-based limbo bins), and the RC implements reclaim.Env so backends
+// can release children and return slots without knowing the LFRC protocol.
+//
 // Pointer cells managed by this package must be accessed only through these
 // operations (the paper's "LFRC compliance" criterion, §2.1).
 package core
@@ -32,6 +38,7 @@ import (
 	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
+	"lfrc/internal/reclaim"
 	"lfrc/internal/stripe"
 )
 
@@ -40,17 +47,16 @@ type RC struct {
 	h *mem.Heap
 	e dcas.Engine
 
-	// destroyBudget caps the number of objects reclaimed per Destroy
-	// call when positive (the paper's §7 "incremental collection of large
-	// structures"); the remainder parks on the zombie list.
+	// reclaimKind selects the reclamation backend built at construction;
+	// destroyBudget is the incremental-destroy budget handed to it (the
+	// paper's §7 "incremental collection of large structures").
+	reclaimKind   reclaim.Kind
 	destroyBudget int
 
-	// zombieHead is a Treiber stack of objects whose count reached zero
-	// but whose reclamation was deferred. The link lives in each parked
-	// object's aux word; the head packs a 32-bit pop counter with the
-	// 32-bit object address.
-	zombieHead  atomic.Uint64
-	zombieCount atomic.Int64
+	// rec is the reclamation backend: every object whose count this RC
+	// observes dropping to zero is retired through it, and it frees them
+	// back through the reclaim.Env methods below.
+	rec reclaim.Reclaimer
 
 	// LoadHook and NaiveHook, when non-nil, run inside Load and
 	// NaiveLoad respectively, between reading the pointer and updating
@@ -76,30 +82,36 @@ type RC struct {
 
 	// fj is the optional fault injector. A nil injector is fully disabled;
 	// when installed, every CAS/DCAS attempt in the LFRC operations and the
-	// zombie machinery consults it and treats a firing as a genuine failure
-	// — taking exactly the retry or compensation path a lost race takes.
-	// Injected failures are not reported to the contention observatory:
-	// no comparand actually moved.
+	// reclamation machinery consults it and treats a firing as a genuine
+	// failure — taking exactly the retry or compensation path a lost race
+	// takes. Injected failures are not reported to the contention
+	// observatory: no comparand actually moved.
 	fj *fault.Injector
 }
 
 // Option configures an RC.
 type Option func(*RC)
 
-// WithIncrementalDestroy caps reclamation work per Destroy call at budget
-// objects; excess dead objects are parked on a zombie list and reclaimed by
-// later Destroy calls or by DrainZombies. This implements the paper's §7
-// suggestion for avoiding long pauses when the last pointer to a large
-// structure is dropped. A budget of 0 (the default) reclaims eagerly.
+// WithIncrementalDestroy caps reclamation work per release at budget
+// objects; excess dead objects stay parked with the reclamation backend and
+// are reclaimed by later releases or by DrainZombies. This implements the
+// paper's §7 suggestion for avoiding long pauses when the last pointer to a
+// large structure is dropped. A budget of 0 (the default) reclaims eagerly.
 func WithIncrementalDestroy(budget int) Option {
-	return func(rc *RC) { rc.destroyBudget = budget }
+	return func(c *RC) { c.destroyBudget = budget }
+}
+
+// WithReclaimerKind selects the reclamation backend (see internal/reclaim).
+// The default is reclaim.KindLFRC, the paper-faithful zombie stack.
+func WithReclaimerKind(k reclaim.Kind) Option {
+	return func(c *RC) { c.reclaimKind = k }
 }
 
 // WithObserver attaches a flight recorder: LFRC operations record sampled
 // events (kind, ref, cell, outcome, retry count, latency) into its lock-free
 // per-stripe rings. A nil recorder leaves observation disabled.
 func WithObserver(r *obs.Recorder) Option {
-	return func(rc *RC) { rc.obs = r }
+	return func(c *RC) { c.obs = r }
 }
 
 // WithContention attaches a contention observatory: the DCAS/CAS retry
@@ -109,62 +121,73 @@ func WithObserver(r *obs.Recorder) Option {
 // operations (no retry) record nothing, so the hot path pays one nil/zero
 // check. A nil table leaves observation disabled.
 func WithContention(t *contend.Table) Option {
-	return func(rc *RC) { rc.ct = t }
+	return func(c *RC) { c.ct = t }
 }
 
 // WithFault attaches a fault injector: the DCAS/CAS attempts of every LFRC
-// operation, add_to_rc, and the zombie push/drain loops consult it and treat
-// a firing as a failed attempt. A nil injector leaves injection disabled.
+// operation, add_to_rc, and the reclamation backend's park/drain loops
+// consult it and treat a firing as a failed attempt. A nil injector leaves
+// injection disabled.
 func WithFault(in *fault.Injector) Option {
-	return func(rc *RC) { rc.fj = in }
+	return func(c *RC) { c.fj = in }
 }
 
-// New creates an RC over the given heap and engine.
+// New creates an RC over the given heap and engine. The reclamation backend
+// is built last, over the fully configured RC, which implements its Env.
 func New(h *mem.Heap, e dcas.Engine, opts ...Option) *RC {
-	rc := &RC{
-		h:     h,
-		e:     e,
-		stats: make([]opStripe, stripe.Clamp(0, runtime.GOMAXPROCS(0))),
+	c := &RC{
+		h:           h,
+		e:           e,
+		reclaimKind: reclaim.KindLFRC,
+		stats:       make([]opStripe, stripe.Clamp(0, runtime.GOMAXPROCS(0))),
 	}
 	for _, o := range opts {
-		o(rc)
+		o(c)
 	}
-	return rc
+	c.rec = reclaim.New(c.reclaimKind, c,
+		reclaim.WithBudget(c.destroyBudget),
+		reclaim.WithObserver(c.obs),
+		reclaim.WithFault(c.fj),
+	)
+	return c
 }
 
 // st routes the calling goroutine to a counter stripe.
-func (rc *RC) st() *opStripe { return &rc.stats[stripe.Hint(len(rc.stats))] }
+func (c *RC) st() *opStripe { return &c.stats[stripe.Hint(len(c.stats))] }
 
 // Observer returns the attached flight recorder, which is nil (a valid,
 // disabled recorder) unless WithObserver was used. Structure packages built
 // on this RC record their own op-level events through it.
-func (rc *RC) Observer() *obs.Recorder { return rc.obs }
+func (c *RC) Observer() *obs.Recorder { return c.obs }
 
 // Contention returns the attached contention observatory, which is nil (a
 // valid, disabled table) unless WithContention was used. Structure packages
 // built on this RC attribute their own retry loops through it.
-func (rc *RC) Contention() *contend.Table { return rc.ct }
+func (c *RC) Contention() *contend.Table { return c.ct }
 
 // Fault returns the attached fault injector, which is nil (a valid, disabled
 // injector) unless WithFault was used. Structure packages built on this RC
 // consult it in their own retry loops.
-func (rc *RC) Fault() *fault.Injector { return rc.fj }
+func (c *RC) Fault() *fault.Injector { return c.fj }
 
 // Heap returns the underlying heap (for address computation and stats).
-func (rc *RC) Heap() *mem.Heap { return rc.h }
+func (c *RC) Heap() *mem.Heap { return c.h }
 
 // Engine returns the underlying DCAS engine.
-func (rc *RC) Engine() dcas.Engine { return rc.e }
+func (c *RC) Engine() dcas.Engine { return c.e }
+
+// Reclaimer returns the reclamation backend the RC was built with.
+func (c *RC) Reclaimer() reclaim.Reclaimer { return c.rec }
 
 // NewObject allocates an object of type t with reference count 1 — the
 // reference returned to the caller, which the caller must eventually either
 // store somewhere with StoreAlloc or release with Destroy.
-func (rc *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
-	r, err := rc.h.Alloc(t)
+func (c *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
+	r, err := c.h.Alloc(t)
 	if err != nil {
 		return 0, err
 	}
-	rc.st().allocs.Add(1)
+	c.st().allocs.Add(1)
 	return r, nil
 }
 
@@ -172,51 +195,51 @@ func (rc *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
 // pointer at shared cell a into *dest, incrementing the referent's count
 // atomically — via DCAS — with the check that the pointer still exists, and
 // then releases the reference previously held in *dest.
-func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
-	t0 := rc.obs.Sample()
+func (c *RC) Load(a mem.Addr, dest *mem.Ref) {
+	t0 := c.obs.Sample()
 	var retries uint32
 	var oldrc uint64
 	olddest := *dest
 	for {
-		v := mem.Ref(rc.e.Read(a))
+		v := mem.Ref(c.e.Read(a))
 		if v == 0 {
 			*dest = 0
 			break
 		}
-		r := rc.e.Read(rc.h.RCAddr(v))
-		if rc.LoadHook != nil {
-			rc.LoadHook(v)
+		r := c.e.Read(c.h.RCAddr(v))
+		if c.LoadHook != nil {
+			c.LoadHook(v)
 		}
 		// An injected firing here lands in the paper's §5 window — between
 		// reading (v, rc) and the DCAS — and forces the retry path.
-		if rc.fj.Inject(fault.CoreLoad) {
+		if c.fj.Inject(fault.CoreLoad) {
 			retries++
-			rc.st().loadRetries.Add(1)
+			c.st().loadRetries.Add(1)
 			continue
 		}
-		if rc.e.DCAS(a, rc.h.RCAddr(v), uint64(v), r, uint64(v), r+1) {
+		if c.e.DCAS(a, c.h.RCAddr(v), uint64(v), r, uint64(v), r+1) {
 			*dest = v
 			oldrc = r
 			break
 		}
 		retries++
-		rc.st().loadRetries.Add(1)
-		if rc.ct != nil {
-			m0, m1 := dcas.Attribute(rc.e, a, rc.h.RCAddr(v), uint64(v), r)
-			rc.ct.Attempt(obs.KindLoad, uint32(a), contend.RolePointer,
-				uint32(rc.h.RCAddr(v)), contend.RoleRC, m0, m1)
+		c.st().loadRetries.Add(1)
+		if c.ct != nil {
+			m0, m1 := dcas.Attribute(c.e, a, c.h.RCAddr(v), uint64(v), r)
+			c.ct.Attempt(obs.KindLoad, uint32(a), contend.RolePointer,
+				uint32(c.h.RCAddr(v)), contend.RoleRC, m0, m1)
 		}
 	}
-	rc.st().loads.Add(1)
+	c.st().loads.Add(1)
 	if retries > 0 {
 		var rcA uint32
 		if *dest != 0 {
-			rcA = uint32(rc.h.RCAddr(*dest))
+			rcA = uint32(c.h.RCAddr(*dest))
 		}
-		rc.ct.OpDone(obs.KindLoad, uint32(a), contend.RolePointer, rcA, contend.RoleRC, retries)
+		c.ct.OpDone(obs.KindLoad, uint32(a), contend.RolePointer, rcA, contend.RoleRC, retries)
 	}
-	rc.recordT(t0, obs.KindLoad, *dest, a, true, retries, oldrc, 1)
-	rc.Destroy(olddest)
+	c.recordT(t0, obs.KindLoad, *dest, a, true, retries, oldrc, 1)
+	c.Destroy(olddest)
 }
 
 // NaiveLoad is the CAS-only load the paper argues against in §5 (the
@@ -225,65 +248,65 @@ func (rc *RC) Load(a mem.Addr, dest *mem.Ref) {
 // two steps the object may be freed and recycled, so the increment can
 // corrupt freed or reallocated memory. It exists solely for experiment E1;
 // never use it in real code.
-func (rc *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
-	t0 := rc.obs.Sample()
+func (c *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
+	t0 := c.obs.Sample()
 	var retries uint32
 	var oldrc uint64
 	olddest := *dest
 	for {
-		v := mem.Ref(rc.e.Read(a))
+		v := mem.Ref(c.e.Read(a))
 		if v == 0 {
 			*dest = 0
 			break
 		}
-		if rc.NaiveHook != nil {
-			rc.NaiveHook(v)
+		if c.NaiveHook != nil {
+			c.NaiveHook(v)
 		}
-		oldrc = rc.addToRC(obs.KindNaiveLoad, v, 1) // unsafe: v may already be freed
-		if mem.Ref(rc.e.Read(a)) == v {
+		oldrc = c.addToRC(obs.KindNaiveLoad, v, 1) // unsafe: v may already be freed
+		if mem.Ref(c.e.Read(a)) == v {
 			*dest = v
 			break
 		}
-		rc.addToRC(obs.KindNaiveLoad, v, -1)
+		c.addToRC(obs.KindNaiveLoad, v, -1)
 		retries++
-		rc.st().loadRetries.Add(1)
-		rc.ct.Attempt(obs.KindNaiveLoad, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
+		c.st().loadRetries.Add(1)
+		c.ct.Attempt(obs.KindNaiveLoad, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
 	}
-	rc.st().loads.Add(1)
+	c.st().loads.Add(1)
 	if retries > 0 {
-		rc.ct.OpDone(obs.KindNaiveLoad, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
+		c.ct.OpDone(obs.KindNaiveLoad, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
 	}
-	rc.recordT(t0, obs.KindNaiveLoad, *dest, a, true, retries, oldrc, 1)
-	rc.Destroy(olddest)
+	c.recordT(t0, obs.KindNaiveLoad, *dest, a, true, retries, oldrc, 1)
+	c.Destroy(olddest)
 }
 
 // Store implements LFRCStore (Figure 2, lines 21–28): it stores pointer
 // value v into shared cell a, incrementing v's count first and releasing the
 // overwritten pointer afterwards.
-func (rc *RC) Store(a mem.Addr, v mem.Ref) {
-	t0 := rc.obs.Sample()
+func (c *RC) Store(a mem.Addr, v mem.Ref) {
+	t0 := c.obs.Sample()
 	var oldrc uint64
 	if v != 0 {
-		oldrc = rc.addToRC(obs.KindStore, v, 1)
+		oldrc = c.addToRC(obs.KindStore, v, 1)
 	}
 	var retries uint32
 	for {
-		old := mem.Ref(rc.e.Read(a))
-		if rc.fj.Inject(fault.CoreStore) {
+		old := mem.Ref(c.e.Read(a))
+		if c.fj.Inject(fault.CoreStore) {
 			retries++
 			continue
 		}
-		if rc.e.CAS(a, uint64(old), uint64(v)) {
-			rc.st().stores.Add(1)
+		if c.e.CAS(a, uint64(old), uint64(v)) {
+			c.st().stores.Add(1)
 			if retries > 0 {
-				rc.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
+				c.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
 			}
-			rc.recordT(t0, obs.KindStore, v, a, true, retries, oldrc, 1)
-			rc.Destroy(old)
+			c.recordT(t0, obs.KindStore, v, a, true, retries, oldrc, 1)
+			c.Destroy(old)
 			return
 		}
 		retries++
-		rc.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
+		c.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
 	}
 }
 
@@ -292,63 +315,63 @@ func (rc *RC) Store(a mem.Addr, v mem.Ref) {
 // returned directly into the cell. After StoreAlloc the caller's local copy
 // of v is dead weight: do not Destroy it and do not use it as a counted
 // reference.
-func (rc *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
-	t0 := rc.obs.Sample()
+func (c *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
+	t0 := c.obs.Sample()
 	var retries uint32
 	for {
-		old := mem.Ref(rc.e.Read(a))
-		if rc.fj.Inject(fault.CoreStoreAlloc) {
+		old := mem.Ref(c.e.Read(a))
+		if c.fj.Inject(fault.CoreStoreAlloc) {
 			retries++
 			continue
 		}
-		if rc.e.CAS(a, uint64(old), uint64(v)) {
-			rc.st().stores.Add(1)
+		if c.e.CAS(a, uint64(old), uint64(v)) {
+			c.st().stores.Add(1)
 			if retries > 0 {
-				rc.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
+				c.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
 			}
-			rc.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
-			rc.Destroy(old)
+			c.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
+			c.Destroy(old)
 			return
 		}
 		retries++
-		rc.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
+		c.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
 	}
 }
 
 // Copy implements LFRCCopy (Figure 2, lines 29–32): it assigns pointer value
 // w to the local pointer variable *v, adjusting both reference counts.
-func (rc *RC) Copy(v *mem.Ref, w mem.Ref) {
-	t0 := rc.obs.Sample()
+func (c *RC) Copy(v *mem.Ref, w mem.Ref) {
+	t0 := c.obs.Sample()
 	var oldrc uint64
 	if w != 0 {
-		oldrc = rc.addToRC(obs.KindCopy, w, 1)
+		oldrc = c.addToRC(obs.KindCopy, w, 1)
 	}
 	old := *v
 	*v = w
-	rc.st().copies.Add(1)
-	rc.recordT(t0, obs.KindCopy, w, 0, true, 0, oldrc, 1)
-	rc.Destroy(old)
+	c.st().copies.Add(1)
+	c.recordT(t0, obs.KindCopy, w, 0, true, 0, oldrc, 1)
+	c.Destroy(old)
 }
 
 // CAS implements LFRCCAS: the single-location simplification of DCAS (paper
 // §2.2 and Figure 2 caption).
-func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
-	t0 := rc.obs.Sample()
+func (c *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
+	t0 := c.obs.Sample()
 	var oldrc uint64
 	if new != 0 {
-		oldrc = rc.addToRC(obs.KindCAS, new, 1)
+		oldrc = c.addToRC(obs.KindCAS, new, 1)
 	}
-	rc.st().casOps.Add(1)
+	c.st().casOps.Add(1)
 	// An injected firing fails the whole operation: the caller observes a
 	// lost CAS and the provisional increment on new is compensated below —
 	// the exact path a genuine failure takes.
-	if !rc.fj.Inject(fault.CoreCAS) && rc.e.CAS(a, uint64(old), uint64(new)) {
-		rc.recordT(t0, obs.KindCAS, new, a, true, 0, oldrc, 1)
-		rc.Destroy(old)
+	if !c.fj.Inject(fault.CoreCAS) && c.e.CAS(a, uint64(old), uint64(new)) {
+		c.recordT(t0, obs.KindCAS, new, a, true, 0, oldrc, 1)
+		c.Destroy(old)
 		return true
 	}
-	rc.recordT(t0, obs.KindCAS, new, a, false, 0, oldrc, 1)
-	rc.Destroy(new)
+	c.recordT(t0, obs.KindCAS, new, a, false, 0, oldrc, 1)
+	c.Destroy(new)
 	return false
 }
 
@@ -356,157 +379,111 @@ func (rc *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 // new referents are raised before the attempt; on success the two displaced
 // pointers are released, on failure the two provisional increments are
 // compensated.
-func (rc *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
-	t0 := rc.obs.Sample()
+func (c *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
+	t0 := c.obs.Sample()
 	var oldrc0 uint64
 	if new0 != 0 {
-		oldrc0 = rc.addToRC(obs.KindDCAS, new0, 1)
+		oldrc0 = c.addToRC(obs.KindDCAS, new0, 1)
 	}
 	if new1 != 0 {
-		rc.addToRC(obs.KindDCAS, new1, 1)
+		c.addToRC(obs.KindDCAS, new1, 1)
 	}
-	rc.st().dcasOps.Add(1)
-	if !rc.fj.Inject(fault.CoreDCAS) && rc.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
-		rc.recordT(t0, obs.KindDCAS, new0, a0, true, 0, oldrc0, 1)
-		rc.Destroy(old0, old1)
+	c.st().dcasOps.Add(1)
+	if !c.fj.Inject(fault.CoreDCAS) && c.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
+		c.recordT(t0, obs.KindDCAS, new0, a0, true, 0, oldrc0, 1)
+		c.Destroy(old0, old1)
 		return true
 	}
-	rc.recordT(t0, obs.KindDCAS, new0, a0, false, 0, oldrc0, 1)
-	rc.Destroy(new0, new1)
+	c.recordT(t0, obs.KindDCAS, new0, a0, false, 0, oldrc0, 1)
+	c.Destroy(new0, new1)
 	return false
 }
 
 // Destroy implements LFRCDestroy (Figure 2, lines 13–15) for any number of
 // local pointer values: each non-null argument's count is decremented, and
-// objects whose count reaches zero are reclaimed — recursively releasing
-// every pointer they contain — either eagerly or, under
-// WithIncrementalDestroy, up to the configured budget per call.
-func (rc *RC) Destroy(vs ...mem.Ref) {
-	t0 := rc.obs.Sample()
-	var stack []mem.Ref
+// objects whose count reaches zero are retired to the reclamation backend —
+// which releases every pointer they contain when it frees them, either
+// eagerly or deferred, per its policy.
+func (c *RC) Destroy(vs ...mem.Ref) {
+	t0 := c.obs.Sample()
+	var dead []mem.Ref
 	for _, v := range vs {
 		if v == 0 {
 			continue
 		}
-		rc.st().destroys.Add(1)
-		old := rc.addToRC(obs.KindDestroy, v, -1)
+		c.st().destroys.Add(1)
+		old := c.addToRC(obs.KindDestroy, v, -1)
 		hitZero := old == 1
 		// The first released ref carries the sampled latency token; the
 		// rest are sink-only (t0 = 0) so every decrement still reaches a
 		// tracked object's lifecycle timeline with its rc transition.
-		rc.recordT(t0, obs.KindDestroy, v, 0, hitZero, 0, old, -1)
+		c.recordT(t0, obs.KindDestroy, v, 0, hitZero, 0, old, -1)
 		t0 = 0
 		if hitZero {
-			stack = append(stack, v)
+			dead = append(dead, v)
 		}
 	}
-	if len(stack) == 0 {
+	if len(dead) == 0 {
 		return
 	}
-	rc.reclaim(stack, rc.destroyBudget)
+	c.rec.Retire(dead)
 }
 
-// reclaim frees every object on stack plus any of their descendants whose
-// count drops to zero. With a positive budget it frees at most budget
-// objects and parks the rest on the zombie list.
-func (rc *RC) reclaim(stack []mem.Ref, budget int) int {
-	processed := 0
-	for len(stack) > 0 {
-		if budget > 0 && processed >= budget {
-			for _, p := range stack {
-				rc.pushZombie(p)
-			}
-			return processed
-		}
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		d, err := rc.h.Type(rc.h.TypeOf(p))
-		if err == nil {
-			for _, f := range d.PtrFields {
-				c := mem.Ref(rc.e.Read(rc.h.FieldAddr(p, f)))
-				if c == 0 {
-					continue
-				}
-				rc.st().destroys.Add(1)
-				old := rc.addToRC(obs.KindDestroy, c, -1)
-				rc.recordT(0, obs.KindDestroy, c, 0, old == 1, 0, old, -1)
-				if old == 1 {
-					stack = append(stack, c)
-				}
-			}
-		}
-		if err := rc.h.Free(p); err != nil {
-			rc.st().freeErrors.Add(1)
-		} else {
-			rc.st().frees.Add(1)
-		}
-		processed++
+// ReleaseChildren implements reclaim.Env: it decrements the reference count
+// of every pointer field of p, nulls the field, and appends children whose
+// count reached zero to dst. The backend chooses when to call it — the lfrc
+// backend at free time (a budget-parked zombie keeps its fields until its
+// destruction resumes, §7), the epoch backend at retire time (so a parked
+// husk holds no edges and cannot transitively pin its subgraph in limbo).
+// Nulling is safe either way: p is count-zero and unreachable, and it keeps
+// a mid-drain Audit consistent — a cleared field contributes no expected
+// count, matching the already-decremented child.
+func (c *RC) ReleaseChildren(p mem.Ref, dst []mem.Ref) []mem.Ref {
+	d, err := c.h.Type(c.h.TypeOf(p))
+	if err != nil {
+		return dst
 	}
-	return processed
+	for _, f := range d.PtrFields {
+		child := mem.Ref(c.e.Read(c.h.FieldAddr(p, f)))
+		if child == 0 {
+			continue
+		}
+		c.h.Store(c.h.FieldAddr(p, f), 0)
+		c.st().destroys.Add(1)
+		old := c.addToRC(obs.KindDestroy, child, -1)
+		c.recordT(0, obs.KindDestroy, child, 0, old == 1, 0, old, -1)
+		if old == 1 {
+			dst = append(dst, child)
+		}
+	}
+	return dst
 }
 
-// DrainZombies reclaims up to max parked objects (and their newly dead
-// descendants), returning the number of objects actually freed. A max of 0
-// drains everything.
-func (rc *RC) DrainZombies(max int) int {
-	processed := 0
-	for max <= 0 || processed < max {
-		z := rc.popZombie()
-		if z == 0 {
-			break
-		}
-		budget := 0
-		if max > 0 {
-			budget = max - processed
-		}
-		processed += rc.reclaim([]mem.Ref{z}, budget)
+// FreeObject implements reclaim.Env: it returns p's slot to the heap,
+// counting frees and heap-rejected reclamations (double frees caused by
+// corrupted counts).
+func (c *RC) FreeObject(p mem.Ref) {
+	if err := c.h.Free(p); err != nil {
+		c.st().freeErrors.Add(1)
+	} else {
+		c.st().frees.Add(1)
 	}
-	return processed
 }
+
+// LinkLoad implements reclaim.Env: it reads p's aux word, the cell backends
+// link deferral lists through.
+func (c *RC) LinkLoad(p mem.Ref) uint64 { return c.h.Load(c.h.AuxAddr(p)) }
+
+// LinkStore implements reclaim.Env: it writes p's aux word.
+func (c *RC) LinkStore(p mem.Ref, v uint64) { c.h.Store(c.h.AuxAddr(p), v) }
+
+// DrainZombies finishes up to max deferred reclamations (0 = all),
+// returning the number of objects actually freed, whatever the backend.
+func (c *RC) DrainZombies(max int) int { return c.rec.Drain(max) }
 
 // ZombieCount reports the number of objects currently parked for deferred
-// reclamation.
-func (rc *RC) ZombieCount() int64 { return rc.zombieCount.Load() }
-
-// pushZombie parks a dead object (rc already zero) on the zombie stack,
-// linking through its aux word.
-func (rc *RC) pushZombie(p mem.Ref) {
-	for {
-		old := rc.zombieHead.Load()
-		rc.h.Store(rc.h.AuxAddr(p), old&0xFFFF_FFFF)
-		if rc.fj.Inject(fault.CoreZombiePush) {
-			continue
-		}
-		if rc.zombieHead.CompareAndSwap(old, old&^uint64(0xFFFF_FFFF)|uint64(p)) {
-			rc.zombieCount.Add(1)
-			rc.st().zombiePushes.Add(1)
-			rc.obs.Note(obs.KindZombiePush, uint32(p), 0)
-			return
-		}
-	}
-}
-
-// popZombie removes one parked object, or returns 0 if none are parked.
-func (rc *RC) popZombie() mem.Ref {
-	for {
-		old := rc.zombieHead.Load()
-		p := mem.Ref(old & 0xFFFF_FFFF)
-		if p == 0 {
-			return 0
-		}
-		next := rc.h.Load(rc.h.AuxAddr(p)) & 0xFFFF_FFFF
-		cnt := (old >> 32) + 1
-		if rc.fj.Inject(fault.CoreZombieDrain) {
-			continue
-		}
-		if rc.zombieHead.CompareAndSwap(old, cnt<<32|next) {
-			rc.zombieCount.Add(-1)
-			rc.obs.Note(obs.KindZombieDrain, uint32(p), 0)
-			return p
-		}
-	}
-}
+// reclamation (the backend's pending backlog).
+func (c *RC) ZombieCount() int64 { return c.rec.Pending() }
 
 // addToRC implements add_to_rc (Figure 2, lines 16–20): a CAS loop adding v
 // to p's reference count and returning the count's previous value. It is
@@ -515,26 +492,26 @@ func (rc *RC) popZombie() mem.Ref {
 // poison in the count cell — evidence of a use-after-free — are tallied in
 // Stats().PoisonedRCUpdates and still performed, faithfully simulating the
 // memory corruption the paper describes.
-func (rc *RC) addToRC(kind obs.Kind, p mem.Ref, v int64) uint64 {
-	a := rc.h.RCAddr(p)
+func (c *RC) addToRC(kind obs.Kind, p mem.Ref, v int64) uint64 {
+	a := c.h.RCAddr(p)
 	var retries uint32
 	for {
-		old := rc.e.Read(a)
+		old := c.e.Read(a)
 		if old >= mem.Poison && old <= mem.Poison+8 {
-			rc.st().poisonedRCUpdates.Add(1)
+			c.st().poisonedRCUpdates.Add(1)
 		}
-		if rc.fj.Inject(fault.CoreAddToRC) {
+		if c.fj.Inject(fault.CoreAddToRC) {
 			retries++
 			continue
 		}
-		if rc.e.CAS(a, old, uint64(int64(old)+v)) {
+		if c.e.CAS(a, old, uint64(int64(old)+v)) {
 			if retries > 0 {
-				rc.ct.OpDone(kind, uint32(a), contend.RoleRC, 0, contend.RoleUnknown, retries)
+				c.ct.OpDone(kind, uint32(a), contend.RoleRC, 0, contend.RoleUnknown, retries)
 			}
 			return old
 		}
 		retries++
-		rc.ct.Attempt(kind, uint32(a), contend.RoleRC, 0, contend.RoleUnknown, true, false)
+		c.ct.Attempt(kind, uint32(a), contend.RoleRC, 0, contend.RoleUnknown, true, false)
 	}
 }
 
@@ -542,27 +519,27 @@ func (rc *RC) addToRC(kind obs.Kind, p mem.Ref, v int64) uint64 {
 // the count before the update and the count after applying delta. A null ref
 // carries no transition; counts are truncated to 32 bits (a poisoned count
 // truncates to a distinctive 0xEF5C0DED).
-func (rc *RC) recordT(t0 int64, kind obs.Kind, ref mem.Ref, addr mem.Addr, ok bool, retries uint32, old uint64, delta int64) {
+func (c *RC) recordT(t0 int64, kind obs.Kind, ref mem.Ref, addr mem.Addr, ok bool, retries uint32, old uint64, delta int64) {
 	var o, n uint32
 	if ref != 0 {
 		o, n = uint32(old), uint32(uint64(int64(old)+delta))
 	}
-	rc.obs.RecordT(t0, kind, uint32(ref), uint32(addr), ok, retries, o, n)
+	c.obs.RecordT(t0, kind, uint32(ref), uint32(addr), ok, retries, o, n)
 }
 
 // RCOf returns the current reference count of p (diagnostics only).
-func (rc *RC) RCOf(p mem.Ref) uint64 { return rc.e.Read(rc.h.RCAddr(p)) }
+func (c *RC) RCOf(p mem.Ref) uint64 { return c.e.Read(c.h.RCAddr(p)) }
 
 // WordLoad reads a non-pointer (scalar) cell through the engine. Scalar
 // fields are outside the LFRC protocol but still share cells with DCAS
 // traffic, so they must be read engine-aware.
-func (rc *RC) WordLoad(a mem.Addr) uint64 { return rc.e.Read(a) }
+func (c *RC) WordLoad(a mem.Addr) uint64 { return c.e.Read(a) }
 
 // WordStore writes a non-pointer (scalar) cell through the engine.
-func (rc *RC) WordStore(a mem.Addr, v uint64) { rc.e.Write(a, v) }
+func (c *RC) WordStore(a mem.Addr, v uint64) { c.e.Write(a, v) }
 
 // WordCAS compare-and-swaps a non-pointer (scalar) cell through the engine.
-func (rc *RC) WordCAS(a mem.Addr, old, new uint64) bool { return rc.e.CAS(a, old, new) }
+func (c *RC) WordCAS(a mem.Addr, old, new uint64) bool { return c.e.CAS(a, old, new) }
 
 // opStripe is one stripe of the RC's atomic accounting, padded out to a
 // cache-line multiple so neighbouring stripes never false-share.
@@ -577,9 +554,8 @@ type opStripe struct {
 	destroys          atomic.Int64
 	frees             atomic.Int64
 	freeErrors        atomic.Int64
-	zombiePushes      atomic.Int64
 	poisonedRCUpdates atomic.Int64
-	_                 [32]byte
+	_                 [40]byte
 }
 
 // Stats is a snapshot of LFRC operation counters.
@@ -594,7 +570,8 @@ type Stats struct {
 	// inside Load (contention on the pointer or its referent's count).
 	Loads, LoadRetries, Stores, Copies, CASOps, DCASOps, Destroys int64
 
-	// ZombiePushes counts objects parked for incremental reclamation.
+	// ZombiePushes counts objects parked for deferred reclamation (the
+	// backend's park traffic, whatever the backend).
 	ZombiePushes int64
 
 	// PoisonedRCUpdates counts reference-count updates that found poison
@@ -604,10 +581,10 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the RC's counters, summed across stripes.
-func (rc *RC) Stats() Stats {
+func (c *RC) Stats() Stats {
 	var s Stats
-	for i := range rc.stats {
-		st := &rc.stats[i]
+	for i := range c.stats {
+		st := &c.stats[i]
 		s.Allocs += st.allocs.Load()
 		s.Frees += st.frees.Load()
 		s.FreeErrors += st.freeErrors.Load()
@@ -618,8 +595,8 @@ func (rc *RC) Stats() Stats {
 		s.CASOps += st.casOps.Load()
 		s.DCASOps += st.dcasOps.Load()
 		s.Destroys += st.destroys.Load()
-		s.ZombiePushes += st.zombiePushes.Load()
 		s.PoisonedRCUpdates += st.poisonedRCUpdates.Load()
 	}
+	s.ZombiePushes = c.rec.Stats().Parked
 	return s
 }

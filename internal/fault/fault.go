@@ -41,59 +41,63 @@ type Point uint8
 
 // Injection points. The core points cover the LFRC operations' CAS/DCAS
 // attempts (Copy and Destroy inject through CoreAddToRC, the count-update
-// loop they share) and the zombie machinery; the structure points cover each
-// retry loop at the spot between its loads and its linearizing CAS/DCAS —
-// the window the proofs close; the mem points cover allocation failure and
-// allocator slow-path forcing.
+// loop they share); the reclaim points cover the reclamation backends'
+// deferral machinery (park/drain CASes on either backend, plus the epoch
+// backend's advance CAS); the structure points cover each retry loop at the
+// spot between its loads and its linearizing CAS/DCAS — the window the
+// proofs close; the mem points cover allocation failure and allocator
+// slow-path forcing.
 const (
-	CoreLoad        Point = iota // DCAS inside LFRCLoad
-	CoreStore                    // CAS inside LFRCStore
-	CoreStoreAlloc               // CAS inside LFRCStoreAlloc
-	CoreCAS                      // LFRCCAS attempt
-	CoreDCAS                     // LFRCDCAS / DCASMixed attempt
-	CoreAddToRC                  // CAS inside add_to_rc (Copy/Destroy inject here)
-	CoreZombiePush               // zombie-stack push CAS
-	CoreZombieDrain              // zombie-stack pop CAS
-	SnarkPushLeft                // left-hat DCAS in Deque.PushLeft
-	SnarkPushRight               // right-hat DCAS in Deque.PushRight
-	SnarkPopLeft                 // left-hat DCAS in Deque.PopLeft
-	SnarkPopRight                // right-hat DCAS in Deque.PopRight
-	QueueEnqueue                 // next-link CAS in Queue.Enqueue
-	QueueDequeue                 // head CAS in Queue.Dequeue
-	StackPush                    // top CAS in Stack.Push
-	StackPop                     // top CAS in Stack.Pop
-	SetInsert                    // link CAS/DCAS in List.Insert
-	SetDelete                    // dead-mark CAS in List.Delete
-	SetPopMin                    // dead-mark CAS in List.PopMin
-	MemAlloc                     // Alloc fails with ErrOutOfMemory
-	MemAllocSlow                 // Alloc skips the shard-local free list
+	CoreLoad       Point = iota // DCAS inside LFRCLoad
+	CoreStore                   // CAS inside LFRCStore
+	CoreStoreAlloc              // CAS inside LFRCStoreAlloc
+	CoreCAS                     // LFRCCAS attempt
+	CoreDCAS                    // LFRCDCAS / DCASMixed attempt
+	CoreAddToRC                 // CAS inside add_to_rc (Copy/Destroy inject here)
+	ReclaimPush                 // deferral-list push CAS (zombie stack / limbo bin)
+	ReclaimDrain                // deferral-list pop CAS (zombie stack / limbo bin)
+	SnarkPushLeft               // left-hat DCAS in Deque.PushLeft
+	SnarkPushRight              // right-hat DCAS in Deque.PushRight
+	SnarkPopLeft                // left-hat DCAS in Deque.PopLeft
+	SnarkPopRight               // right-hat DCAS in Deque.PopRight
+	QueueEnqueue                // next-link CAS in Queue.Enqueue
+	QueueDequeue                // head CAS in Queue.Dequeue
+	StackPush                   // top CAS in Stack.Push
+	StackPop                    // top CAS in Stack.Pop
+	SetInsert                   // link CAS/DCAS in List.Insert
+	SetDelete                   // dead-mark CAS in List.Delete
+	SetPopMin                   // dead-mark CAS in List.PopMin
+	MemAlloc                    // Alloc fails with ErrOutOfMemory
+	MemAllocSlow                // Alloc skips the shard-local free list
+	ReclaimEpoch                // epoch-advance CAS in the epoch reclamation backend
 
 	NumPoints
 )
 
 // pointNames maps points to their stable spec names (see Parse).
 var pointNames = [NumPoints]string{
-	CoreLoad:        "core.load",
-	CoreStore:       "core.store",
-	CoreStoreAlloc:  "core.storealloc",
-	CoreCAS:         "core.cas",
-	CoreDCAS:        "core.dcas",
-	CoreAddToRC:     "core.addtorc",
-	CoreZombiePush:  "core.zombie.push",
-	CoreZombieDrain: "core.zombie.drain",
-	SnarkPushLeft:   "snark.pushleft",
-	SnarkPushRight:  "snark.pushright",
-	SnarkPopLeft:    "snark.popleft",
-	SnarkPopRight:   "snark.popright",
-	QueueEnqueue:    "queue.enqueue",
-	QueueDequeue:    "queue.dequeue",
-	StackPush:       "stack.push",
-	StackPop:        "stack.pop",
-	SetInsert:       "set.insert",
-	SetDelete:       "set.delete",
-	SetPopMin:       "set.popmin",
-	MemAlloc:        "mem.alloc",
-	MemAllocSlow:    "mem.alloc.slow",
+	CoreLoad:       "core.load",
+	CoreStore:      "core.store",
+	CoreStoreAlloc: "core.storealloc",
+	CoreCAS:        "core.cas",
+	CoreDCAS:       "core.dcas",
+	CoreAddToRC:    "core.addtorc",
+	ReclaimPush:    "reclaim.push",
+	ReclaimDrain:   "reclaim.drain",
+	ReclaimEpoch:   "reclaim.epoch",
+	SnarkPushLeft:  "snark.pushleft",
+	SnarkPushRight: "snark.pushright",
+	SnarkPopLeft:   "snark.popleft",
+	SnarkPopRight:  "snark.popright",
+	QueueEnqueue:   "queue.enqueue",
+	QueueDequeue:   "queue.dequeue",
+	StackPush:      "stack.push",
+	StackPop:       "stack.pop",
+	SetInsert:      "set.insert",
+	SetDelete:      "set.delete",
+	SetPopMin:      "set.popmin",
+	MemAlloc:       "mem.alloc",
+	MemAllocSlow:   "mem.alloc.slow",
 }
 
 // String implements fmt.Stringer.

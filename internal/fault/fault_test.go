@@ -41,13 +41,28 @@ func TestParseGlob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []Point{CoreLoad, CoreStore, CoreStoreAlloc, CoreCAS, CoreDCAS, CoreAddToRC, CoreZombiePush, CoreZombieDrain} {
+	for _, p := range []Point{CoreLoad, CoreStore, CoreStoreAlloc, CoreCAS, CoreDCAS, CoreAddToRC} {
 		if pl.Rule(p).EveryN != 10 {
 			t.Fatalf("%v not covered by core.*", p)
 		}
 	}
 	if r := pl.Rule(SnarkPushLeft); r.enabled() {
 		t.Fatal("snark point armed by core.* glob")
+	}
+	if r := pl.Rule(ReclaimPush); r.enabled() {
+		t.Fatal("reclaim point armed by core.* glob")
+	}
+	rpl, err := Parse("reclaim.*:every=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Point{ReclaimPush, ReclaimDrain, ReclaimEpoch} {
+		if rpl.Rule(p).EveryN != 7 {
+			t.Fatalf("%v not covered by reclaim.*", p)
+		}
+	}
+	if r := rpl.Rule(CoreLoad); r.enabled() {
+		t.Fatal("core point armed by reclaim.* glob")
 	}
 	all, err := Parse("*:p=0.5")
 	if err != nil {

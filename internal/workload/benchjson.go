@@ -32,6 +32,11 @@ type BenchRecord struct {
 	// Engine names the DCAS engine measured.
 	Engine string `json:"engine"`
 
+	// Reclaimer names the reclamation backend measured. Absent in records
+	// older than the field, which cmd/lfrcperf reads as "lfrc" (the only
+	// backend that existed then).
+	Reclaimer string `json:"reclaimer,omitempty"`
+
 	// Config is the workload geometry shared by all experiments.
 	Config BenchConfig `json:"config"`
 
@@ -100,13 +105,17 @@ var benchWorkloads = []struct {
 	{"deque/pop_heavy", PopHeavy},
 }
 
-// benchRun builds a fresh system on kind and measures one throughput run.
-func benchRun(kind EngineKind, mix Mix, dur time.Duration, workers, prefill int, extra ...lfrc.Option) (float64, *lfrc.System, error) {
+// benchRun builds a fresh system on kind and rec and measures one throughput
+// run.
+func benchRun(kind EngineKind, rec lfrc.Reclaimer, mix Mix, dur time.Duration, workers, prefill int, extra ...lfrc.Option) (float64, *lfrc.System, error) {
 	opts := []lfrc.Option{}
 	if kind == EngineMCAS {
 		opts = append(opts, lfrc.WithEngine(lfrc.EngineMCAS))
 	} else {
 		opts = append(opts, lfrc.WithEngine(lfrc.EngineLocking))
+	}
+	if rec != 0 {
+		opts = append(opts, lfrc.WithReclamation(rec))
 	}
 	opts = append(opts, extra...)
 	sys, err := lfrc.New(opts...)
@@ -123,12 +132,13 @@ func benchRun(kind EngineKind, mix Mix, dur time.Duration, workers, prefill int,
 	return res.OpsPerSec(), sys, nil
 }
 
-// RunBenchJSON measures the record's workloads with runs adjacent repeats
-// each and returns the trajectory point. The caller stamps CreatedUnixNS and
-// serializes it. One extra contention-instrumented balanced run fills the
-// Contention summary and publishes its system (SetCurrentSystem), so
-// -metrics and -stats-json report on it.
-func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, error) {
+// RunBenchJSON measures the record's workloads on the given engine and
+// reclamation backend with runs adjacent repeats each and returns the
+// trajectory point. The caller stamps CreatedUnixNS and serializes it. One
+// extra contention-instrumented balanced run fills the Contention summary and
+// publishes its system (SetCurrentSystem), so -metrics and -stats-json report
+// on it.
+func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs int) (*BenchRecord, error) {
 	const (
 		workers = 4
 		prefill = 64
@@ -136,7 +146,10 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 	if runs < 1 {
 		runs = 1
 	}
-	rec := &BenchRecord{
+	if rec == 0 {
+		rec = lfrc.ReclaimerLFRC
+	}
+	out := &BenchRecord{
 		SchemaVersion: BenchSchemaVersion,
 		Host: BenchHost{
 			GOOS:       runtime.GOOS,
@@ -145,7 +158,8 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			GoVersion:  runtime.Version(),
 		},
-		Engine: kind.String(),
+		Engine:    kind.String(),
+		Reclaimer: rec.String(),
 		Config: BenchConfig{
 			DurNS:   int64(dur),
 			Runs:    runs,
@@ -155,7 +169,7 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 	}
 
 	// Warm up the process (page faults, scheduler, frequency) off the books.
-	if _, _, err := benchRun(kind, Balanced, dur/4, workers, prefill); err != nil {
+	if _, _, err := benchRun(kind, rec, Balanced, dur/4, workers, prefill); err != nil {
 		return nil, fmt.Errorf("warmup: %w", err)
 	}
 
@@ -165,7 +179,7 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 	rates := make([][]float64, len(benchWorkloads))
 	for r := 0; r < runs; r++ {
 		for i, wl := range benchWorkloads {
-			rate, _, err := benchRun(kind, wl.mix, dur, workers, prefill)
+			rate, _, err := benchRun(kind, rec, wl.mix, dur, workers, prefill)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", wl.id, r, err)
 			}
@@ -174,7 +188,7 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 	}
 	for i, wl := range benchWorkloads {
 		med, _ := median(rates[i])
-		rec.Experiments = append(rec.Experiments, BenchExperiment{
+		out.Experiments = append(out.Experiments, BenchExperiment{
 			ID:     wl.id,
 			Unit:   "ops/sec",
 			Runs:   rates[i],
@@ -184,7 +198,7 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 
 	// One contention-instrumented run for the summary. Its rate is not
 	// recorded (the observatory tax would pollute the trajectory).
-	if _, sys, err := benchRun(kind, Balanced, dur, workers, prefill,
+	if _, sys, err := benchRun(kind, rec, Balanced, dur, workers, prefill,
 		lfrc.WithContention(true), lfrc.WithTraceSampling(64)); err == nil {
 		crep := sys.ContentionReport()
 		c := &BenchContention{Cells: len(crep.Cells), Dropped: crep.Dropped}
@@ -199,8 +213,8 @@ func RunBenchJSON(kind EngineKind, dur time.Duration, runs int) (*BenchRecord, e
 			c.TopCells = append(c.TopCells,
 				fmt.Sprintf("%s failures=%d wasted_ns=%d", h.Role, h.Failures, h.WastedNS))
 		}
-		rec.Contention = c
+		out.Contention = c
 		SetCurrentSystem(sys)
 	}
-	return rec, nil
+	return out, nil
 }

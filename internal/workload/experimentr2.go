@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"lfrc"
+)
+
+// RunR2 compares the two reclamation backends behind the Reclaimer seam on
+// identical deque churn: the paper's eager LFRC destruction (count zero →
+// free now, modulo the incremental-destroy budget) against epoch-based limbo
+// batching. The table reports throughput (speed) next to the peak live-word
+// footprint and the peak deferred-free backlog (space): the epoch backend's
+// grace period buys batching at the price of a standing limbo population that
+// eager LFRC never accumulates.
+func RunR2(kind EngineKind, dur time.Duration) *Table {
+	t := &Table{
+		ID:    "R2",
+		Title: "reclamation backends: eager LFRC vs epoch limbo, speed and space",
+		Claim: "§1: LFRC frees an object \"as soon as\" no pointers to it remain; deferred schemes trade that immediacy for batching, and the backlog is the visible price",
+		Header: []string{"workload", "reclaimer", "ops/sec", "peak live words",
+			"peak backlog", "retired", "freed", "epoch advances"},
+		Notes: []string{
+			"peak backlog samples Stats.Reclaim.Pending every 2ms: ~0 under eager lfrc, a standing limbo population under epoch",
+			"both backends drain to identical end state at quiescence — the grace period is policy, never safety (DESIGN.md §3.10)",
+		},
+	}
+	const workers, prefill = 4, 64
+	for _, wl := range []struct {
+		id  string
+		mix Mix
+	}{
+		{"deque/balanced", Balanced},
+		{"deque/pop_heavy", PopHeavy},
+	} {
+		for _, rec := range []lfrc.Reclaimer{lfrc.ReclaimerLFRC, lfrc.ReclaimerEpoch} {
+			row, err := r2Side(kind, rec, wl.mix, dur, workers, prefill)
+			if err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s on %s failed: %v", wl.id, rec, err))
+				continue
+			}
+			t.AddRow(wl.id, rec.String(), row.rate, row.peakWords,
+				row.peakPending, row.retired, row.freed, row.advances)
+		}
+	}
+	return t
+}
+
+type r2Row struct {
+	rate                   float64
+	peakWords, peakPending int64
+	retired, freed         int64
+	advances               int64
+}
+
+// r2Side measures one (backend, mix) cell: a sampler goroutine records the
+// space high-water while RunThroughput drives the deque, then the system is
+// drained so the final Reclaim accounting covers every retirement.
+func r2Side(kind EngineKind, rec lfrc.Reclaimer, mix Mix, dur time.Duration, workers, prefill int) (r2Row, error) {
+	eng := lfrc.EngineLocking
+	if kind == EngineMCAS {
+		eng = lfrc.EngineMCAS
+	}
+	sys, err := lfrc.New(lfrc.WithEngine(eng), lfrc.WithReclamation(rec))
+	if err != nil {
+		return r2Row{}, err
+	}
+	d, err := sys.NewDeque()
+	if err != nil {
+		return r2Row{}, err
+	}
+
+	var out r2Row
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				st := sys.Stats()
+				if st.Heap.LiveWords > out.peakWords {
+					out.peakWords = st.Heap.LiveWords
+				}
+				if st.Reclaim.Pending > out.peakPending {
+					out.peakPending = st.Reclaim.Pending
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	res := RunThroughput(d, workers, dur, mix, prefill)
+	close(stop)
+	<-done
+
+	d.Close()
+	sys.DrainZombies(0)
+	st := sys.Stats()
+	out.rate = res.OpsPerSec()
+	out.retired = st.Reclaim.Retired
+	out.freed = st.Reclaim.Freed
+	out.advances = st.Reclaim.EpochAdvances
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunR2Shape(t *testing.T) {
+	tab := RunR2(EngineLocking, 40*time.Millisecond)
+	if tab.ID != "R2" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	// Two workloads x two backends, in a fixed order.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4:\n%s", len(tab.Rows), tab)
+	}
+	wantBackend := []string{"lfrc", "epoch", "lfrc", "epoch"}
+	for i, row := range tab.Rows {
+		if row[1] != wantBackend[i] {
+			t.Errorf("row %d backend = %q, want %q", i, row[1], wantBackend[i])
+		}
+		if row[2] == "0.0" {
+			t.Errorf("row %d (%s on %s) measured zero throughput", i, row[0], row[1])
+		}
+	}
+}

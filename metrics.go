@@ -60,6 +60,21 @@ func (s *System) WriteMetrics(w io.Writer) {
 	writeHeader(w, "lfrc_zombie_backlog", "gauge", "Objects awaiting deferred reclamation.")
 	writeScalar(w, "lfrc_zombie_backlog", st.Zombies)
 
+	writeHeader(w, "lfrc_reclaim_retired_total", "counter", "Count-zero objects handed to the reclamation backend.")
+	writeLabeled(w, "lfrc_reclaim_retired_total", "backend", st.Reclaim.Backend, st.Reclaim.Retired)
+	writeHeader(w, "lfrc_reclaim_freed_total", "counter", "Objects freed by the reclamation backend (including cascaded descendants).")
+	writeLabeled(w, "lfrc_reclaim_freed_total", "backend", st.Reclaim.Backend, st.Reclaim.Freed)
+	writeHeader(w, "lfrc_reclaim_parked_total", "counter", "Objects parked on deferred storage (zombie stack or limbo bins).")
+	writeLabeled(w, "lfrc_reclaim_parked_total", "backend", st.Reclaim.Backend, st.Reclaim.Parked)
+	writeHeader(w, "lfrc_reclaim_pending", "gauge", "Deferred-reclamation backlog held by the backend.")
+	writeLabeled(w, "lfrc_reclaim_pending", "backend", st.Reclaim.Backend, st.Reclaim.Pending)
+	writeHeader(w, "lfrc_reclaim_drains_total", "counter", "Explicit drain calls on the reclamation backend.")
+	writeLabeled(w, "lfrc_reclaim_drains_total", "backend", st.Reclaim.Backend, st.Reclaim.Drains)
+	writeHeader(w, "lfrc_reclaim_epoch", "gauge", "Reclamation epoch (epoch backend; 0 on lfrc).")
+	writeLabeled(w, "lfrc_reclaim_epoch", "backend", st.Reclaim.Backend, int64(st.Reclaim.Epoch))
+	writeHeader(w, "lfrc_reclaim_epoch_advances_total", "counter", "Epoch advances (epoch backend; 0 on lfrc).")
+	writeLabeled(w, "lfrc_reclaim_epoch_advances_total", "backend", st.Reclaim.Backend, st.Reclaim.EpochAdvances)
+
 	writeHeader(w, "lfrc_degraded_retries_total", "counter", "Heap-pressure degraded-mode retry attempts.")
 	writeScalar(w, "lfrc_degraded_retries_total", st.Degraded.Retries)
 	writeHeader(w, "lfrc_degraded_recoveries_total", "counter", "Operations that recovered on a degraded-mode retry.")

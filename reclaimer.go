@@ -1,0 +1,114 @@
+package lfrc
+
+import (
+	"fmt"
+
+	"lfrc/internal/reclaim"
+)
+
+// Reclaimer selects the reclamation backend: the policy that turns "this
+// object's reference count reached zero" into "this object's memory is
+// reusable". Count-zero objects are already unreachable under the LFRC
+// invariants, so the choice is policy (when and in what batches memory
+// returns), never safety. See DESIGN.md §3.10.
+type Reclaimer int
+
+// Reclamation backends.
+const (
+	// ReclaimerLFRC is the paper's scheme: objects are destroyed eagerly
+	// when their count hits zero, except that an incremental-destroy budget
+	// (WithIncrementalDestroy) caps the work per release and parks the
+	// remainder on the zombie stack (paper §7).
+	ReclaimerLFRC Reclaimer = iota + 1
+
+	// ReclaimerEpoch releases a retired object's edges immediately but
+	// defers its free into per-epoch limbo bins, releasing a bin only
+	// once it is two epoch advances old — the grace-period batching of
+	// epoch-based reclamation. Frees leave the releasing operation's
+	// critical path at the price of a standing limbo backlog; drain it
+	// with System.DrainZombies at quiescence.
+	ReclaimerEpoch
+)
+
+// String implements fmt.Stringer.
+func (r Reclaimer) String() string {
+	switch r {
+	case ReclaimerLFRC:
+		return "lfrc"
+	case ReclaimerEpoch:
+		return "epoch"
+	default:
+		return fmt.Sprintf("Reclaimer(%d)", int(r))
+	}
+}
+
+// ParseReclaimer resolves a backend name ("lfrc" or "epoch", as printed by
+// Reclaimer.String) to its Reclaimer value. It is the inverse of String and
+// the canonical way for command-line tools to accept a -reclaim flag;
+// Reclaimer also implements flag.Value, so flag.Var(&rec, "reclaim", ...)
+// works directly.
+func ParseReclaimer(s string) (Reclaimer, error) {
+	switch s {
+	case "lfrc":
+		return ReclaimerLFRC, nil
+	case "epoch":
+		return ReclaimerEpoch, nil
+	default:
+		return 0, fmt.Errorf(`lfrc: unknown reclaimer %q (want "lfrc" or "epoch")`, s)
+	}
+}
+
+// Set implements flag.Value: together with String it lets a Reclaimer
+// variable be bound straight to a command-line flag.
+func (r *Reclaimer) Set(s string) error {
+	v, err := ParseReclaimer(s)
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// kind maps the public enum onto the internal backend selector.
+func (r Reclaimer) kind() reclaim.Kind {
+	if r == ReclaimerEpoch {
+		return reclaim.KindEpoch
+	}
+	return reclaim.KindLFRC
+}
+
+// WithReclamation selects the reclamation backend. The default is
+// ReclaimerLFRC, the paper-faithful scheme. Both backends run under the same
+// structures, fault points (reclaim.*), lifecycle auditor, and metrics, so
+// policies can be compared on identical workloads (experiment R2).
+func WithReclamation(r Reclaimer) Option {
+	return optionFunc(func(c *config) { c.reclaimer = r })
+}
+
+// ReclaimerName reports which reclamation backend the system runs on.
+func (s *System) ReclaimerName() string { return s.rc.Reclaimer().Name() }
+
+// ReclaimStats is the reclamation backend's accounting snapshot.
+type ReclaimStats struct {
+	// Backend names the reclamation backend ("lfrc", "epoch").
+	Backend string `json:"backend"`
+
+	// Retired counts objects handed to the backend at count zero; Freed
+	// counts objects actually freed, including cascaded descendants
+	// discovered by the destroy recursion. Parked counts pushes onto deferred storage
+	// (the zombie stack or a limbo bin); Pending is the current deferred
+	// backlog (also exported as Stats.Zombies).
+	Retired int64 `json:"retired"`
+	Freed   int64 `json:"freed"`
+	Parked  int64 `json:"parked"`
+	Pending int64 `json:"pending"`
+
+	// Drains counts explicit DrainZombies calls (maintenance or
+	// degraded-mode).
+	Drains int64 `json:"drains"`
+
+	// Epoch is the epoch backend's reclamation epoch and EpochAdvances its
+	// advance count; both stay zero on the lfrc backend.
+	Epoch         uint64 `json:"epoch"`
+	EpochAdvances int64  `json:"epoch_advances"`
+}

@@ -1,0 +1,91 @@
+package lfrc_test
+
+import (
+	"strings"
+	"testing"
+
+	"lfrc"
+)
+
+func TestParseReclaimer(t *testing.T) {
+	if r, err := lfrc.ParseReclaimer("lfrc"); err != nil || r != lfrc.ReclaimerLFRC {
+		t.Errorf("ParseReclaimer(lfrc) = %v, %v", r, err)
+	}
+	if r, err := lfrc.ParseReclaimer("epoch"); err != nil || r != lfrc.ReclaimerEpoch {
+		t.Errorf("ParseReclaimer(epoch) = %v, %v", r, err)
+	}
+	if _, err := lfrc.ParseReclaimer("hazard"); err == nil {
+		t.Error("ParseReclaimer(hazard) succeeded")
+	}
+	// Reclaimer implements flag.Value.
+	var r lfrc.Reclaimer
+	if err := r.Set("epoch"); err != nil || r != lfrc.ReclaimerEpoch || r.String() != "epoch" {
+		t.Errorf("flag.Value round-trip: %v, %v", r, err)
+	}
+	if err := r.Set("nope"); err == nil {
+		t.Error("Reclaimer.Set(nope) succeeded")
+	}
+}
+
+func TestNewRejectsUnknownReclaimer(t *testing.T) {
+	_, err := lfrc.New(lfrc.WithReclamation(lfrc.Reclaimer(42)))
+	if err == nil || !strings.Contains(err.Error(), "unknown reclaimer") {
+		t.Fatalf("New(WithReclamation(42)) err = %v", err)
+	}
+}
+
+// TestReclamationBackends runs the same workload under both backends on both
+// engines and checks the shared invariant: after Close and a full drain, no
+// zombies remain, every alloc was freed, and the Reclaim stats block names
+// the configured backend consistently with ReclaimerName.
+func TestReclamationBackends(t *testing.T) {
+	for _, rec := range []lfrc.Reclaimer{lfrc.ReclaimerLFRC, lfrc.ReclaimerEpoch} {
+		t.Run(rec.String(), func(t *testing.T) {
+			for name, sys := range systems(t, lfrc.WithReclamation(rec)) {
+				t.Run(name, func(t *testing.T) {
+					if got := sys.ReclaimerName(); got != rec.String() {
+						t.Fatalf("ReclaimerName = %q, want %q", got, rec)
+					}
+					q, err := sys.NewQueue()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := lfrc.Value(1); v <= 200; v++ {
+						if err := q.Enqueue(v); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for v := lfrc.Value(1); v <= 200; v++ {
+						got, ok := q.Dequeue()
+						if !ok || got != v {
+							t.Fatalf("Dequeue = (%d,%v), want (%d,true)", got, ok, v)
+						}
+					}
+					q.Close()
+					sys.DrainZombies(0)
+					st := sys.Stats()
+					if st.Reclaim.Backend != rec.String() {
+						t.Errorf("Stats().Reclaim.Backend = %q, want %q", st.Reclaim.Backend, rec)
+					}
+					if st.Zombies != 0 || st.Reclaim.Pending != 0 {
+						t.Errorf("zombies = %d, pending = %d after full drain, want 0",
+							st.Zombies, st.Reclaim.Pending)
+					}
+					if st.Heap.LiveObjects != 0 {
+						t.Errorf("LiveObjects = %d after Close+drain, want 0", st.Heap.LiveObjects)
+					}
+					// Freed counts cascaded descendants too, so it can
+					// exceed Retired; with nothing pending it must at
+					// least cover everything ever retired.
+					if st.Reclaim.Freed < st.Reclaim.Retired {
+						t.Errorf("freed %d < retired %d with empty backlog",
+							st.Reclaim.Freed, st.Reclaim.Retired)
+					}
+					if rec == lfrc.ReclaimerEpoch && st.Reclaim.EpochAdvances == 0 {
+						t.Error("epoch backend reported no advances after a drained workload")
+					}
+				})
+			}
+		})
+	}
+}

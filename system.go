@@ -63,6 +63,7 @@ type Option interface {
 
 type config struct {
 	engine         Engine
+	reclaimer      Reclaimer
 	maxHeapWords   uint64
 	destroyBudget  int
 	poisonCheck    bool
@@ -246,6 +247,7 @@ func (tr *typeReg[T]) get(h *mem.Heap, register func(*mem.Heap) (T, error)) (T, 
 func New(opts ...Option) (*System, error) {
 	cfg := config{
 		engine:       EngineLocking,
+		reclaimer:    ReclaimerLFRC,
 		maxHeapWords: 64 << 20,
 		poisonCheck:  true,
 		sampleEvery:  -1,
@@ -253,6 +255,11 @@ func New(opts ...Option) (*System, error) {
 	}
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	switch cfg.reclaimer {
+	case ReclaimerLFRC, ReclaimerEpoch:
+	default:
+		return nil, fmt.Errorf("lfrc: unknown reclaimer %v", cfg.reclaimer)
 	}
 
 	plan, err := fault.Parse(cfg.faultPlan)
@@ -311,6 +318,7 @@ func New(opts ...Option) (*System, error) {
 	}
 
 	var rcOpts []core.Option
+	rcOpts = append(rcOpts, core.WithReclaimerKind(cfg.reclaimer.kind()))
 	if cfg.destroyBudget > 0 {
 		rcOpts = append(rcOpts, core.WithIncrementalDestroy(cfg.destroyBudget))
 	}
@@ -495,6 +503,7 @@ func (s *System) Stats() Stats {
 		Heap:    HeapStats(s.heap.Stats()),
 		RC:      RCStats(s.rc.Stats()),
 		Alloc:   a,
+		Reclaim: ReclaimStats(s.rc.Reclaimer().Stats()),
 		Zombies: s.rc.ZombieCount(),
 	}
 	if s.ledger != nil {
@@ -543,8 +552,13 @@ type Stats struct {
 	// activity.
 	Alloc AllocStats `json:"alloc"`
 
+	// Reclaim is the reclamation backend's accounting (see
+	// WithReclamation).
+	Reclaim ReclaimStats `json:"reclaim"`
+
 	// Zombies is the number of objects currently awaiting deferred
-	// reclamation (see WithIncrementalDestroy).
+	// reclamation — the backend's pending backlog (see
+	// WithIncrementalDestroy, WithReclamation).
 	Zombies int64 `json:"zombies"`
 
 	// Lifecycle is the diagnosis layer's accounting; zero unless the
@@ -632,12 +646,14 @@ type ShardStats struct {
 	ChunkFree  int64 `json:"chunk_free"`
 }
 
-// DrainZombies finishes up to max deferred reclamations (0 = all) when the
-// system was built WithIncrementalDestroy. It returns the number of objects
-// freed.
+// DrainZombies finishes up to max deferred reclamations (0 = all): objects
+// parked by an incremental-destroy budget (WithIncrementalDestroy) or held in
+// the epoch backend's limbo bins (WithReclamation). It returns the number of
+// objects freed.
 func (s *System) DrainZombies(max int) int { return s.rc.DrainZombies(max) }
 
-// ZombieCount reports how many objects currently await deferred reclamation.
+// ZombieCount reports how many objects currently await deferred reclamation
+// (the reclamation backend's pending backlog).
 func (s *System) ZombieCount() int64 { return s.rc.ZombieCount() }
 
 // Collect runs the stop-the-world backup tracing collector (paper §7) and
