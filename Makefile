@@ -8,13 +8,15 @@ GO ?= go
 BENCHTIME ?=
 
 # Perf-regression gate knobs (see perf-check). PERF_BASELINE is the committed
-# trajectory point to compare against; PERF_TOL the relative tolerance;
-# PERF_STRICT=1 turns a regression into a hard failure.
-PERF_BASELINE ?= BENCH_0004.json
+# trajectory point to compare against — BENCH_0007.json is a multi-record
+# array (one record per GOMAXPROCS; lfrcperf selects the one matching the
+# candidate). PERF_TOL is the relative tolerance; PERF_STRICT=1 turns a
+# regression into a hard failure.
+PERF_BASELINE ?= BENCH_0007.json
 PERF_TOL ?= 0.25
 PERF_STRICT ?= 0
 
-.PHONY: all check build vet test check-race check-fault check-reclaim race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race check-fault check-reclaim check-timeline race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
@@ -24,8 +26,10 @@ all: check
 # and fails fast before the full -race sweep. check-fault stresses every
 # structure under deterministic fault injection with the lifecycle auditor
 # armed. check-reclaim repeats that sweep across both reclamation backends.
+# check-timeline covers the telemetry ring (seqlock capture vs read) and the
+# lfrctop render layer under the race detector.
 # perf-check rides along as a soft gate (warn-only unless PERF_STRICT=1).
-check: build vet test check-race check-fault check-reclaim race perf-check
+check: build vet test check-race check-fault check-reclaim check-timeline race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
@@ -43,6 +47,12 @@ check-fault:
 check-reclaim:
 	$(GO) test -race -count=1 ./internal/reclaim
 	$(GO) test -race -count=1 -run 'TestReclaim|TestReclamation' .
+
+# Telemetry-timeline gate: the ring's concurrent capture-vs-read seqlock
+# tests, the system-level timeline tests, and the lfrctop render/fetch tests.
+check-timeline:
+	$(GO) test -race -count=1 ./internal/timeline ./cmd/lfrctop
+	$(GO) test -race -count=1 -run 'TestTimeline' .
 
 build:
 	$(GO) build ./...
@@ -63,13 +73,17 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' $(if $(BENCHTIME),-benchtime=$(BENCHTIME)) ./...
 
 # One quick pass over the sharded-allocator benchmark (experiment A3), the
-# observer-overhead benchmark (O1), the lifecycle-ledger benchmark (O2) and
-# the contention-observatory benchmark (O3).
+# observer-overhead benchmark (O1), the lifecycle-ledger benchmark (O2), the
+# contention-observatory benchmark (O3) and the timeline capture path (O4;
+# the benchmark itself fails if a snapshot exceeds 1µs).
 bench-smoke:
-	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead|BenchmarkLifecycleLedger|BenchmarkContention' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead|BenchmarkLifecycleLedger|BenchmarkContention|BenchmarkTimelineCapture' -benchtime=1x -run='^$$' .
 
 # Record a new perf-trajectory point against which perf-check gates. Commit
 # the refreshed $(PERF_BASELINE) when the change in performance is intended.
+# NOTE: this writes a single record at the current GOMAXPROCS; multi-record
+# baselines like BENCH_0007.json are assembled by running it once per proc
+# count and wrapping the records in a JSON array.
 perf-baseline:
 	$(GO) run ./cmd/lfrcbench -bench-json $(PERF_BASELINE) -bench-runs 5 -dur 250ms
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lfrc"
+	"lfrc/internal/workload"
 )
 
 // runChaos is lfrcbench's fault-injection mode (-fault-plan): it builds one
@@ -32,11 +33,19 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
 		lfrc.WithLifecycleLedger(1),
 		lfrc.WithTraceSampling(64),
+		// The telemetry timeline rides along at the default cadence so a
+		// -metrics chaos run serves live limbo/degradation series on
+		// /debug/lfrc/timeline.json — the epoch backend's limbo backlog
+		// rising and draining is the headline trajectory.
+		lfrc.WithTimeline(lfrc.TimelineOptions{}),
 	)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	// Publish for the -metrics mux: a chaos run is exactly when live
+	// /debug/lfrc/timeline.json (and the rest of the surface) matters.
+	workload.SetCurrentSystem(sys)
 
 	d, err := sys.NewDeque()
 	if err != nil {

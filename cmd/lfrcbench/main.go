@@ -1,5 +1,5 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1, R2, O1, O2, O3 — see DESIGN.md §4 and EXPERIMENTS.md) and
+// A2, A3, L1, G1, R2, O1, O2, O3, O4 — see DESIGN.md §4 and EXPERIMENTS.md) and
 // prints
 // one table per experiment, in the same format EXPERIMENTS.md records. A3's
 // notes include the unified System.Stats snapshot as JSON.
@@ -13,7 +13,7 @@
 //
 // With no -run flag every experiment runs. -stats-json appends the final
 // unified System.Stats of the last system an experiment published (O1, O2,
-// O3, A3) as one JSON object on stdout. -metrics serves /metrics (Prometheus
+// O3, O4, A3) as one JSON object on stdout. -metrics serves /metrics (Prometheus
 // text), /debug/vars (expvar), /debug/lfrc/{stats,trace} (JSON),
 // /debug/lfrc/trace.json (Chrome trace_event export) and /debug/pprof on
 // addr for the lifetime of the run, reporting on the same published system;
@@ -194,6 +194,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if want("O3") {
 			emit(workload.RunO3(kind, *dur))
+		}
+		if want("O4") {
+			emit(workload.RunO4(kind, *dur))
 		}
 	}
 	// Engine-sweeping experiments run once.

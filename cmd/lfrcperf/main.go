@@ -13,23 +13,36 @@
 //     their runs round-robin, so run i saw comparable machine state) and a
 //     sign test counts how many pairs degraded by more than the tolerance;
 //   - an experiment regresses only when a majority of pairs degraded AND
-//     the median ratio new/old is below 1 - tolerance.
+//     the median ratio new/old is below 1 - tolerance;
+//   - when both records carry a per-interval telemetry series (the timeline
+//     trajectory of each experiment's final run), the median ratio is taken
+//     over the steady-state window — the first warmupIntervals samples are
+//     excluded — instead of whole-run medians, so allocator/scheduler warmup
+//     can neither mask nor fake a regression.
 //
-// A record is refused when the schema versions differ, and when the two
-// records measured different reclamation backends — lfrc-vs-epoch deltas are
-// a policy comparison (experiment R2), not a regression signal, so comparing
-// them here would poison the gate. Records written before the reclaimer field
-// existed count as "lfrc", the only backend of their era. A host mismatch is
-// reported but compared anyway (with a warning — cross-host ratios need
-// generous tolerance).
+// A record is refused when the schema versions differ, when the two records
+// measured different reclamation backends — lfrc-vs-epoch deltas are a policy
+// comparison (experiment R2), not a regression signal, so comparing them here
+// would poison the gate — and when they ran at different GOMAXPROCS: the
+// scalability curve is not flat, so a 4-proc record "regressing" against a
+// 1-proc record (or vice versa) is a topology delta, not a code one. Records
+// written before the reclaimer field existed count as "lfrc", the only
+// backend of their era. Any other host mismatch is reported but compared
+// anyway (with a warning — cross-host ratios need generous tolerance).
+//
+// The -old baseline may be a JSON array of records (one per GOMAXPROCS, as
+// in BENCH_0007.json); the record whose gomaxprocs matches the -new record
+// is selected automatically.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"lfrc/internal/workload"
 )
@@ -63,11 +76,11 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 0, fmt.Errorf("-tol %v out of range [0, 1)", *tol)
 	}
 
-	oldRec, err := readRecord(*oldPath)
+	newRec, err := readRecord(*newPath)
 	if err != nil {
 		return 0, err
 	}
-	newRec, err := readRecord(*newPath)
+	oldRec, err := readBaseline(*oldPath, newRec.Host.GOMAXPROCS)
 	if err != nil {
 		return 0, err
 	}
@@ -79,6 +92,12 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 0, fmt.Errorf("reclaimer mismatch: %s measured %q, %s measured %q; "+
 			"backend policies are compared in experiment R2, not gated here",
 			*oldPath, or, *newPath, nr)
+	}
+	if og, ng := oldRec.Host.GOMAXPROCS, newRec.Host.GOMAXPROCS; og != ng {
+		return 0, fmt.Errorf("gomaxprocs mismatch: %s ran at %d, %s at %d; "+
+			"throughput does not scale flat across proc counts, so the delta "+
+			"is topology, not regression — record a baseline at GOMAXPROCS=%d",
+			*oldPath, og, *newPath, ng, ng)
 	}
 	if oldRec.Host != newRec.Host {
 		fmt.Fprintf(stdout, "warning: host mismatch (%+v vs %+v); cross-host ratios need generous -tol\n",
@@ -124,6 +143,11 @@ func run(args []string, stdout io.Writer) (int, error) {
 		if oe.Median > 0 {
 			ratio = ne.Median / oe.Median
 		}
+		window := ""
+		if so, sn, ok := steadyMedians(oe, ne); ok {
+			ratio = sn / so
+			window = " (steady)"
+		}
 
 		verdict := "ok"
 		switch {
@@ -135,8 +159,8 @@ func run(args []string, stdout io.Writer) (int, error) {
 		case better > n/2 && ratio > 1+*tol:
 			verdict = "improved"
 		}
-		fmt.Fprintf(stdout, "%-20s %14s %14s %7.2fx %5d/%-2d  %s\n",
-			ne.ID, fmtRate(oe.Median), fmtRate(ne.Median), ratio, worse, n, verdict)
+		fmt.Fprintf(stdout, "%-20s %14s %14s %7.2fx %5d/%-2d  %s%s\n",
+			ne.ID, fmtRate(oe.Median), fmtRate(ne.Median), ratio, worse, n, verdict, window)
 	}
 	for id := range oldByID {
 		fmt.Fprintf(stdout, "%-20s dropped from the new record\n", id)
@@ -150,6 +174,38 @@ func run(args []string, stdout io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "no regressions beyond tol=%.0f%%\n", *tol*100)
 	}
 	return regressions, nil
+}
+
+// warmupIntervals is how many leading timeline samples the steady-state
+// window drops: the first intervals of a run see allocator cold paths, page
+// faults, and scheduler ramp, none of which are the code under judgment.
+const warmupIntervals = 2
+
+// steadyMedians returns the steady-state medians of both experiments'
+// per-interval series. ok is false unless BOTH records carry a series long
+// enough to leave data past the warmup window — a one-sided window would
+// compare steady-state against whole-run and bias the ratio.
+func steadyMedians(oe, ne workload.BenchExperiment) (so, sn float64, ok bool) {
+	if len(oe.Series) <= warmupIntervals || len(ne.Series) <= warmupIntervals {
+		return 0, 0, false
+	}
+	so = medianOf(oe.Series[warmupIntervals:])
+	sn = medianOf(ne.Series[warmupIntervals:])
+	return so, sn, so > 0
+}
+
+// medianOf computes the median of vals without mutating them.
+func medianOf(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // reclaimerOf names a record's reclamation backend; records that predate the
@@ -174,6 +230,37 @@ func readRecord(path string) (*workload.BenchRecord, error) {
 		return nil, fmt.Errorf("%s: not a lfrcbench -bench-json record (no schema_version)", path)
 	}
 	return &rec, nil
+}
+
+// readBaseline reads the -old side, which may be either a single record or a
+// JSON array of records taken at different GOMAXPROCS (BENCH_0007.json
+// onward). From an array it selects the record matching the candidate's
+// GOMAXPROCS, so one committed baseline file serves every machine shape.
+func readBaseline(path string, gomaxprocs int) (*workload.BenchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '[' {
+		return readRecord(path)
+	}
+	var recs []workload.BenchRecord
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range recs {
+		if recs[i].SchemaVersion == 0 {
+			return nil, fmt.Errorf("%s: baseline record %d has no schema_version", path, i)
+		}
+	}
+	for i := range recs {
+		if recs[i].Host.GOMAXPROCS == gomaxprocs {
+			return &recs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no baseline record at gomaxprocs=%d among %d records; "+
+		"re-record the baseline at that proc count", path, gomaxprocs, len(recs))
 }
 
 func fmtRate(v float64) string {

@@ -198,6 +198,140 @@ func TestHostMismatchWarnsButCompares(t *testing.T) {
 	}
 }
 
+func TestGOMAXPROCSMismatchRefused(t *testing.T) {
+	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
+	oldRec := record(t, runs)
+	newRec := record(t, runs)
+	newRec.Host.GOMAXPROCS = 4
+	_, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "gomaxprocs mismatch") {
+		t.Errorf("cross-GOMAXPROCS records not refused: %v", err)
+	}
+}
+
+// writeRecords commits a multi-record baseline array (the BENCH_0007.json
+// shape: one record per GOMAXPROCS).
+func writeRecords(t *testing.T, recs ...*workload.BenchRecord) string {
+	t.Helper()
+	flat := make([]workload.BenchRecord, len(recs))
+	for i, r := range recs {
+		flat[i] = *r
+	}
+	raw, err := json.Marshal(flat)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "recs.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestMultiRecordBaselineSelectsByGOMAXPROCS(t *testing.T) {
+	// The gmp=1 baseline is slow and the gmp=8 one fast; a fast new record
+	// at gmp=8 must be judged against the fast baseline (verdict ok), not
+	// fall through to the slow one and read as an improvement.
+	slow := record(t, map[string][]float64{"deque/balanced": {0.5e6, 0.5e6, 0.5e6}})
+	slow.Host.GOMAXPROCS = 1
+	fast := record(t, map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}})
+	newRec := record(t, map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}})
+	oldPath := writeRecords(t, slow, fast)
+
+	var out bytes.Buffer
+	n, err := run([]string{"-old", oldPath, "-new", writeRecord(t, newRec)}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 || strings.Contains(out.String(), "improved") {
+		t.Errorf("baseline selection picked the wrong record:\n%s", out.String())
+	}
+
+	// No record at the candidate's proc count: refuse, never cross-compare.
+	newRec.Host.GOMAXPROCS = 2
+	_, err = run([]string{"-old", oldPath, "-new", writeRecord(t, newRec)}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "gomaxprocs=2") {
+		t.Errorf("missing-proc-count baseline not refused: %v", err)
+	}
+}
+
+// withSeries attaches a per-interval telemetry series to one experiment.
+func withSeries(rec *workload.BenchRecord, id string, series []float64) *workload.BenchRecord {
+	for i := range rec.Experiments {
+		if rec.Experiments[i].ID == id {
+			rec.Experiments[i].Series = series
+			rec.Experiments[i].SeriesUnit = "rc_ops/sec"
+			rec.Experiments[i].IntervalNS = 1e7
+		}
+	}
+	return rec
+}
+
+func TestSteadyStateWindowOverridesWholeRunMedian(t *testing.T) {
+	// Whole-run pairs degrade ~30%, but both series agree once the two
+	// warmup intervals are dropped: the slowdown was all warmup. With the
+	// steady window the ratio is 1.0 and the gate passes; without series
+	// the same records would regress (checked below).
+	old := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6, 1e6, 1e6}}
+	slow := map[string][]float64{"deque/balanced": {0.7e6, 0.7e6, 0.7e6, 0.7e6, 0.7e6}}
+	steady := []float64{2e5, 5e5, 1e6, 1e6, 1e6, 1e6}
+
+	oldPath := writeRecord(t, withSeries(record(t, old), "deque/balanced", steady))
+	newPath := writeRecord(t, withSeries(record(t, slow), "deque/balanced", steady))
+	var out bytes.Buffer
+	n, err := run([]string{"-old", oldPath, "-new", newPath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("steady-equal records reported %d regressions:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "(steady)") {
+		t.Errorf("steady window not marked in output:\n%s", out.String())
+	}
+
+	// Control: the same medians without series DO regress, proving the
+	// steady window (not the tolerance) carried the verdict above.
+	n, err = run([]string{"-old", writeRecord(t, record(t, old)), "-new", writeRecord(t, record(t, slow))}, io.Discard)
+	if err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("control without series reported %d regressions, want 1", n)
+	}
+
+	// A one-sided series must not flip to the steady window.
+	var out2 bytes.Buffer
+	n, err = run([]string{"-old", writeRecord(t, record(t, old)),
+		"-new", writeRecord(t, withSeries(record(t, slow), "deque/balanced", steady))}, &out2)
+	if err != nil {
+		t.Fatalf("one-sided run: %v", err)
+	}
+	if n != 1 || strings.Contains(out2.String(), "(steady)") {
+		t.Errorf("one-sided series misjudged (n=%d):\n%s", n, out2.String())
+	}
+}
+
+func TestSteadyStateCatchesSteadyRegression(t *testing.T) {
+	// Inverse of the above: when the steady windows genuinely diverge the
+	// gate still fires, and the verdict is marked as steady-judged.
+	old := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6, 1e6, 1e6}}
+	slow := map[string][]float64{"deque/balanced": {0.8e6, 0.8e6, 0.8e6, 0.8e6, 0.8e6}}
+	oldSeries := []float64{5e5, 1e6, 1e6, 1e6, 1e6, 1e6}
+	newSeries := []float64{5e5, 1e6, 0.6e6, 0.6e6, 0.6e6, 0.6e6}
+
+	oldPath := writeRecord(t, withSeries(record(t, old), "deque/balanced", oldSeries))
+	newPath := writeRecord(t, withSeries(record(t, slow), "deque/balanced", newSeries))
+	var out bytes.Buffer
+	n, err := run([]string{"-old", oldPath, "-new", newPath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 1 || !strings.Contains(out.String(), "REGRESSION (steady)") {
+		t.Errorf("steady regression missed (n=%d):\n%s", n, out.String())
+	}
+}
+
 func TestReclaimerMismatchRefused(t *testing.T) {
 	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
 	oldRec := record(t, runs) // no reclaimer field: legacy record, reads as lfrc

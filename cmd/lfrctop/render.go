@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lfrc/internal/timeline"
+)
+
+// sparkRunes is the 8-level sparkline alphabet, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals as one sparkline string, scaling to the series max.
+// An all-zero (or empty) series renders as the lowest bar throughout.
+func sparkline(vals []float64) string {
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 && v > 0 {
+			i = int(v / max * float64(len(sparkRunes)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sparkRunes) {
+				i = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// series extracts one per-sample metric as floats over the trailing window.
+func series(ss []timeline.Sample, window int, get func(timeline.Sample) float64) []float64 {
+	if len(ss) > window {
+		ss = ss[len(ss)-window:]
+	}
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = get(s)
+	}
+	return out
+}
+
+// fmtCount renders a count with k/M suffixes to keep panel rows narrow.
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// panel renders one dashboard row: a fixed-width title, the sparkline over
+// the window, and the newest value.
+func panel(title string, vals []float64, unit string) string {
+	cur := 0.0
+	if len(vals) > 0 {
+		cur = vals[len(vals)-1]
+	}
+	return fmt.Sprintf("  %-14s %s  %s %s\n", title, sparkline(vals), fmtCount(cur), unit)
+}
+
+// render builds one complete dashboard frame from a timeline document.
+// Pure text: the caller owns cursor control.
+func render(doc timeline.Doc, window int, now time.Time) string {
+	var b strings.Builder
+	ss := doc.Samples
+
+	fmt.Fprintf(&b, "lfrctop — lfrc telemetry timeline (schema v%d)  %s\n",
+		doc.SchemaVersion, now.Format("15:04:05"))
+	if !doc.Enabled {
+		b.WriteString("\n  timeline disabled: build the system with lfrc.WithTimeline\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "interval %v · ring %d/%d · %d captured · %d dropped\n\n",
+		time.Duration(doc.IntervalNS), doc.Retained, doc.Slots, doc.Captures, doc.Dropped)
+	if len(ss) == 0 {
+		b.WriteString("  no samples yet\n")
+		return b.String()
+	}
+
+	b.WriteString(panel("throughput", series(ss, window, func(s timeline.Sample) float64 { return s.Rate() }), "ops/s"))
+	b.WriteString(panel("rc churn", series(ss, window, func(s timeline.Sample) float64 {
+		return float64(s.RCDestroys + s.RCZombiePushes + s.HeapFrees)
+	}), "frees/intv"))
+	b.WriteString(panel("load retries", series(ss, window, func(s timeline.Sample) float64 {
+		return float64(s.RCLoadRetries)
+	}), "/intv"))
+	b.WriteString(panel("zombie/limbo", series(ss, window, func(s timeline.Sample) float64 {
+		return float64(s.ReclaimPending)
+	}), "pending"))
+	b.WriteString(panel("degradation", series(ss, window, func(s timeline.Sample) float64 {
+		return float64(s.DegRetries + s.DegExhaustions)
+	}), "/intv"))
+	b.WriteString(panel("faults", series(ss, window, func(s timeline.Sample) float64 {
+		return float64(s.FaultInjected)
+	}), "/intv"))
+	b.WriteString(panel("live objects", series(ss, window, func(s timeline.Sample) float64 {
+		return float64(s.HeapLiveObjects)
+	}), "objs"))
+
+	newest := ss[len(ss)-1]
+	if newest.LatLoadP50 > 0 || newest.RetryP99 > 0 {
+		fmt.Fprintf(&b, "\n  latency  load p50 %s p99 %s · store p50 %s p99 %s · retry p99 %d\n",
+			fmtNS(newest.LatLoadP50), fmtNS(newest.LatLoadP99),
+			fmtNS(newest.LatStoreP50), fmtNS(newest.LatStoreP99), newest.RetryP99)
+	}
+
+	b.WriteString("\n  contention heatmap (hottest cells now)\n")
+	hot := false
+	for _, h := range newest.Hot {
+		if h.Addr == 0 {
+			continue
+		}
+		hot = true
+		fmt.Fprintf(&b, "    %-10s %-10s hot %-8s failures %s\n",
+			fmt.Sprintf("%#x", h.Addr), h.Role, fmtCount(float64(h.Hot)), fmtCount(float64(h.Failures)))
+	}
+	if !hot {
+		b.WriteString("    (quiet — no contended cells)\n")
+	}
+	return b.String()
+}
+
+// fmtNS renders nanoseconds with a unit suffix.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lfrc"
+	"lfrc/internal/timeline"
+)
+
+func TestSparklineScaling(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		want string
+	}{
+		{nil, ""},
+		{[]float64{0, 0, 0}, "▁▁▁"},
+		{[]float64{1, 1, 1}, "███"},
+		{[]float64{0, 50, 100}, "▁▄█"},
+		{[]float64{100}, "█"},
+	}
+	for _, c := range cases {
+		if got := sparkline(c.vals); got != c.want {
+			t.Errorf("sparkline(%v) = %q, want %q", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	ss := make([]timeline.Sample, 10)
+	for i := range ss {
+		ss[i].ReclaimPending = int64(i)
+	}
+	got := series(ss, 4, func(s timeline.Sample) float64 { return float64(s.ReclaimPending) })
+	if len(got) != 4 || got[0] != 6 || got[3] != 9 {
+		t.Errorf("series window = %v, want trailing [6 7 8 9]", got)
+	}
+}
+
+// sampleDoc builds a small synthetic timeline document.
+func sampleDoc() timeline.Doc {
+	ss := make([]timeline.Sample, 8)
+	for i := range ss {
+		ss[i].Seq = uint64(i + 1)
+		ss[i].DurNS = int64(100 * time.Millisecond)
+		ss[i].RCLoads = int64(1000 * (i + 1))
+		ss[i].ReclaimPending = int64(64 * (8 - i))
+		ss[i].DegRetries = int64(i)
+		ss[i].HeapLiveObjects = 500
+		ss[i].LatLoadP50 = 256
+		ss[i].LatLoadP99 = 4096
+		ss[i].RetryP99 = 4
+	}
+	ss[7].Hot[0] = timeline.HotCell{Addr: 0x40, Role: "right_hat", Hot: 99, Failures: 12}
+	return timeline.Doc{
+		SchemaVersion: timeline.SchemaVersion,
+		Enabled:       true,
+		IntervalNS:    int64(100 * time.Millisecond),
+		Slots:         512,
+		Captures:      8,
+		Retained:      8,
+		Samples:       ss,
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	frame := render(sampleDoc(), 60, time.Unix(0, 0))
+	for _, want := range []string{
+		"lfrctop", "schema v1", "throughput", "rc churn", "zombie/limbo",
+		"degradation", "contention heatmap", "0x40", "right_hat",
+		"latency", "retry p99 4",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The limbo panel must carry a real sparkline (the series is nonzero).
+	for _, line := range strings.Split(frame, "\n") {
+		if strings.Contains(line, "zombie/limbo") && !strings.ContainsAny(line, "▂▃▄▅▆▇█") {
+			t.Errorf("limbo panel has a flat sparkline: %q", line)
+		}
+	}
+	if strings.Contains(frame, "\x1b") {
+		t.Error("render output contains ANSI escapes; cursor control belongs to the caller")
+	}
+}
+
+func TestRenderDisabledAndEmpty(t *testing.T) {
+	frame := render(timeline.Doc{SchemaVersion: 1}, 60, time.Unix(0, 0))
+	if !strings.Contains(frame, "timeline disabled") {
+		t.Errorf("disabled frame = %q", frame)
+	}
+	frame = render(timeline.Doc{SchemaVersion: 1, Enabled: true}, 60, time.Unix(0, 0))
+	if !strings.Contains(frame, "no samples yet") {
+		t.Errorf("empty frame = %q", frame)
+	}
+}
+
+// TestFetchAgainstLiveMux polls a real system's debug mux end to end — the
+// exact path the dashboard takes.
+func TestFetchAgainstLiveMux(t *testing.T) {
+	sys, err := lfrc.New(lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	sys.CaptureTimelineSample()
+	sys.CaptureTimelineSample()
+
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return sys }))
+	defer srv.Close()
+
+	doc, err := fetch(&http.Client{}, timelineURL(srv.URL))
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if !doc.Enabled || len(doc.Samples) != 2 {
+		t.Fatalf("doc = enabled %v, %d samples; want enabled with 2", doc.Enabled, len(doc.Samples))
+	}
+	frame := render(doc, 60, time.Unix(0, 0))
+	if !strings.Contains(frame, "throughput") {
+		t.Errorf("live frame missing panels:\n%s", frame)
+	}
+}
+
+func TestTimelineURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8080":         "http://localhost:8080/debug/lfrc/timeline.json",
+		"http://10.0.0.7:9999/":  "http://10.0.0.7:9999/debug/lfrc/timeline.json",
+		"https://lfrc.test:8443": "https://lfrc.test:8443/debug/lfrc/timeline.json",
+	} {
+		if got := timelineURL(in); got != want {
+			t.Errorf("timelineURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

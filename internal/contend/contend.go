@@ -125,6 +125,16 @@ func key(addr uint32, kind obs.Kind) uint64 {
 // entries; snapshots merge by key.
 type tStripe struct {
 	entries []entry
+
+	// used is the append-only directory of claimed entry indices, each
+	// stored as index+1 (0 = slot reserved but not yet published). Entries
+	// are claimed once and never evicted, so the directory only grows.
+	// TopInto walks it instead of scanning the whole entry array: the
+	// timeline's per-interval capture then costs proportional to occupied
+	// entries (typically dozens), not table capacity (1024 padded entries
+	// per stripe — half a megabyte of cache lines at default geometry).
+	used  []atomic.Int32
+	usedN atomic.Int32
 }
 
 // declaredRole is one structure-registered cell identity (see Declare).
@@ -153,6 +163,17 @@ type Table struct {
 	opScale atomic.Int64
 
 	dropped atomic.Int64 // records lost because a stripe's table was full
+
+	// ewma holds a per-op-kind EWMA of observed per-attempt latency (ns),
+	// ewmaAll the cross-kind estimate. They back the snapshot-time
+	// wasted-ns fallback: with sparse op sampling (one CPU, 1-in-64
+	// sampling) the recorder can easily keep no latency sample for any
+	// retried attempt of a kind, which used to leave every cell's
+	// wasted_ns at exactly 0 (BENCH_0004) while failures were plainly
+	// being counted. Indexed by the kind's low byte, matching the key
+	// encoding.
+	ewma    [256]atomic.Int64
+	ewmaAll atomic.Int64
 
 	// Decay state for the heatmap score: lastDecay is unix-nanos of the
 	// last applied halving, halfLife the interval between halvings.
@@ -205,6 +226,7 @@ func New(opts ...Option) *Table {
 	}
 	for i := range t.stripes {
 		t.stripes[i].entries = make([]entry, t.mask+1)
+		t.stripes[i].used = make([]atomic.Int32, t.mask+1)
 	}
 	t.lastDecay.Store(t.now())
 	return t
@@ -296,6 +318,11 @@ func (t *Table) find(addr uint32, kind obs.Kind, role Role) *entry {
 		}
 		if got == 0 {
 			if e.key.CompareAndSwap(0, k) {
+				// Publish the claim in the stripe's occupancy
+				// directory (index+1; readers skip unpublished 0s).
+				if slot := st.usedN.Add(1) - 1; int(slot) < len(st.used) {
+					st.used[slot].Store(int32((h+i)&t.mask) + 1)
+				}
 				t.upgradeRole(e, addr, role)
 				return e
 			}
@@ -393,7 +420,28 @@ func (t *Table) OpDone(op obs.Kind, a0 uint32, r0 Role, a1 uint32, r1 Role, retr
 // to the event's cell as wasted work. Events with no retries or no cell
 // carry no wasted work and are dropped immediately.
 func (t *Table) Aggregate(e obs.Event, latNS int64) {
-	if t == nil || e.Retries == 0 || e.Addr == 0 || latNS <= 0 {
+	if t == nil || latNS <= 0 {
+		return
+	}
+	// Every delivered event — retried or not — feeds the per-kind EWMA of
+	// per-attempt latency (an op that retried k times made k+1 attempts).
+	// The EWMA is the snapshot-time fallback for cells whose failures were
+	// counted but whose retried attempts the op sampler never timed.
+	// Racy read-modify-write is fine: it is a smoothing estimator.
+	if per := latNS / (int64(e.Retries) + 1); per > 0 {
+		ew := &t.ewma[uint8(e.Kind)]
+		if old := ew.Load(); old == 0 {
+			ew.Store(per)
+		} else {
+			ew.Store(old + (per-old)/8)
+		}
+		if old := t.ewmaAll.Load(); old == 0 {
+			t.ewmaAll.Store(per)
+		} else {
+			t.ewmaAll.Store(old + (per-old)/8)
+		}
+	}
+	if e.Retries == 0 || e.Addr == 0 {
 		return
 	}
 	// A loop that succeeded on attempt k+1 spent ~k/(k+1) of its time on
@@ -404,6 +452,16 @@ func (t *Table) Aggregate(e obs.Event, latNS int64) {
 		en.wastedNS.Add(wasted)
 		en.hot.Add(wasted)
 	}
+}
+
+// retryEWMA reports the per-attempt latency estimate for kind in
+// nanoseconds: the kind's own EWMA when it has one, else the cross-kind
+// estimate, else 0 (nothing sampled yet).
+func (t *Table) retryEWMA(k obs.Kind) int64 {
+	if v := t.ewma[uint8(k)].Load(); v > 0 {
+		return v
+	}
+	return t.ewmaAll.Load()
 }
 
 // Dropped reports how many records were lost to full stripes.

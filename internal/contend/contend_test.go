@@ -123,6 +123,114 @@ func TestAggregateWastedNS(t *testing.T) {
 	}
 }
 
+// TestWastedNSFallbackEWMA is the regression test for the all-zero wasted_ns
+// columns in BENCH_0004: a cell whose failures are counted exactly (Attempt
+// is unsampled) but whose retried operations the op sampler never timed used
+// to report wasted_ns = 0 forever. The snapshot must fall back to the kind's
+// EWMA of per-attempt latency instead of multiplying by zero.
+func TestWastedNSFallbackEWMA(t *testing.T) {
+	tb := New(WithStripes(1))
+	tb.SetOpScale(64)
+
+	// A contended run: five failures attributed to the hat cell...
+	for i := 0; i < 5; i++ {
+		tb.Attempt(obs.KindPushRight, 0x70, RoleRightHat, 0, RoleUnknown, true, false)
+	}
+	// ...while every latency sample the recorder kept for the kind was a
+	// retry-free op (with 1-in-64 sampling on one CPU that is the common
+	// case), so the direct wasted-ns path never fires.
+	for i := 0; i < 10; i++ {
+		tb.Aggregate(obs.Event{Kind: obs.KindPushRight, Addr: 0x70, Retries: 0}, 800)
+	}
+
+	rep := tb.Snapshot()
+	c, ok := findCell(rep, 0x70, "push_right")
+	if !ok {
+		t.Fatal("cell missing")
+	}
+	if c.Failures != 5 {
+		t.Fatalf("failures = %d, want 5", c.Failures)
+	}
+	// 5 failures charged at the 800ns per-attempt EWMA; the estimate is
+	// built from exact failure counts, so OpScale must NOT inflate it.
+	if c.WastedNS != 5*800 {
+		t.Fatalf("fallback wastedNS = %d, want %d (5 failures x 800ns EWMA, unscaled)", c.WastedNS, 5*800)
+	}
+	if len(rep.Heatmap) == 0 || rep.Heatmap[0].WastedNS == 0 {
+		t.Fatalf("heatmap did not inherit the fallback estimate: %+v", rep.Heatmap)
+	}
+}
+
+// TestWastedNSFallbackCrossKind: when a kind has no latency samples at all,
+// the fallback uses the cross-kind EWMA rather than reporting zero.
+func TestWastedNSFallbackCrossKind(t *testing.T) {
+	tb := New(WithStripes(1))
+	tb.Attempt(obs.KindPushLeft, 0x80, RoleLeftHat, 0, RoleUnknown, true, false)
+	// The only timed op is a load elsewhere: 1 retry over 200ns = 100ns
+	// per attempt.
+	tb.Aggregate(obs.Event{Kind: obs.KindLoad, Addr: 0, Retries: 1}, 200)
+
+	rep := tb.Snapshot()
+	c, ok := findCell(rep, 0x80, "push_left")
+	if !ok {
+		t.Fatal("cell missing")
+	}
+	if c.WastedNS != 100 {
+		t.Fatalf("cross-kind fallback wastedNS = %d, want 100", c.WastedNS)
+	}
+}
+
+// TestWastedNSFallbackNoSamples: with no latency information anywhere the
+// estimate stays 0 — the fallback never invents latency out of thin air.
+func TestWastedNSFallbackNoSamples(t *testing.T) {
+	tb := New(WithStripes(1))
+	tb.Attempt(obs.KindPushLeft, 0x90, RoleLeftHat, 0, RoleUnknown, true, false)
+	rep := tb.Snapshot()
+	c, ok := findCell(rep, 0x90, "push_left")
+	if !ok {
+		t.Fatal("cell missing")
+	}
+	if c.WastedNS != 0 {
+		t.Fatalf("wastedNS = %d with no latency samples, want 0", c.WastedNS)
+	}
+}
+
+// TestTopInto checks the timeline's zero-alloc heatmap tap: hottest first,
+// per-address merge, zero-filled tail, nil safety.
+func TestTopInto(t *testing.T) {
+	tb := New(WithStripes(1))
+	for i := 0; i < 8; i++ {
+		tb.Attempt(obs.KindPushRight, 0xA0, RoleRightHat, 0, RoleUnknown, true, false)
+	}
+	tb.Attempt(obs.KindPopLeft, 0xA0, RoleRightHat, 0, RoleUnknown, true, false) // same addr, other kind
+	tb.Attempt(obs.KindLoad, 0xB0, RolePointer, 0, RoleUnknown, true, false)
+
+	var top [4]HotSample
+	n := tb.TopInto(top[:])
+	if n != 2 {
+		t.Fatalf("TopInto wrote %d entries, want 2", n)
+	}
+	if top[0].Addr != 0xA0 || top[0].Failures != 9 {
+		t.Fatalf("hottest = %+v, want addr 0xA0 with 9 merged failures", top[0])
+	}
+	if Role(top[0].Role) != RoleRightHat {
+		t.Fatalf("hottest role = %v, want right_hat", Role(top[0].Role))
+	}
+	if top[1].Addr != 0xB0 || top[2] != (HotSample{}) {
+		t.Fatalf("rest = %+v", top[1:])
+	}
+
+	allocs := testing.AllocsPerRun(100, func() { tb.TopInto(top[:]) })
+	if allocs != 0 {
+		t.Fatalf("TopInto allocates %.0f/op, want 0", allocs)
+	}
+
+	var nilTb *Table
+	if got := nilTb.TopInto(top[:]); got != 0 {
+		t.Fatalf("nil TopInto = %d, want 0", got)
+	}
+}
+
 func TestDeclareUpgradesRole(t *testing.T) {
 	tb := New(WithStripes(1))
 	tb.Declare(0x60, RoleRightHat)

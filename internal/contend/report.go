@@ -116,6 +116,19 @@ func (t *Table) Snapshot() Report {
 		}
 	}
 
+	// Wasted-ns fallback: a cell can accumulate failures through exact
+	// Attempt attribution while the op sampler never times one of its
+	// retried operations (sparse sampling, single CPU) — direct wasted-ns
+	// would then read 0 forever. Estimate instead: each attributed failure
+	// is one discarded attempt, charged at the kind's EWMA per-attempt
+	// latency. Failures are exact counts (Attempt is unsampled), so the
+	// estimate is NOT scaled by OpScale.
+	for _, m := range byKey {
+		if m.stats.WastedNS == 0 && m.stats.Failures > 0 {
+			m.stats.WastedNS = m.stats.Failures * t.retryEWMA(m.kind)
+		}
+	}
+
 	rep := Report{OpScale: t.OpScale(), Dropped: t.Dropped()}
 	byAddr := map[uint32]*HotCell{}
 	type opHeat struct {
@@ -184,6 +197,92 @@ func (t *Table) Snapshot() Report {
 		rep.Heatmap = rep.Heatmap[:heatmapK]
 	}
 	return rep
+}
+
+// HotSample is one TopInto entry: a cell's activity at sampling time with the
+// role as a raw id (the timeline stores ids on its capture path and renders
+// names only at snapshot time).
+type HotSample struct {
+	Addr     uint32
+	Role     uint8
+	Hot      int64
+	Failures int64
+}
+
+// TopInto fills dst with the approximately hottest cells (by decaying score,
+// hottest first) and reports how many entries it wrote. Unlike Snapshot it
+// allocates nothing and writes nothing (no decay tick), so the timeline
+// capture path can call it every interval. The per-address merge is greedy —
+// an entry only folds into a cell already resident in dst — so rankings near
+// the cutoff can differ slightly from Snapshot's exact merge; for a top-4
+// dashboard panel that tolerance is fine. Nil-safe.
+func (t *Table) TopInto(dst []HotSample) int {
+	for i := range dst {
+		dst[i] = HotSample{}
+	}
+	if t == nil || len(dst) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		es := st.entries
+		// Walk the stripe's occupancy directory, not the entry array: cost
+		// scales with claimed entries, which is what a per-interval caller
+		// can afford.
+		un := int(st.usedN.Load())
+		if un > len(st.used) {
+			un = len(st.used)
+		}
+		for u := 0; u < un; u++ {
+			idx := st.used[u].Load()
+			if idx == 0 {
+				continue
+			}
+			e := &es[idx-1]
+			k := e.key.Load()
+			if k == 0 {
+				continue
+			}
+			addr := uint32(k >> 8)
+			hot := e.hot.Load()
+			fails := e.failures.Load()
+			role := Role(e.role.Load())
+			merged := false
+			for m := 0; m < n; m++ {
+				if dst[m].Addr == addr {
+					dst[m].Hot += hot
+					dst[m].Failures += fails
+					if role.specificity() > Role(dst[m].Role).specificity() {
+						dst[m].Role = uint8(role)
+					}
+					// Re-sink into rank order (score grew).
+					for m > 0 && dst[m].Hot > dst[m-1].Hot {
+						dst[m], dst[m-1] = dst[m-1], dst[m]
+						m--
+					}
+					merged = true
+					break
+				}
+			}
+			if merged {
+				continue
+			}
+			if n < len(dst) {
+				dst[n] = HotSample{Addr: addr, Role: uint8(role), Hot: hot, Failures: fails}
+				for m := n; m > 0 && dst[m].Hot > dst[m-1].Hot; m-- {
+					dst[m], dst[m-1] = dst[m-1], dst[m]
+				}
+				n++
+			} else if last := len(dst) - 1; hot > dst[last].Hot {
+				dst[last] = HotSample{Addr: addr, Role: uint8(role), Hot: hot, Failures: fails}
+				for m := last; m > 0 && dst[m].Hot > dst[m-1].Hot; m-- {
+					dst[m], dst[m-1] = dst[m-1], dst[m]
+				}
+			}
+		}
+	}
+	return n
 }
 
 // roleSpecificityOf recovers merge precedence from a rendered role name.

@@ -33,6 +33,49 @@ func (c *Concurrent) Observe(v int64) {
 // Count returns the number of samples recorded so far.
 func (c *Concurrent) Count() int64 { return c.count.Load() }
 
+// QuantilesInto computes the upper-bound quantile for each probability in ps
+// directly from the live buckets, writing results into out (out[i] answers
+// ps[i]; the slices must be the same length). The buckets are read once into
+// a stack buffer — no Histogram value copies, no allocation — so per-interval
+// callers like the telemetry timeline can afford it. Returns the sample count
+// the quantiles were computed over; when it is 0, out is zero-filled.
+func (c *Concurrent) QuantilesInto(ps []float64, out []int64) int64 {
+	var buckets [NumBuckets]int64
+	var count int64
+	for i := range c.buckets {
+		buckets[i] = c.buckets[i].Load()
+		count += buckets[i]
+	}
+	if count == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0
+	}
+	max := c.max.Load()
+	for pi, q := range ps {
+		target := int64(q * float64(count))
+		if target < 1 {
+			target = 1
+		}
+		var seen int64
+		res := max
+		for i, bc := range buckets {
+			seen += bc
+			if seen >= target {
+				if i == 0 {
+					res = 1
+				} else {
+					res = UpperBound(i)
+				}
+				break
+			}
+		}
+		out[pi] = res
+	}
+	return count
+}
+
 // Snapshot copies the current counters into a plain Histogram, which can
 // then be merged, summarized, and exported without further atomics.
 func (c *Concurrent) Snapshot() Histogram {

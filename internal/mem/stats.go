@@ -100,6 +100,24 @@ type AllocStats struct {
 	PerShard []ShardStats
 }
 
+// GlobalFreeListed reports the number of freed slots currently parked on the
+// heap's global overflow lists. Unlike AllocStats it allocates nothing; the
+// timeline capture path reads it every interval.
+func (h *Heap) GlobalFreeListed() int64 {
+	return h.globalFree.Load()
+}
+
+// ShardAllocsInto fills dst[i] with shard i's cumulative allocation count for
+// i < min(len(dst), shards) and returns the configured shard count. It is the
+// allocation-free slice of AllocStats the timeline capture path uses.
+func (h *Heap) ShardAllocsInto(dst []int64) int {
+	n := len(h.shards)
+	for i := 0; i < n && i < len(dst); i++ {
+		dst[i] = h.stats[i].allocs.Load()
+	}
+	return n
+}
+
 // AllocStats returns a snapshot of the sharded allocator's state.
 func (h *Heap) AllocStats() AllocStats {
 	a := AllocStats{

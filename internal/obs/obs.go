@@ -563,6 +563,34 @@ func (r *Recorder) LatencySnapshots() map[Kind]hist.Histogram {
 	return out
 }
 
+// KindLatencyQuantiles computes latency quantiles (nanoseconds) for one op
+// kind straight off the live histogram: unlike LatencySnapshots it copies no
+// Histogram values and allocates nothing, so the timeline capture path can
+// digest quantiles every interval. out[i] answers ps[i]; the return value is
+// the sample count (0 leaves out zero-filled). Nil-safe; out-of-range kinds
+// report 0 samples.
+func (r *Recorder) KindLatencyQuantiles(k Kind, ps []float64, out []int64) int64 {
+	if r == nil || k <= KindNone || k >= numKinds {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0
+	}
+	return r.lat[k].QuantilesInto(ps, out)
+}
+
+// RetryQuantiles is KindLatencyQuantiles for the cross-kind retry-count
+// histogram.
+func (r *Recorder) RetryQuantiles(ps []float64, out []int64) int64 {
+	if r == nil {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0
+	}
+	return r.retries.QuantilesInto(ps, out)
+}
+
 // RetrySnapshot returns the retry-count histogram across all recorded
 // operations.
 func (r *Recorder) RetrySnapshot() hist.Histogram {

@@ -78,6 +78,17 @@ type BenchExperiment struct {
 	Unit   string    `json:"unit"`
 	Runs   []float64 `json:"runs"`
 	Median float64   `json:"median"`
+
+	// Series is the per-interval throughput trajectory of the final run,
+	// taken from the telemetry timeline: one LFRC-op rate per IntervalNS.
+	// cmd/lfrcperf uses it to compare steady-state windows (warmup
+	// intervals excluded) instead of whole-run medians. Optional — absent
+	// in records older than the timeline, which stays schema v1: old and
+	// new records remain mutually comparable, just without the steady
+	// window.
+	Series     []float64 `json:"series,omitempty"`
+	SeriesUnit string    `json:"series_unit,omitempty"`
+	IntervalNS int64     `json:"interval_ns,omitempty"`
 }
 
 // BenchContention is the contention observatory summary embedded in a
@@ -103,6 +114,20 @@ var benchWorkloads = []struct {
 	{"deque/balanced", Balanced},
 	{"deque/push_heavy", PushHeavy},
 	{"deque/pop_heavy", PopHeavy},
+}
+
+// seriesInterval picks the timeline cadence for a run of length dur: ~16
+// intervals per run, clamped so very short test runs still capture a few
+// samples and very long runs don't exceed the default telemetry cadence.
+func seriesInterval(dur time.Duration) time.Duration {
+	iv := dur / 16
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	if iv > 100*time.Millisecond {
+		iv = 100 * time.Millisecond
+	}
+	return iv
 }
 
 // benchRun builds a fresh system on kind and rec and measures one throughput
@@ -176,24 +201,47 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 	// Interleave the workloads round-robin rather than running each one's
 	// repeats in a block: run i of every workload sees near-identical
 	// machine state, which is what makes cmd/lfrcperf's run pairing fair.
+	// The final run of each workload carries a telemetry timeline whose
+	// per-interval rate series lands in the record; experiment O4 bounds
+	// the sampler tax at ≤1%, so the final run stays pair-comparable.
+	interval := seriesInterval(dur)
 	rates := make([][]float64, len(benchWorkloads))
+	series := make([][]float64, len(benchWorkloads))
 	for r := 0; r < runs; r++ {
 		for i, wl := range benchWorkloads {
-			rate, _, err := benchRun(kind, rec, wl.mix, dur, workers, prefill)
+			var extra []lfrc.Option
+			if r == runs-1 {
+				extra = append(extra, lfrc.WithTimeline(lfrc.TimelineOptions{Interval: interval}))
+			}
+			rate, sys, err := benchRun(kind, rec, wl.mix, dur, workers, prefill, extra...)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", wl.id, r, err)
 			}
 			rates[i] = append(rates[i], rate)
+			if r == runs-1 {
+				for s := range sys.Timeline() {
+					if s.DurNS > 0 {
+						series[i] = append(series[i], s.Rate())
+					}
+				}
+				sys.Close()
+			}
 		}
 	}
 	for i, wl := range benchWorkloads {
 		med, _ := median(rates[i])
-		out.Experiments = append(out.Experiments, BenchExperiment{
+		e := BenchExperiment{
 			ID:     wl.id,
 			Unit:   "ops/sec",
 			Runs:   rates[i],
 			Median: med,
-		})
+		}
+		if len(series[i]) > 0 {
+			e.Series = series[i]
+			e.SeriesUnit = "rc_ops/sec"
+			e.IntervalNS = int64(interval)
+		}
+		out.Experiments = append(out.Experiments, e)
 	}
 
 	// One contention-instrumented run for the summary. Its rate is not

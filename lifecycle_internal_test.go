@@ -128,7 +128,7 @@ func TestAuditorDetectsDoubleFreeAndUseAfterFree(t *testing.T) {
 	}
 	// The timeline tells the whole story: birth, destroy-to-zero, free,
 	// rejected free, and the stale copy.
-	tl, ok := sys.Timeline(uint32(victim))
+	tl, ok := sys.ObjectTimeline(uint32(victim))
 	if !ok {
 		t.Fatalf("no timeline for the victim")
 	}

@@ -84,6 +84,19 @@ func (s *System) WriteMetrics(w io.Writer) {
 	writeHeader(w, "lfrc_degraded_zombies_drained_total", "counter", "Zombie objects reclaimed by degraded-mode drains.")
 	writeScalar(w, "lfrc_degraded_zombies_drained_total", st.Degraded.ZombiesDrained)
 
+	if s.tl != nil {
+		writeHeader(w, "lfrc_timeline_interval_ns", "gauge", "Telemetry timeline capture cadence in nanoseconds.")
+		writeScalar(w, "lfrc_timeline_interval_ns", st.Timeline.IntervalNS)
+		writeHeader(w, "lfrc_timeline_slots", "gauge", "Telemetry timeline ring capacity.")
+		writeScalar(w, "lfrc_timeline_slots", int64(st.Timeline.Slots))
+		writeHeader(w, "lfrc_timeline_captures_total", "counter", "Timeline samples captured since creation.")
+		writeScalar(w, "lfrc_timeline_captures_total", int64(st.Timeline.Captures))
+		writeHeader(w, "lfrc_timeline_retained", "gauge", "Timeline samples currently held in the ring.")
+		writeScalar(w, "lfrc_timeline_retained", int64(st.Timeline.Retained))
+		writeHeader(w, "lfrc_timeline_dropped_total", "counter", "Timeline samples discarded by ring wraparound.")
+		writeScalar(w, "lfrc_timeline_dropped_total", int64(st.Timeline.Dropped))
+	}
+
 	if st.Fault.Enabled {
 		writeHeader(w, "lfrc_fault_attempts_total", "counter", "Attempts seen at armed fault-injection points.")
 		for _, p := range st.Fault.Points {
@@ -291,6 +304,10 @@ var (
 //	/debug/lfrc/stats      Stats() as one JSON object
 //	/debug/lfrc/trace      Trace() as one JSON object (flight recorder dump)
 //	/debug/lfrc/trace.json Chrome trace_event export (open in Perfetto)
+//	/debug/lfrc/timeline.json
+//	                       schema-versioned telemetry timeline (WithTimeline)
+//	/debug/lfrc/timeline.csv
+//	                       the same series as CSV for spreadsheets/gnuplot
 //	/debug/lfrc/contention human-readable contention report (WithContention)
 //	/debug/lfrc/contention.pb.gz
 //	                       pprof-compatible contention profile; feed it to
@@ -348,6 +365,18 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="lfrc-trace.json"`)
 		if err := s.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}))
+	mux.Handle("/debug/lfrc/timeline.json", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.WriteTimelineJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}))
+	mux.Handle("/debug/lfrc/timeline.csv", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := s.WriteTimelineCSV(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}))

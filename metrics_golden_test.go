@@ -28,6 +28,9 @@ func TestMetricNamesGolden(t *testing.T) {
 		// perturbing the run, and enable the pressure policy.
 		lfrc.WithFaultPlan("core.load:nth=1000000000"),
 		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
+		// Manual timeline: the lfrc_timeline_* names are locked without a
+		// background goroutine racing the scrape.
+		lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}),
 	)
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -19,6 +19,7 @@ import (
 	"lfrc/internal/obs"
 	"lfrc/internal/snark"
 	"lfrc/internal/stackrc"
+	"lfrc/internal/timeline"
 )
 
 // Value is the payload type carried by the structures.
@@ -76,6 +77,8 @@ type config struct {
 	faultPlan      string
 	faultSeed      uint64
 	pressure       HeapPressurePolicy
+	timeline       bool
+	timelineOpts   TimelineOptions
 }
 
 type optionFunc func(*config)
@@ -219,6 +222,10 @@ type System struct {
 	pressure HeapPressurePolicy
 	deg      degradedCounters
 
+	// tl is the telemetry timeline sampler; nil unless WithTimeline.
+	// Every consumer is nil-safe.
+	tl *timeline.Sampler
+
 	// Each structure family's heap types are registered lazily on first
 	// use; a system that never creates a Queue never pays for (or exposes)
 	// the queue's type table entries.
@@ -351,6 +358,10 @@ func New(opts ...Option) (*System, error) {
 			s.auditor.Start()
 		}
 	}
+	if cfg.timeline {
+		// Last: the capture closure reads every subsystem built above.
+		s.newTimeline(cfg.timelineOpts)
+	}
 	return s, nil
 }
 
@@ -379,12 +390,15 @@ func (p heapProbe) Freed(ref uint32) bool {
 func (p heapProbe) AdvanceEpoch() uint64 { return p.h.AdvanceEpoch() }
 
 // Close stops the system's background machinery (the lifecycle auditor
-// started by WithLifecycleAudit). It is safe to call on any System, multiple
-// times; the system's data structures remain usable afterwards.
+// started by WithLifecycleAudit and the timeline sampler started by
+// WithTimeline). It is safe to call on any System, multiple times; the
+// system's data structures remain usable afterwards, and the timeline ring
+// stays readable.
 func (s *System) Close() {
 	if s.auditor != nil {
 		s.auditor.Stop()
 	}
+	s.tl.Stop()
 }
 
 // Trace is the flight recorder's dump: the surviving ring events in sequence
@@ -403,10 +417,11 @@ func (s *System) Trace() Trace { return s.obs.Trace() }
 // events that touched it.
 func (s *System) Postmortems() []obs.Postmortem { return s.obs.Postmortems() }
 
-// Timeline is one sampled object's ledgered event chain: allocation, every
-// rc-manipulating touch with before/after counts and goroutine attribution,
-// zombie transit, and free. See WithLifecycleLedger.
-type Timeline = lifecycle.Timeline
+// ObjectTimeline is one sampled object's ledgered event chain: allocation,
+// every rc-manipulating touch with before/after counts and goroutine
+// attribution, zombie transit, and free. See WithLifecycleLedger. (The name
+// System.Timeline belongs to the telemetry timeline — see WithTimeline.)
+type ObjectTimeline = lifecycle.Timeline
 
 // Violation is one invariant breach flagged by the lifecycle auditor,
 // carrying the offending object's timeline. See WithLifecycleAudit.
@@ -416,10 +431,11 @@ type Violation = lifecycle.Violation
 // count, with age distribution for ledger-tracked objects.
 type Census = lifecycle.Census
 
-// Timeline returns the lifecycle timeline for ref — the live incarnation if
-// the object is still tracked, else its most recent completed incarnation.
-// Without WithLifecycleLedger (or for unsampled objects) it reports false.
-func (s *System) Timeline(ref uint32) (Timeline, bool) { return s.ledger.Timeline(ref) }
+// ObjectTimeline returns the lifecycle timeline for ref — the live
+// incarnation if the object is still tracked, else its most recent completed
+// incarnation. Without WithLifecycleLedger (or for unsampled objects) it
+// reports false.
+func (s *System) ObjectTimeline(ref uint32) (ObjectTimeline, bool) { return s.ledger.Timeline(ref) }
 
 // Census walks the heap and reports its population bucketed by reference
 // count, plus the lifecycle ledger's tracked-object age distribution. The
@@ -533,6 +549,7 @@ func (s *System) Stats() Stats {
 		Exhaustions:    s.deg.exhaustions.Load(),
 		ZombiesDrained: s.deg.zombiesDrained.Load(),
 	}
+	st.Timeline = s.tl.Stats()
 	return st
 }
 
@@ -572,6 +589,10 @@ type Stats struct {
 	// Degraded counts heap-pressure degraded-mode activity (see
 	// WithHeapPressurePolicy).
 	Degraded DegradedStats `json:"degraded"`
+
+	// Timeline is the telemetry timeline sampler's accounting; zero unless
+	// the system was built WithTimeline.
+	Timeline TimelineStats `json:"timeline"`
 }
 
 // LifecycleStats is the lifecycle ledger and auditor accounting.
