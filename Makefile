@@ -16,7 +16,7 @@ PERF_BASELINE ?= BENCH_0007.json
 PERF_TOL ?= 0.25
 PERF_STRICT ?= 0
 
-.PHONY: all check build vet test check-race check-fault check-reclaim check-timeline race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race check-fault check-reclaim check-timeline check-census race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
@@ -28,8 +28,10 @@ all: check
 # armed. check-reclaim repeats that sweep across both reclamation backends.
 # check-timeline covers the telemetry ring (seqlock capture vs read) and the
 # lfrctop render layer under the race detector.
+# check-census covers the heap-census graph pass — including censuses taken
+# while mutators run, which must be race-clean and strictly read-only.
 # perf-check rides along as a soft gate (warn-only unless PERF_STRICT=1).
-check: build vet test check-race check-fault check-reclaim check-timeline race perf-check
+check: build vet test check-race check-fault check-reclaim check-timeline check-census race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
@@ -53,6 +55,14 @@ check-reclaim:
 check-timeline:
 	$(GO) test -race -count=1 ./internal/timeline ./cmd/lfrctop
 	$(GO) test -race -count=1 -run 'TestTimeline' .
+
+# Heap-census gate: the graph/SCC unit suite, the cycle-leak acceptance
+# scenario on both reclamation backends, and censuses taken while mutator
+# goroutines run — all under the race detector, which is what proves the
+# census's read-only snapshot loads never race the engines.
+check-census:
+	$(GO) test -race -count=1 ./internal/census ./internal/pprofenc
+	$(GO) test -race -count=1 -run 'TestCensus|TestDebugMux' .
 
 build:
 	$(GO) build ./...

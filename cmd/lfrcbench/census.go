@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"lfrc"
+)
+
+// reportCensus is lfrcbench's -census tail: it takes a whole-heap census of
+// the published system, drains the deferred-reclamation backlog, takes a
+// second census, and prints the summary plus the diff. The drain is the
+// decisive step: limbo husks disappear under it, true leaks (cycles) do not,
+// so the post-drain snapshot is the ground-truth leak verdict.
+func reportCensus(stdout io.Writer, sys *lfrc.System) {
+	before := sys.Census()
+	printCensus(stdout, "census (pre-drain)", before)
+	drained := sys.DrainZombies(0)
+	after := sys.Census()
+	printCensus(stdout, fmt.Sprintf("census (post-drain, %d drained)", drained), after)
+	printCensusDiff(stdout, lfrc.CensusDiff(before, after))
+}
+
+// printCensus prints one snapshot's summary block.
+func printCensus(w io.Writer, title string, c *lfrc.CensusSnapshot) {
+	fmt.Fprintf(w, "\n%s: backend=%s live=%d (%d B) reachable=%d unreachable=%d limbo=%d edges=%d wall=%dus\n",
+		title, c.Backend, c.LiveObjects, c.LiveBytes,
+		c.Reachable.Objects, c.Unreachable.Objects, c.Limbo.Objects, c.Edges, c.WallNS/1000)
+	if c.RCMismatchCount > 0 {
+		fmt.Fprintf(w, "  rc mismatches: %d (first: %+v)\n", c.RCMismatchCount, c.RCMismatches[0])
+	}
+	for i, t := range c.Types {
+		if i >= 5 {
+			fmt.Fprintf(w, "  ... %d more types\n", len(c.Types)-i)
+			break
+		}
+		fmt.Fprintf(w, "  type %-24s objects=%-8d bytes=%-10d unreachable=%d limbo=%d\n",
+			t.Name, t.Objects, t.Bytes, t.UnreachableObjects, t.LimboObjects)
+	}
+	for i, cy := range c.Cycles {
+		if i >= 5 {
+			fmt.Fprintf(w, "  ... %d more cycles\n", int(c.CycleCount)-i)
+			break
+		}
+		fmt.Fprintf(w, "  CYCLE LEAK key=%s size=%d bytes=%d retained=%d B members=%v\n",
+			cy.Key, cy.Size, cy.Bytes, cy.RetainedBytes, cycleMembers(cy))
+	}
+}
+
+// cycleMembers renders a cycle's member list compactly.
+func cycleMembers(c lfrc.CensusCycle) []string {
+	out := make([]string, 0, len(c.Objects))
+	for _, o := range c.Objects {
+		out = append(out, fmt.Sprintf("%#x(%s,rc=%d)", o.Ref, o.Type, o.RC))
+	}
+	if c.Truncated {
+		out = append(out, "...")
+	}
+	return out
+}
+
+// printCensusDiff prints the two-snapshot delta: per-type growth and new
+// cycles.
+func printCensusDiff(w io.Writer, d lfrc.CensusDelta) {
+	fmt.Fprintf(w, "census diff: live%+d objects (%+d B), unreachable%+d, limbo%+d, new_cycles=%d (%d B)\n",
+		d.LiveObjects, d.LiveBytes, d.UnreachableObjects, d.LimboObjects, d.NewCycles, d.NewCycleBytes)
+	for i, t := range d.Types {
+		if i >= 5 {
+			fmt.Fprintf(w, "  ... %d more types changed\n", len(d.Types)-i)
+			break
+		}
+		fmt.Fprintf(w, "  type %-24s objects%+-8d bytes%+-10d unreachable_bytes%+d\n",
+			t.Name, t.Objects, t.Bytes, t.UnreachableBytes)
+	}
+}

@@ -139,16 +139,20 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 	default:
 	}
 
-	// Quiescent now: audit, then tear everything down and demand an empty
-	// heap.
+	// Quiescent now: audit, take the pre-teardown census, then tear
+	// everything down and demand an empty heap — with the post-teardown
+	// census as the ground-truth leak verdict (a cycle would survive both
+	// the closes and the drain with its counts still up).
 	violations := len(sys.AuditPass()) + len(sys.Violations())
 	rcAudit := sys.Audit()
+	preCensus := sys.Census()
 	d.Close()
 	q.Close()
 	st.Close()
 	set.Close()
 	sys.DrainZombies(0)
 	live := sys.Stats().Heap.LiveObjects
+	postCensus := sys.Census()
 
 	s := sys.Stats()
 	fmt.Fprintf(stdout, "\n%-20s %12s %12s\n", "point", "attempts", "injected")
@@ -174,14 +178,28 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 	}
 	fmt.Fprintf(stdout, "fault_schedule=%s\n", sb.String())
 
+	// The census diff across teardown: everything the structures held
+	// should move from reachable to freed, leaving nothing unreachable.
+	cd := lfrc.CensusDiff(preCensus, postCensus)
+	fmt.Fprintf(stdout, "census: pre live=%d reachable=%d limbo=%d; post live=%d unreachable=%d limbo=%d cycles=%d new_cycles=%d rc_mismatches=%d\n",
+		preCensus.LiveObjects, preCensus.Reachable.Objects, preCensus.Limbo.Objects,
+		postCensus.LiveObjects, postCensus.Unreachable.Objects, postCensus.Limbo.Objects,
+		postCensus.CycleCount, cd.NewCycles, postCensus.RCMismatchCount)
+
 	switch {
 	case violations > 0:
 		return fmt.Errorf("chaos: %d lifecycle violations (see postmortems)", violations)
 	case len(rcAudit) > 0:
 		return fmt.Errorf("chaos: rc audit failed: %s", strings.Join(rcAudit, "; "))
+	case postCensus.CycleCount > 0:
+		return fmt.Errorf("chaos: census found %d cycle leaks holding %d bytes (first: %v)",
+			postCensus.CycleCount, postCensus.CycleBytes, cycleMembers(postCensus.Cycles[0]))
+	case postCensus.Unreachable.Objects > 0:
+		return fmt.Errorf("chaos: census found %d unreachable objects (%d bytes) after close+drain",
+			postCensus.Unreachable.Objects, postCensus.Unreachable.Bytes)
 	case live != 0:
 		return fmt.Errorf("chaos: %d objects leaked after close", live)
 	}
-	fmt.Fprintln(stdout, "chaos: PASS (0 violations, clean rc audit, 0 leaked objects)")
+	fmt.Fprintln(stdout, "chaos: PASS (0 violations, clean rc audit, clean census, 0 leaked objects)")
 	return nil
 }

@@ -1,6 +1,6 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1, R2, O1, O2, O3, O4 — see DESIGN.md §4 and EXPERIMENTS.md) and
-// prints
+// A2, A3, L1, G1, R2, O1, O2, O3, O4, O5 — see DESIGN.md §4 and EXPERIMENTS.md)
+// and prints
 // one table per experiment, in the same format EXPERIMENTS.md records. A3's
 // notes include the unified System.Stats snapshot as JSON.
 //
@@ -8,7 +8,7 @@
 //
 //	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-reclaim lfrc|epoch]
 //	          [-scale N] [-dur 250ms] [-workers 1,2,4,8] [-markdown]
-//	          [-stats-json] [-metrics addr] [-trace out.json]
+//	          [-stats-json] [-census] [-metrics addr] [-trace out.json]
 //	          [-bench-json out.json] [-bench-runs N]
 //
 // With no -run flag every experiment runs. -stats-json appends the final
@@ -68,6 +68,7 @@ func run(args []string, stdout io.Writer) error {
 		benchRuns = fs.Int("bench-runs", 5, "adjacent runs per workload in -bench-json mode")
 		faultPlan = fs.String("fault-plan", "", "chaos mode: skip the experiment tables and stress all structures under this fault-injection plan (e.g. 'core.*:p=0.01;mem.alloc:every=500')")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-injection seed; same seed and plan replay the same firing schedule")
+		doCensus  = fs.Bool("census", false, "after the run, take a heap census of the published system, drain zombies, take another, and print the summaries plus the diff")
 	)
 	reclaimer := lfrc.ReclaimerLFRC
 	fs.Var(&reclaimer, "reclaim", "reclamation backend: lfrc or epoch (applies to -bench-json, -fault-plan and R2)")
@@ -198,6 +199,9 @@ func run(args []string, stdout io.Writer) error {
 		if want("O4") {
 			emit(workload.RunO4(kind, *dur))
 		}
+		if want("O5") {
+			emit(workload.RunO5(kind, sc))
+		}
 	}
 	// Engine-sweeping experiments run once.
 	if want("E5") {
@@ -230,6 +234,14 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-trace: %w", err)
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
+	}
+
+	if *doCensus {
+		sys := workload.CurrentSystem()
+		if sys == nil {
+			return fmt.Errorf("-census: no experiment published a System (include O1, O5 or A3 in -run)")
+		}
+		reportCensus(stdout, sys)
 	}
 
 	if *statsJSON {

@@ -20,11 +20,13 @@ type handle struct {
 	drain  func()
 }
 
-// newHandle roots anchor with the collector and returns the handle that will
-// unroot it; drain is the structure's own teardown, run once by Close.
-func (s *System) newHandle(anchor mem.Ref, drain func()) handle {
+// newHandle roots anchor with the collector — labeled with the structure
+// kind, so the heap census and DOT export can say *which* structure keeps a
+// subgraph alive — and returns the handle that will unroot it; drain is the
+// structure's own teardown, run once by Close.
+func (s *System) newHandle(anchor mem.Ref, kind string, drain func()) handle {
 	if anchor != 0 {
-		s.collector.AddRoot(anchor)
+		s.collector.AddNamedRoot(anchor, kind)
 	}
 	return handle{sys: s, anchor: anchor, drain: drain}
 }
@@ -94,7 +96,7 @@ func (s *System) NewDeque(opts ...DequeOption) (*Deque, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &Deque{d: d, handle: s.newHandle(d.Anchor(), d.Close)}, nil
+	return &Deque{d: d, handle: s.newHandle(d.Anchor(), "deque", d.Close)}, nil
 }
 
 // PushLeft prepends v. It fails with ErrValueRange if v exceeds MaxValue,
@@ -174,7 +176,7 @@ func (s *System) NewQueue() (*Queue, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &Queue{q: q, handle: s.newHandle(q.Anchor(), q.Close)}, nil
+	return &Queue{q: q, handle: s.newHandle(q.Anchor(), "queue", q.Close)}, nil
 }
 
 // Enqueue appends v. It fails with ErrValueRange if v exceeds the
@@ -215,7 +217,7 @@ func (s *System) NewStack() (*Stack, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &Stack{s: st, handle: s.newHandle(st.Anchor(), st.Close)}, nil
+	return &Stack{s: st, handle: s.newHandle(st.Anchor(), "stack", st.Close)}, nil
 }
 
 // Push places v on top of the stack. It fails with ErrValueRange if v

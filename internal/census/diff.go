@@ -1,0 +1,108 @@
+package census
+
+import "sort"
+
+// TypeDelta is one type's growth between two snapshots.
+type TypeDelta struct {
+	Name string `json:"name"`
+
+	// Objects and Bytes are (to - from) for the type's live population;
+	// UnreachableBytes is the growth of its unreachable share.
+	Objects          int64 `json:"objects"`
+	Bytes            int64 `json:"bytes"`
+	UnreachableBytes int64 `json:"unreachable_bytes"`
+}
+
+// Delta is the difference between two snapshots: per-type growth and
+// newly-appeared cycles. It is what lfrcbench -census and chaos mode use to
+// turn "the heap got bigger" into "these types grew and these cycles are
+// new".
+type Delta struct {
+	FromTS int64 `json:"from_ts"`
+	ToTS   int64 `json:"to_ts"`
+
+	LiveObjects        int64 `json:"live_objects"`
+	LiveBytes          int64 `json:"live_bytes"`
+	UnreachableObjects int64 `json:"unreachable_objects"`
+	UnreachableBytes   int64 `json:"unreachable_bytes"`
+	LimboObjects       int64 `json:"limbo_objects"`
+
+	// NewCycles counts cycles present in the newer snapshot whose key does
+	// not appear in the older one; NewCycleBytes sums their member bytes.
+	// Keys are hashes of member refs, so a cycle that persists across both
+	// snapshots is not "new" even if other heap traffic moved around it.
+	NewCycles     int64 `json:"new_cycles"`
+	NewCycleBytes int64 `json:"new_cycle_bytes"`
+
+	// Types lists every type whose population changed, largest |Bytes|
+	// first.
+	Types []TypeDelta `json:"types"`
+}
+
+// Diff computes to - from.
+func Diff(from, to *Snapshot) Delta {
+	d := Delta{
+		FromTS:             from.TS,
+		ToTS:               to.TS,
+		LiveObjects:        to.LiveObjects - from.LiveObjects,
+		LiveBytes:          to.LiveBytes - from.LiveBytes,
+		UnreachableObjects: to.Unreachable.Objects - from.Unreachable.Objects,
+		UnreachableBytes:   to.Unreachable.Bytes - from.Unreachable.Bytes,
+		LimboObjects:       to.Limbo.Objects - from.Limbo.Objects,
+	}
+
+	old := map[string]bool{}
+	for _, c := range from.Cycles {
+		old[c.Key] = true
+	}
+	for _, c := range to.Cycles {
+		if !old[c.Key] {
+			d.NewCycles++
+			d.NewCycleBytes += c.Bytes
+		}
+	}
+
+	prev := map[string]TypeStat{}
+	for _, t := range from.Types {
+		prev[t.Name] = t
+	}
+	seen := map[string]bool{}
+	for _, t := range to.Types {
+		seen[t.Name] = true
+		p := prev[t.Name]
+		td := TypeDelta{
+			Name:             t.Name,
+			Objects:          t.Objects - p.Objects,
+			Bytes:            t.Bytes - p.Bytes,
+			UnreachableBytes: t.UnreachableBytes - p.UnreachableBytes,
+		}
+		if td.Objects != 0 || td.Bytes != 0 || td.UnreachableBytes != 0 {
+			d.Types = append(d.Types, td)
+		}
+	}
+	for _, t := range from.Types {
+		if !seen[t.Name] {
+			d.Types = append(d.Types, TypeDelta{
+				Name:             t.Name,
+				Objects:          -t.Objects,
+				Bytes:            -t.Bytes,
+				UnreachableBytes: -t.UnreachableBytes,
+			})
+		}
+	}
+	sort.Slice(d.Types, func(a, b int) bool {
+		av, bv := abs64(d.Types[a].Bytes), abs64(d.Types[b].Bytes)
+		if av != bv {
+			return av > bv
+		}
+		return d.Types[a].Name < d.Types[b].Name
+	})
+	return d
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,16 +1,17 @@
 package contend
 
 import (
-	"compress/gzip"
 	"fmt"
 	"io"
 	"time"
+
+	"lfrc/internal/pprofenc"
 )
 
 // WriteProfile writes the contention profile in pprof's gzipped protobuf
-// format (the profile.proto wire format, hand-encoded: the repo is
-// stdlib-only by policy). Each sample is one (cell, op-kind) accumulator
-// with two values — attributed failure count and estimated wasted
+// format (the profile.proto wire format, hand-encoded by internal/pprofenc:
+// the repo is stdlib-only by policy). Each sample is one (cell, op-kind)
+// accumulator with two values — attributed failure count and estimated wasted
 // nanoseconds — under a synthesized two-frame stack: the operation kind
 // calls the cell (named by role and address), so
 //
@@ -25,184 +26,39 @@ func (t *Table) WriteProfile(w io.Writer) error {
 // writeProfile is the testable core: profile from an explicit snapshot and
 // timestamp.
 func writeProfile(w io.Writer, rep Report, timeNanos int64) error {
-	p := newProfileBuilder()
+	p := pprofenc.NewBuilder()
 
 	// Sample types: value[0] = failures (count), value[1] = wasted
 	// (nanoseconds). Default to wasted so -top ranks by burned time.
-	failuresType := p.valueType("failures", "count")
-	wastedType := p.valueType("wasted", "nanoseconds")
-	p.msg.bytesField(1, failuresType)
-	p.msg.bytesField(1, wastedType)
+	failuresType := p.ValueType("failures", "count")
+	wastedType := p.ValueType("wasted", "nanoseconds")
+	p.Msg.BytesField(1, failuresType)
+	p.Msg.BytesField(1, wastedType)
 
 	for _, c := range rep.Cells {
 		if c.Failures == 0 && c.WastedNS == 0 {
 			continue // uncontended traffic is not a contention sample
 		}
-		opLoc := p.location("op:" + c.Op)
-		cellLoc := p.location(fmt.Sprintf("cell %#x (%s)", c.Addr, c.Role))
+		opLoc := p.Location("op:" + c.Op)
+		cellLoc := p.Location(fmt.Sprintf("cell %#x (%s)", c.Addr, c.Role))
 
-		var sample protoBuf
-		sample.packedUint64(1, []uint64{cellLoc, opLoc}) // leaf first
-		sample.packedInt64(2, []int64{c.Failures, c.WastedNS})
-		sample.bytesField(3, p.label("cell", fmt.Sprintf("%#x", c.Addr)))
-		sample.bytesField(3, p.label("role", c.Role))
-		sample.bytesField(3, p.label("op", c.Op))
-		p.msg.bytesField(2, sample.buf)
+		var sample pprofenc.Buf
+		sample.PackedUint64(1, []uint64{cellLoc, opLoc}) // leaf first
+		sample.PackedInt64(2, []int64{c.Failures, c.WastedNS})
+		sample.BytesField(3, p.Label("cell", fmt.Sprintf("%#x", c.Addr)))
+		sample.BytesField(3, p.Label("role", c.Role))
+		sample.BytesField(3, p.Label("op", c.Op))
+		p.Msg.BytesField(2, sample.Bytes())
 	}
 
-	p.flushLocations()
-	p.msg.int64Field(9, timeNanos)
-	p.msg.bytesField(11, wastedType) // period type
-	p.msg.int64Field(12, int64(rep.OpScale))
-	p.msg.int64Field(13, int64(p.str(fmt.Sprintf(
+	p.FlushLocations()
+	p.Msg.Int64Field(9, timeNanos)
+	p.Msg.BytesField(11, wastedType) // period type
+	p.Msg.Int64Field(12, int64(rep.OpScale))
+	p.Msg.Int64Field(13, p.Str(fmt.Sprintf(
 		"lfrc contention profile: wasted-ns scaled x%d for 1-in-%d op sampling; %d records dropped",
-		rep.OpScale, rep.OpScale, rep.Dropped))))
-	p.msg.int64Field(14, 1) // default_sample_type = wasted
+		rep.OpScale, rep.OpScale, rep.Dropped)))
+	p.Msg.Int64Field(14, 1) // default_sample_type = wasted
 
-	// String table last in construction, but protobuf fields may appear in
-	// any order; emit it now.
-	for _, s := range p.strings {
-		p.msg.stringField(6, s)
-	}
-
-	gz := gzip.NewWriter(w)
-	if _, err := gz.Write(p.msg.buf); err != nil {
-		return err
-	}
-	return gz.Close()
-}
-
-// profileBuilder interns strings, functions and locations while the samples
-// are streamed out.
-type profileBuilder struct {
-	msg     protoBuf
-	strings []string
-	strIdx  map[string]int64
-	locIdx  map[string]uint64
-	locs    []string // location id-1 -> name
-}
-
-func newProfileBuilder() *profileBuilder {
-	b := &profileBuilder{strIdx: map[string]int64{}, locIdx: map[string]uint64{}}
-	b.str("") // index 0 must be the empty string
-	return b
-}
-
-// str interns s in the profile string table.
-func (b *profileBuilder) str(s string) int64 {
-	if i, ok := b.strIdx[s]; ok {
-		return i
-	}
-	i := int64(len(b.strings))
-	b.strings = append(b.strings, s)
-	b.strIdx[s] = i
-	return i
-}
-
-// valueType encodes a ValueType message.
-func (b *profileBuilder) valueType(typ, unit string) []byte {
-	var m protoBuf
-	m.int64Field(1, b.str(typ))
-	m.int64Field(2, b.str(unit))
-	return m.buf
-}
-
-// label encodes a string Label message.
-func (b *profileBuilder) label(key, value string) []byte {
-	var m protoBuf
-	m.int64Field(1, b.str(key))
-	m.int64Field(2, b.str(value))
-	return m.buf
-}
-
-// location interns a synthetic one-frame location named name and returns
-// its id. Locations and their functions are emitted by flushLocations.
-func (b *profileBuilder) location(name string) uint64 {
-	if id, ok := b.locIdx[name]; ok {
-		return id
-	}
-	id := uint64(len(b.locs) + 1)
-	b.locs = append(b.locs, name)
-	b.locIdx[name] = id
-	return id
-}
-
-// flushLocations emits one Function and one Location per interned name,
-// sharing ids (function i backs location i).
-func (b *profileBuilder) flushLocations() {
-	for i, name := range b.locs {
-		id := uint64(i + 1)
-
-		var fn protoBuf
-		fn.uint64Field(1, id)
-		fn.int64Field(2, b.str(name))
-		fn.int64Field(3, b.str(name))
-		b.msg.bytesField(5, fn.buf)
-
-		var line protoBuf
-		line.uint64Field(1, id)
-		var loc protoBuf
-		loc.uint64Field(1, id)
-		loc.bytesField(4, line.buf)
-		b.msg.bytesField(4, loc.buf)
-	}
-}
-
-// protoBuf is a minimal protobuf wire-format writer: varints, length-
-// delimited fields, and packed repeated scalars — all profile.proto needs.
-type protoBuf struct{ buf []byte }
-
-func (b *protoBuf) varint(v uint64) {
-	for v >= 0x80 {
-		b.buf = append(b.buf, byte(v)|0x80)
-		v >>= 7
-	}
-	b.buf = append(b.buf, byte(v))
-}
-
-// tag writes a field key (field number + wire type).
-func (b *protoBuf) tag(field, wire int) { b.varint(uint64(field)<<3 | uint64(wire)) }
-
-func (b *protoBuf) int64Field(field int, v int64) {
-	if v == 0 {
-		return
-	}
-	b.tag(field, 0)
-	b.varint(uint64(v))
-}
-
-func (b *protoBuf) uint64Field(field int, v uint64) {
-	if v == 0 {
-		return
-	}
-	b.tag(field, 0)
-	b.varint(v)
-}
-
-func (b *protoBuf) bytesField(field int, data []byte) {
-	b.tag(field, 2)
-	b.varint(uint64(len(data)))
-	b.buf = append(b.buf, data...)
-}
-
-func (b *protoBuf) stringField(field int, s string) {
-	b.tag(field, 2)
-	b.varint(uint64(len(s)))
-	b.buf = append(b.buf, s...)
-}
-
-func (b *protoBuf) packedUint64(field int, vs []uint64) {
-	var body protoBuf
-	for _, v := range vs {
-		body.varint(v)
-	}
-	b.bytesField(field, body.buf)
-}
-
-func (b *protoBuf) packedInt64(field int, vs []int64) {
-	var body protoBuf
-	for _, v := range vs {
-		body.varint(uint64(v))
-	}
-	b.bytesField(field, body.buf)
+	return p.WriteGzipped(w)
 }

@@ -535,6 +535,28 @@ func (c *RC) RCOf(p mem.Ref) uint64 { return c.e.Read(c.h.RCAddr(p)) }
 // traffic, so they must be read engine-aware.
 func (c *RC) WordLoad(a mem.Addr) uint64 { return c.e.Read(a) }
 
+// SnapshotRead reads the cell at a for a strictly read-only observer (the
+// heap census). Unlike WordLoad it never goes through the engine: Engine.Read
+// helps in-flight MCAS operations to completion, which mutates shared cells —
+// exactly what an observer guaranteed to be side-effect-free must not do.
+// Instead it takes a plain atomic load; if the value carries a descriptor tag
+// (a software-MCAS operation is mid-flight through this cell) it backs off
+// briefly and retries, and after a bounded number of attempts reports 0. The
+// observer sees the edge as momentarily absent rather than dereferencing
+// engine-internal descriptor state.
+func (c *RC) SnapshotRead(a mem.Addr) uint64 {
+	for i := 0; ; i++ {
+		v := c.h.Load(a)
+		if v&^mem.ValueMask == 0 {
+			return v
+		}
+		if i >= 8 {
+			return 0
+		}
+		runtime.Gosched()
+	}
+}
+
 // WordStore writes a non-pointer (scalar) cell through the engine.
 func (c *RC) WordStore(a mem.Addr, v uint64) { c.e.Write(a, v) }
 

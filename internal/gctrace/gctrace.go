@@ -30,24 +30,44 @@ type Collector struct {
 	h *mem.Heap
 
 	mu    sync.Mutex
-	roots map[mem.Ref]int // ref -> registration count
+	roots map[mem.Ref]*rootEntry
+}
+
+// rootEntry is one registered root's bookkeeping: how many handles hold it
+// and what kind of structure anchored it (for diagnostic exports).
+type rootEntry struct {
+	count int
+	name  string
 }
 
 // New creates a collector for h.
 func New(h *mem.Heap) *Collector {
-	return &Collector{h: h, roots: make(map[mem.Ref]int)}
+	return &Collector{h: h, roots: make(map[mem.Ref]*rootEntry)}
 }
 
 // AddRoot registers a root reference: an object the mutator side holds alive
 // outside the heap (for example a deque's anchor). Roots may be registered
 // multiple times; each AddRoot needs a matching RemoveRoot.
-func (c *Collector) AddRoot(r mem.Ref) {
+func (c *Collector) AddRoot(r mem.Ref) { c.AddNamedRoot(r, "") }
+
+// AddNamedRoot is AddRoot with a structure-kind label ("deque", "queue", ...)
+// that diagnostic exports — the heap census, DOT dumps — attach to the root.
+// The first non-empty name registered for a ref wins.
+func (c *Collector) AddNamedRoot(r mem.Ref, name string) {
 	if r == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.roots[r]++
+	e := c.roots[r]
+	if e == nil {
+		e = &rootEntry{}
+		c.roots[r] = e
+	}
+	e.count++
+	if e.name == "" {
+		e.name = name
+	}
 }
 
 // RemoveRoot unregisters a root previously added with AddRoot.
@@ -57,10 +77,12 @@ func (c *Collector) RemoveRoot(r mem.Ref) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.roots[r] <= 1 {
-		delete(c.roots, r)
-	} else {
-		c.roots[r]--
+	if e := c.roots[r]; e != nil {
+		if e.count <= 1 {
+			delete(c.roots, r)
+		} else {
+			e.count--
+		}
 	}
 }
 
@@ -70,8 +92,26 @@ func (c *Collector) Roots() map[mem.Ref]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[mem.Ref]int64, len(c.roots))
-	for r, n := range c.roots {
-		out[r] = int64(n)
+	for r, e := range c.roots {
+		out[r] = int64(e.count)
+	}
+	return out
+}
+
+// NamedRoot is one root in a NamedRoots snapshot.
+type NamedRoot struct {
+	Count int64
+	Name  string
+}
+
+// NamedRoots returns a snapshot of the registered roots with their
+// registration counts and structure-kind labels.
+func (c *Collector) NamedRoots() map[mem.Ref]NamedRoot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[mem.Ref]NamedRoot, len(c.roots))
+	for r, e := range c.roots {
+		out[r] = NamedRoot{Count: int64(e.count), Name: e.name}
 	}
 	return out
 }

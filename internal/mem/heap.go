@@ -297,3 +297,43 @@ func (h *Heap) Walk(fn func(r Ref, freed bool) bool) {
 		a += uint64(size)
 	}
 }
+
+// Block is one object slot as decoded from a single atomic header read. All
+// fields describe the same instant: a block observed live here cannot have
+// been half-freed between separate TypeOf/IsFreed calls, which matters to
+// observers (the heap census) that walk while mutators run.
+type Block struct {
+	Ref   Ref
+	Type  TypeID
+	Size  int // total words, header included
+	Freed bool
+	Gen   uint32
+}
+
+// WalkBlocks visits every object slot ever carved from the arena, live or
+// freed, in address order, until fn returns false. Unlike Walk it decodes the
+// whole header once per slot and hands the caller a self-consistent Block.
+// It tolerates concurrent mutation the same way Walk does: each header is one
+// atomic load, and non-object words below the cursor are stepped over.
+func (h *Heap) WalkBlocks(fn func(b Block) bool) {
+	end := h.next.Load()
+	for a := uint64(firstAddr); a < end; {
+		hdr := h.Load(Addr(a))
+		size := headerSize(hdr)
+		if size < HeaderWords || size > maxObjWords {
+			a++
+			continue
+		}
+		b := Block{
+			Ref:   Ref(a),
+			Type:  headerType(hdr),
+			Size:  size,
+			Freed: headerFreed(hdr),
+			Gen:   headerGen(hdr),
+		}
+		if !fn(b) {
+			return
+		}
+		a += uint64(size)
+	}
+}

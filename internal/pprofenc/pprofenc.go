@@ -1,0 +1,183 @@
+// Package pprofenc hand-encodes pprof's gzipped profile.proto wire format.
+// The repo is stdlib-only by policy, so rather than depending on
+// github.com/google/pprof this package implements the tiny subset the
+// exported profiles need: varints, length-delimited fields, packed repeated
+// scalars, and an interning builder for the string table, synthetic
+// functions, and locations. It serves both the contention profile
+// (/debug/lfrc/contention.pb.gz) and the heap-census profile
+// (/debug/lfrc/census.pb.gz).
+//
+// Field numbers below follow profile.proto: Profile.sample_type = 1,
+// sample = 2, location = 4, function = 5, string_table = 6, time_nanos = 9,
+// period_type = 11, period = 12, comment = 13, default_sample_type = 14.
+package pprofenc
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// Builder interns strings, functions and locations while the caller streams
+// samples into Msg (the top-level Profile message).
+type Builder struct {
+	// Msg accumulates the top-level Profile message; callers append
+	// sample_type, sample, and scalar fields to it directly.
+	Msg Buf
+
+	strings []string
+	strIdx  map[string]int64
+	locIdx  map[string]uint64
+	locs    []string // location id-1 -> name
+}
+
+// NewBuilder returns a Builder with the mandatory empty string interned at
+// string-table index 0.
+func NewBuilder() *Builder {
+	b := &Builder{strIdx: map[string]int64{}, locIdx: map[string]uint64{}}
+	b.Str("")
+	return b
+}
+
+// Str interns s in the profile string table and returns its index.
+func (b *Builder) Str(s string) int64 {
+	if i, ok := b.strIdx[s]; ok {
+		return i
+	}
+	i := int64(len(b.strings))
+	b.strings = append(b.strings, s)
+	b.strIdx[s] = i
+	return i
+}
+
+// ValueType encodes a ValueType message ({type, unit} string indices).
+func (b *Builder) ValueType(typ, unit string) []byte {
+	var m Buf
+	m.Int64Field(1, b.Str(typ))
+	m.Int64Field(2, b.Str(unit))
+	return m.buf
+}
+
+// Label encodes a string Label message.
+func (b *Builder) Label(key, value string) []byte {
+	var m Buf
+	m.Int64Field(1, b.Str(key))
+	m.Int64Field(2, b.Str(value))
+	return m.buf
+}
+
+// Location interns a synthetic one-frame location named name and returns its
+// id. Locations and their functions are emitted by FlushLocations.
+func (b *Builder) Location(name string) uint64 {
+	if id, ok := b.locIdx[name]; ok {
+		return id
+	}
+	id := uint64(len(b.locs) + 1)
+	b.locs = append(b.locs, name)
+	b.locIdx[name] = id
+	return id
+}
+
+// FlushLocations emits one Function and one Location per interned name,
+// sharing ids (function i backs location i). Call it once, after the last
+// Location call.
+func (b *Builder) FlushLocations() {
+	for i, name := range b.locs {
+		id := uint64(i + 1)
+
+		var fn Buf
+		fn.Uint64Field(1, id)
+		fn.Int64Field(2, b.Str(name))
+		fn.Int64Field(3, b.Str(name))
+		b.Msg.BytesField(5, fn.buf)
+
+		var line Buf
+		line.Uint64Field(1, id)
+		var loc Buf
+		loc.Uint64Field(1, id)
+		loc.BytesField(4, line.buf)
+		b.Msg.BytesField(4, loc.buf)
+	}
+}
+
+// WriteGzipped appends the string table to Msg and writes the gzipped
+// profile. It must be the last call on the builder: string indices handed out
+// after it are not in the emitted table.
+func (b *Builder) WriteGzipped(w io.Writer) error {
+	for _, s := range b.strings {
+		b.Msg.StringField(6, s)
+	}
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(b.Msg.buf); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// Buf is a minimal protobuf wire-format writer: varints, length-delimited
+// fields, and packed repeated scalars — all profile.proto needs.
+type Buf struct{ buf []byte }
+
+// Bytes returns the accumulated encoding.
+func (b *Buf) Bytes() []byte { return b.buf }
+
+// Varint appends v in base-128 varint encoding.
+func (b *Buf) Varint(v uint64) {
+	for v >= 0x80 {
+		b.buf = append(b.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	b.buf = append(b.buf, byte(v))
+}
+
+// Tag writes a field key (field number + wire type).
+func (b *Buf) Tag(field, wire int) { b.Varint(uint64(field)<<3 | uint64(wire)) }
+
+// Int64Field writes a varint field; zero values are omitted per proto3.
+func (b *Buf) Int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	b.Tag(field, 0)
+	b.Varint(uint64(v))
+}
+
+// Uint64Field writes a varint field; zero values are omitted per proto3.
+func (b *Buf) Uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	b.Tag(field, 0)
+	b.Varint(v)
+}
+
+// BytesField writes a length-delimited field.
+func (b *Buf) BytesField(field int, data []byte) {
+	b.Tag(field, 2)
+	b.Varint(uint64(len(data)))
+	b.buf = append(b.buf, data...)
+}
+
+// StringField writes a length-delimited field from a string.
+func (b *Buf) StringField(field int, s string) {
+	b.Tag(field, 2)
+	b.Varint(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// PackedUint64 writes a packed repeated varint field.
+func (b *Buf) PackedUint64(field int, vs []uint64) {
+	var body Buf
+	for _, v := range vs {
+		body.Varint(v)
+	}
+	b.BytesField(field, body.buf)
+}
+
+// PackedInt64 writes a packed repeated varint field.
+func (b *Buf) PackedInt64(field int, vs []int64) {
+	var body Buf
+	for _, v := range vs {
+		body.Varint(uint64(v))
+	}
+	b.BytesField(field, body.buf)
+}

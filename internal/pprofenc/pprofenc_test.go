@@ -1,0 +1,157 @@
+package pprofenc_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"testing"
+
+	"lfrc/internal/pprofenc"
+)
+
+// scanTop walks one protobuf message and calls fn for each field with its
+// wire type and payload (varint value or raw bytes). It is deliberately tiny:
+// just enough decoding to prove the writer emits structurally valid wire
+// format.
+func scanTop(data []byte, fn func(field, wire int, varint uint64, raw []byte) error) error {
+	for len(data) > 0 {
+		key, n := varint(data)
+		if n == 0 {
+			return fmt.Errorf("bad tag varint at tail %d", len(data))
+		}
+		data = data[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := varint(data)
+			if n == 0 {
+				return fmt.Errorf("field %d: bad varint", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 2:
+			l, n := varint(data)
+			if n == 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("field %d: bad length", field)
+			}
+			if err := fn(field, wire, 0, data[n:n+int(l)]); err != nil {
+				return err
+			}
+			data = data[n+int(l):]
+		default:
+			return fmt.Errorf("field %d: unexpected wire type %d", field, wire)
+		}
+	}
+	return nil
+}
+
+func varint(data []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		v |= uint64(data[i]&0x7f) << (7 * i)
+		if data[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func TestBuilderEmitsDecodableProfile(t *testing.T) {
+	b := pprofenc.NewBuilder()
+	b.Msg.BytesField(1, b.ValueType("objects", "count"))
+	b.Msg.BytesField(1, b.ValueType("bytes", "bytes"))
+
+	leaf := b.Location("leaf")
+	parent := b.Location("parent")
+	var sample pprofenc.Buf
+	sample.PackedUint64(1, []uint64{leaf, parent})
+	sample.PackedInt64(2, []int64{3, 192})
+	sample.BytesField(3, b.Label("class", "unreachable"))
+	b.Msg.BytesField(2, sample.Bytes())
+
+	b.FlushLocations()
+	b.Msg.Int64Field(9, 12345)
+	b.Msg.BytesField(11, b.ValueType("bytes", "bytes"))
+	b.Msg.Int64Field(12, 1)
+
+	var out bytes.Buffer
+	if err := b.WriteGzipped(&out); err != nil {
+		t.Fatalf("WriteGzipped: %v", err)
+	}
+	zr, err := gzip.NewReader(&out)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+
+	var strTable []string
+	counts := map[int]int{}
+	var timeNanos uint64
+	err = scanTop(raw, func(field, wire int, v uint64, data []byte) error {
+		counts[field]++
+		switch field {
+		case 6:
+			strTable = append(strTable, string(data))
+		case 9:
+			timeNanos = v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("profile does not decode: %v", err)
+	}
+
+	// 2 sample types, 1 sample, 2 locations, 2 functions, a period type.
+	for field, want := range map[int]int{1: 2, 2: 1, 4: 2, 5: 2, 11: 1} {
+		if counts[field] != want {
+			t.Errorf("field %d count = %d, want %d", field, counts[field], want)
+		}
+	}
+	if timeNanos != 12345 {
+		t.Errorf("time_nanos = %d", timeNanos)
+	}
+	if len(strTable) == 0 || strTable[0] != "" {
+		t.Fatalf("string table must start with the empty string: %q", strTable)
+	}
+	want := map[string]bool{"objects": true, "bytes": true, "leaf": true, "parent": true, "class": true, "unreachable": true}
+	for _, s := range strTable {
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Errorf("string table missing %v; got %q", want, strTable)
+	}
+}
+
+// TestStrInterns: repeated Str calls return a stable index and add one table
+// entry.
+func TestStrInterns(t *testing.T) {
+	b := pprofenc.NewBuilder()
+	i1 := b.Str("x")
+	i2 := b.Str("x")
+	if i1 != i2 || i1 == 0 {
+		t.Errorf("Str not interning: %d vs %d", i1, i2)
+	}
+	if l1, l2 := b.Location("f"), b.Location("f"); l1 != l2 || l1 == 0 {
+		t.Errorf("Location not interning: %d vs %d", l1, l2)
+	}
+}
+
+// TestZeroFieldsOmitted: proto3 scalar zeroes must not hit the wire.
+func TestZeroFieldsOmitted(t *testing.T) {
+	var m pprofenc.Buf
+	m.Int64Field(7, 0)
+	m.Uint64Field(8, 0)
+	if len(m.Bytes()) != 0 {
+		t.Errorf("zero fields emitted %d bytes", len(m.Bytes()))
+	}
+	m.Int64Field(7, 1)
+	if len(m.Bytes()) == 0 {
+		t.Errorf("non-zero field omitted")
+	}
+}

@@ -140,7 +140,7 @@ func TestAuditorDetectsDoubleFreeAndUseAfterFree(t *testing.T) {
 	}
 }
 
-func TestCensusThroughPublicAPI(t *testing.T) {
+func TestPopulationThroughPublicAPI(t *testing.T) {
 	sys, tid := diagSystem(t)
 	refs := make([]mem.Ref, 0, 4)
 	for i := 0; i < 4; i++ {
@@ -152,15 +152,15 @@ func TestCensusThroughPublicAPI(t *testing.T) {
 	}
 	sys.rc.Destroy(refs[0])
 
-	c := sys.Census()
+	c := sys.Population()
 	if c.LiveObjects != 3 || c.FreedSlots != 1 {
-		t.Errorf("census live=%d freed=%d, want 3/1", c.LiveObjects, c.FreedSlots)
+		t.Errorf("population live=%d freed=%d, want 3/1", c.LiveObjects, c.FreedSlots)
 	}
 	if c.ByRC["1"] != 3 {
-		t.Errorf("census ByRC[1] = %d, want 3: %+v", c.ByRC["1"], c)
+		t.Errorf("population ByRC[1] = %d, want 3: %+v", c.ByRC["1"], c)
 	}
 	if c.Tracked != 3 || c.TrackedFreed != 1 {
-		t.Errorf("census tracked=%d trackedFreed=%d, want 3/1", c.Tracked, c.TrackedFreed)
+		t.Errorf("population tracked=%d trackedFreed=%d, want 3/1", c.Tracked, c.TrackedFreed)
 	}
 	st := sys.Stats()
 	if !st.Lifecycle.Enabled || st.Lifecycle.SampledObjects != 4 {
@@ -225,7 +225,7 @@ func TestTraceJSONEndpointServesChromeExport(t *testing.T) {
 	}
 	defer mresp.Body.Close()
 	mraw, _ := io.ReadAll(mresp.Body)
-	for _, want := range []string{"lfrc_lifecycle_tracked", "lfrc_census_live_objects", "lfrc_audit_passes_total"} {
+	for _, want := range []string{"lfrc_lifecycle_tracked", "lfrc_population_live_objects", "lfrc_census_live_objects", "lfrc_audit_passes_total"} {
 		if !strings.Contains(string(mraw), want) {
 			t.Errorf("/metrics lacks %s", want)
 		}

@@ -108,6 +108,43 @@ func (s *System) WriteMetrics(w io.Writer) {
 		}
 	}
 
+	// Graph-census series: a fresh snapshot per scrape when the diagnosis
+	// layer is on (the population census below already pays a heap walk
+	// there), else the most recent explicit System.Census, so a census once
+	// taken keeps reporting. No census yet means no series.
+	var cs *CensusSnapshot
+	if st.Lifecycle.Enabled {
+		cs = s.Census()
+	} else {
+		cs = s.lastCensus.Load()
+	}
+	if cs != nil {
+		writeHeader(w, "lfrc_census_live_objects", "gauge", "Live objects seen by the last object-graph census.")
+		writeScalar(w, "lfrc_census_live_objects", cs.LiveObjects)
+		writeHeader(w, "lfrc_census_objects", "gauge", "Census objects by reachability class.")
+		writeLabeled(w, "lfrc_census_objects", "class", "reachable", cs.Reachable.Objects)
+		writeLabeled(w, "lfrc_census_objects", "class", "unreachable", cs.Unreachable.Objects)
+		writeLabeled(w, "lfrc_census_objects", "class", "limbo", cs.Limbo.Objects)
+		writeHeader(w, "lfrc_census_bytes", "gauge", "Census bytes by reachability class.")
+		writeLabeled(w, "lfrc_census_bytes", "class", "reachable", cs.Reachable.Bytes)
+		writeLabeled(w, "lfrc_census_bytes", "class", "unreachable", cs.Unreachable.Bytes)
+		writeLabeled(w, "lfrc_census_bytes", "class", "limbo", cs.Limbo.Bytes)
+		writeHeader(w, "lfrc_census_edges", "gauge", "Pointer edges between live objects in the last census.")
+		writeScalar(w, "lfrc_census_edges", cs.Edges)
+		writeHeader(w, "lfrc_census_dangling_edges", "gauge", "Pointer fields naming a non-live target (expected 0 at quiescence).")
+		writeScalar(w, "lfrc_census_dangling_edges", cs.DanglingEdges)
+		writeHeader(w, "lfrc_census_cycles", "gauge", "Unreachable-but-counted cycles (garbage LFRC can never free).")
+		writeScalar(w, "lfrc_census_cycles", cs.CycleCount)
+		writeHeader(w, "lfrc_census_cycle_objects", "gauge", "Objects that are members of census-detected cycles.")
+		writeScalar(w, "lfrc_census_cycle_objects", cs.CycleObjects)
+		writeHeader(w, "lfrc_census_cycle_bytes", "gauge", "Bytes held by census-detected cycle members.")
+		writeScalar(w, "lfrc_census_cycle_bytes", cs.CycleBytes)
+		writeHeader(w, "lfrc_census_rc_mismatches", "gauge", "Objects whose stored count disagrees with actual in-edges plus roots.")
+		writeScalar(w, "lfrc_census_rc_mismatches", cs.RCMismatchCount)
+		writeHeader(w, "lfrc_census_wall_ns", "gauge", "Wall time the last census took, in nanoseconds.")
+		writeScalar(w, "lfrc_census_wall_ns", cs.WallNS)
+	}
+
 	if s.obs == nil {
 		return
 	}
@@ -150,20 +187,20 @@ func (s *System) WriteMetrics(w io.Writer) {
 	writeHeader(w, "lfrc_audit_violations_total", "counter", "Lifecycle invariant violations flagged.")
 	writeScalar(w, "lfrc_audit_violations_total", int64(st.Lifecycle.Violations))
 
-	// The census walks the heap; at metrics-scrape cadence that is cheap
-	// relative to a scrape, and it is the leak-triage signal: live objects
-	// bucketed by rc, tracked objects by age.
-	c := s.Census()
-	writeHeader(w, "lfrc_census_live_objects", "gauge", "Live objects by reference-count bucket (online census).")
+	// The population census walks the heap; at metrics-scrape cadence that
+	// is cheap relative to a scrape, and it is the leak-triage signal: live
+	// objects bucketed by rc, tracked objects by age.
+	c := s.Population()
+	writeHeader(w, "lfrc_population_live_objects", "gauge", "Live objects by reference-count bucket (online population census).")
 	for _, b := range sortedBuckets(c.ByRC) {
-		writeLabeled(w, "lfrc_census_live_objects", "rc", b, c.ByRC[b])
+		writeLabeled(w, "lfrc_population_live_objects", "rc", b, c.ByRC[b])
 	}
-	writeHeader(w, "lfrc_census_tracked_objects", "gauge", "Ledger-tracked live objects by age bucket (online census).")
+	writeHeader(w, "lfrc_population_tracked_objects", "gauge", "Ledger-tracked live objects by age bucket (online population census).")
 	for _, b := range sortedBuckets(c.ByAge) {
-		writeLabeled(w, "lfrc_census_tracked_objects", "age", b, c.ByAge[b])
+		writeLabeled(w, "lfrc_population_tracked_objects", "age", b, c.ByAge[b])
 	}
-	writeHeader(w, "lfrc_census_oldest_tracked_ns", "gauge", "Age of the oldest ledger-tracked live object in nanoseconds.")
-	writeScalar(w, "lfrc_census_oldest_tracked_ns", c.OldestNS)
+	writeHeader(w, "lfrc_population_oldest_tracked_ns", "gauge", "Age of the oldest ledger-tracked live object in nanoseconds.")
+	writeScalar(w, "lfrc_population_oldest_tracked_ns", c.OldestNS)
 }
 
 // writeContentionMetrics renders the contention observatory: totals
@@ -297,7 +334,8 @@ var (
 	publishExpvars sync.Once
 )
 
-// NewDebugMux builds the debug/ops HTTP mux for a System:
+// NewDebugMux builds the debug/ops HTTP mux for a System. /debug/lfrc/ is an
+// index page listing every endpoint; the roster:
 //
 //	/metrics               Prometheus text exposition (MetricsHandler)
 //	/debug/vars            expvar JSON, including an "lfrc" variable with Stats
@@ -312,6 +350,14 @@ var (
 //	/debug/lfrc/contention.pb.gz
 //	                       pprof-compatible contention profile; feed it to
 //	                       `go tool pprof` to rank cells by wasted-ns
+//	/debug/lfrc/census.json
+//	                       whole-heap object-graph census: reachability,
+//	                       cycle leaks, rc mismatches, per-type attribution
+//	/debug/lfrc/census.pb.gz
+//	                       the census in pprof heap-profile shape; feed it
+//	                       to `go tool pprof` to rank leak sources
+//	/debug/lfrc/census.dot Graphviz DOT render of the object graph (small
+//	                       heaps; ?max=N raises the node cap)
 //	/debug/pprof/...       the standard Go profiler endpoints
 //
 // get is called per request so callers can swap the live system (benchmark
@@ -343,55 +389,120 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 		})
 	}
 
+	// endpoints is the single source of truth: every entry is registered on
+	// the mux and listed, with its description, by the index page at
+	// /debug/lfrc/.
+	type endpoint struct {
+		path    string
+		desc    string
+		handler http.Handler
+	}
+	endpoints := []endpoint{
+		{"/metrics", "Prometheus text exposition of every lfrc_* series",
+			withSys(func(s *System, w http.ResponseWriter, r *http.Request) {
+				s.MetricsHandler().ServeHTTP(w, r)
+			})},
+		{"/debug/lfrc/stats", "unified Stats() snapshot as one JSON object",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(s.Stats())
+			})},
+		{"/debug/lfrc/trace", "flight recorder dump (events, latency digests, postmortems) as JSON",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(s.Trace())
+			})},
+		{"/debug/lfrc/trace.json", "Chrome trace_event export; open in Perfetto or chrome://tracing",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Content-Disposition", `attachment; filename="lfrc-trace.json"`)
+				if err := s.WriteChromeTrace(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/timeline.json", "schema-versioned telemetry timeline (WithTimeline)",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				if err := s.WriteTimelineJSON(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/timeline.csv", "the telemetry timeline as CSV for spreadsheets/gnuplot",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+				if err := s.WriteTimelineCSV(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/contention", "human-readable contention report (WithContention)",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				s.WriteContentionReport(w)
+			})},
+		{"/debug/lfrc/contention.pb.gz", "pprof-compatible contention profile; `go tool pprof -top` ranks cells by wasted-ns",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("Content-Disposition", `attachment; filename="lfrc-contention.pb.gz"`)
+				if err := s.WriteContentionProfile(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/census.json", "whole-heap object-graph census: reachability, cycle leaks, rc mismatches, per-type retained sizes",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				if err := s.WriteCensusJSON(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/census.pb.gz", "the census in pprof heap-profile shape; `go tool pprof -top` ranks leak sources",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("Content-Disposition", `attachment; filename="lfrc-census.pb.gz"`)
+				if err := s.WriteCensusProfile(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/census.dot", "Graphviz DOT render of the object graph (small heaps; ?max=N raises the node cap)",
+			withSys(func(s *System, w http.ResponseWriter, r *http.Request) {
+				maxNodes := 0
+				if q := r.URL.Query().Get("max"); q != "" {
+					fmt.Sscanf(q, "%d", &maxNodes)
+				}
+				w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+				if err := s.WriteCensusDOT(w, maxNodes); err != nil {
+					http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				}
+			})},
+		{"/debug/vars", "expvar JSON, including an \"lfrc\" variable carrying Stats", expvar.Handler()},
+		{"/debug/pprof/", "standard Go profiler endpoints (cmdline, profile, symbol, trace, ...)", http.HandlerFunc(pprof.Index)},
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", withSys(func(s *System, w http.ResponseWriter, r *http.Request) {
-		s.MetricsHandler().ServeHTTP(w, r)
-	}))
-	mux.Handle("/debug/lfrc/stats", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(s.Stats())
-	}))
-	mux.Handle("/debug/lfrc/trace", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(s.Trace())
-	}))
-	mux.Handle("/debug/lfrc/trace.json", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		// Chrome trace_event export: save the response and load it in
-		// Perfetto or chrome://tracing.
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Content-Disposition", `attachment; filename="lfrc-trace.json"`)
-		if err := s.WriteChromeTrace(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	for _, ep := range endpoints {
+		if ep.path == "/debug/pprof/" {
+			continue // registered below with its sub-handlers
 		}
-	}))
-	mux.Handle("/debug/lfrc/timeline.json", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := s.WriteTimelineJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		mux.Handle(ep.path, ep.handler)
+	}
+	// Index page. The "/debug/lfrc/" pattern is a subtree match, so answer
+	// the directory itself and 404 anything unregistered beneath it.
+	mux.HandleFunc("/debug/lfrc/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/lfrc/" {
+			http.NotFound(w, r)
+			return
 		}
-	}))
-	mux.Handle("/debug/lfrc/timeline.csv", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		if err := s.WriteTimelineCSV(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<html><head><title>lfrc debug</title></head><body>\n<h1>lfrc debug endpoints</h1>\n<table>\n")
+		for _, ep := range endpoints {
+			fmt.Fprintf(w, "<tr><td><a href=%q>%s</a></td><td>%s</td></tr>\n",
+				ep.path, ep.path, ep.desc)
 		}
-	}))
-	mux.Handle("/debug/lfrc/contention", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		s.WriteContentionReport(w)
-	}))
-	mux.Handle("/debug/lfrc/contention.pb.gz", withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Disposition", `attachment; filename="lfrc-contention.pb.gz"`)
-		if err := s.WriteContentionProfile(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	}))
-	mux.Handle("/debug/vars", expvar.Handler())
+		fmt.Fprintf(w, "</table></body></html>\n")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,167 @@
+package lfrc_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lfrc"
+)
+
+// muxEndpoints is the published debug surface the index page must list.
+var muxEndpoints = []string{
+	"/metrics",
+	"/debug/lfrc/stats",
+	"/debug/lfrc/trace",
+	"/debug/lfrc/trace.json",
+	"/debug/lfrc/timeline.json",
+	"/debug/lfrc/timeline.csv",
+	"/debug/lfrc/contention",
+	"/debug/lfrc/contention.pb.gz",
+	"/debug/lfrc/census.json",
+	"/debug/lfrc/census.pb.gz",
+	"/debug/lfrc/census.dot",
+	"/debug/vars",
+	"/debug/pprof/",
+}
+
+func newMuxServer(t *testing.T) (*httptest.Server, *lfrc.System) {
+	t.Helper()
+	sys, err := lfrc.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(sys.Close)
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := lfrc.Value(1); i <= 8; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatalf("PushRight: %v", err)
+		}
+	}
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return sys }))
+	t.Cleanup(srv.Close)
+	return srv, sys
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp, body
+}
+
+// TestDebugMuxIndexListsEveryEndpoint: /debug/lfrc/ is the human entry point;
+// every published endpoint must appear on it, and unregistered subpaths must
+// 404 rather than silently serving the index.
+func TestDebugMuxIndexListsEveryEndpoint(t *testing.T) {
+	srv, _ := newMuxServer(t)
+
+	resp, body := get(t, srv, "/debug/lfrc/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/lfrc/ = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, ep := range muxEndpoints {
+		if !strings.Contains(string(body), ep) {
+			t.Errorf("index page does not list %s", ep)
+		}
+	}
+
+	resp, _ = get(t, srv, "/debug/lfrc/no-such-endpoint")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /debug/lfrc/no-such-endpoint = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDebugMuxCensusEndpoints drives the three census renderings end to end.
+func TestDebugMuxCensusEndpoints(t *testing.T) {
+	srv, _ := newMuxServer(t)
+
+	resp, body := get(t, srv, "/debug/lfrc/census.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("census.json = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("census.json Content-Type = %q", ct)
+	}
+	var snap struct {
+		SchemaVersion int    `json:"schema_version"`
+		Backend       string `json:"backend"`
+		LiveObjects   int64  `json:"live_objects"`
+		Reachable     struct {
+			Objects int64 `json:"objects"`
+		} `json:"reachable"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("census.json invalid: %v", err)
+	}
+	if snap.SchemaVersion != 1 || snap.Backend == "" || snap.LiveObjects == 0 {
+		t.Errorf("census.json = %+v", snap)
+	}
+	if snap.Reachable.Objects != snap.LiveObjects {
+		t.Errorf("healthy deque heap not fully reachable: %+v", snap)
+	}
+
+	resp, body = get(t, srv, "/debug/lfrc/census.pb.gz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("census.pb.gz = %d", resp.StatusCode)
+	}
+	if len(body) < 2 || body[0] != 0x1f || body[1] != 0x8b {
+		t.Errorf("census.pb.gz is not gzip (got % x...)", body[:min(4, len(body))])
+	}
+
+	resp, body = get(t, srv, "/debug/lfrc/census.dot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("census.dot = %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "digraph census") {
+		t.Errorf("census.dot does not render DOT:\n%s", body)
+	}
+
+	// A node cap below the heap size must refuse with 422, not truncate
+	// silently.
+	resp, _ = get(t, srv, "/debug/lfrc/census.dot?max=1")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("census.dot?max=1 = %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestDebugMuxWithoutSystem: every endpoint (but not the index) answers 503
+// when no system is published.
+func TestDebugMuxWithoutSystem(t *testing.T) {
+	srv := httptest.NewServer(lfrc.NewDebugMux(func() *lfrc.System { return nil }))
+	defer srv.Close()
+	for _, ep := range []string{"/metrics", "/debug/lfrc/census.json", "/debug/lfrc/stats"} {
+		resp, err := srv.Client().Get(srv.URL + ep)
+		if err != nil {
+			t.Fatalf("GET %s: %v", ep, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s = %d with no system, want 503", ep, resp.StatusCode)
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/debug/lfrc/")
+	if err != nil {
+		t.Fatalf("GET index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("index = %d with no system, want 200 (it documents the surface)", resp.StatusCode)
+	}
+}

@@ -30,7 +30,7 @@ func (s *System) NewSet() (*Set, error) {
 	}); err != nil {
 		return nil, err
 	}
-	return &Set{l: l, handle: s.newHandle(l.Anchor(), l.Close)}, nil
+	return &Set{l: l, handle: s.newHandle(l.Anchor(), "set", l.Close)}, nil
 }
 
 // Insert adds k to the set; it returns false (and no error) if k was already

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"lfrc/internal/census"
 	"lfrc/internal/check"
 	"lfrc/internal/contend"
 	"lfrc/internal/core"
@@ -79,6 +81,7 @@ type config struct {
 	pressure       HeapPressurePolicy
 	timeline       bool
 	timelineOpts   TimelineOptions
+	censusRoots    []func() []uint32
 }
 
 type optionFunc func(*config)
@@ -163,7 +166,7 @@ func WithContention(on bool) Option {
 // birth, and every subsequent event touching a selected object — including
 // operations the flight recorder's own op sampling skips — is appended to
 // that object's timeline with goroutine attribution. Read timelines back
-// with System.Timeline, population reports with System.Census, and export
+// with System.Timeline, population reports with System.Population, and export
 // everything with System.WriteChromeTrace. n == 1 tracks every object;
 // n == 0 installs the ledger with object sampling off — since an off ledger
 // can never claim an object it is detached from the recorder, so the
@@ -225,6 +228,12 @@ type System struct {
 	// tl is the telemetry timeline sampler; nil unless WithTimeline.
 	// Every consumer is nil-safe.
 	tl *timeline.Sampler
+
+	// censusRoots are the caller-registered extra root sources (see
+	// WithCensusRoots); lastCensus caches the most recent graph census so
+	// /metrics can report it without re-walking the heap per scrape.
+	censusRoots []func() []uint32
+	lastCensus  atomic.Pointer[census.Snapshot]
 
 	// Each structure family's heap types are registered lazily on first
 	// use; a system that never creates a Queue never pays for (or exposes)
@@ -338,15 +347,16 @@ func New(opts ...Option) (*System, error) {
 	}
 
 	s := &System{
-		heap:      h,
-		engine:    e,
-		rc:        core.New(h, e, rcOpts...),
-		collector: gctrace.New(h),
-		obs:       rec,
-		ct:        ct,
-		ledger:    led,
-		fj:        fj,
-		pressure:  cfg.pressure,
+		heap:        h,
+		engine:      e,
+		rc:          core.New(h, e, rcOpts...),
+		collector:   gctrace.New(h),
+		obs:         rec,
+		ct:          ct,
+		ledger:      led,
+		fj:          fj,
+		pressure:    cfg.pressure,
+		censusRoots: cfg.censusRoots,
 	}
 	if led != nil {
 		var audOpts []lifecycle.AuditOption
@@ -427,9 +437,10 @@ type ObjectTimeline = lifecycle.Timeline
 // carrying the offending object's timeline. See WithLifecycleAudit.
 type Violation = lifecycle.Violation
 
-// Census is a point-in-time heap population report bucketed by reference
-// count, with age distribution for ledger-tracked objects.
-type Census = lifecycle.Census
+// Population is a point-in-time heap population report bucketed by reference
+// count, with age distribution for ledger-tracked objects. (The name
+// System.Census belongs to the object-graph census — see WithCensusRoots.)
+type Population = lifecycle.Census
 
 // ObjectTimeline returns the lifecycle timeline for ref — the live
 // incarnation if the object is still tracked, else its most recent completed
@@ -437,11 +448,12 @@ type Census = lifecycle.Census
 // reports false.
 func (s *System) ObjectTimeline(ref uint32) (ObjectTimeline, bool) { return s.ledger.Timeline(ref) }
 
-// Census walks the heap and reports its population bucketed by reference
+// Population walks the heap and reports its population bucketed by reference
 // count, plus the lifecycle ledger's tracked-object age distribution. The
 // walk is online (no stop-the-world): counts are a triage snapshot, not an
-// exact quiescent census.
-func (s *System) Census() Census { return lifecycle.TakeCensus(s.heap, s.ledger) }
+// exact quiescent census. For the full object-graph census — reachability,
+// cycle leaks, retained sizes — see System.Census.
+func (s *System) Population() Population { return lifecycle.TakeCensus(s.heap, s.ledger) }
 
 // AuditPass runs one lifecycle audit pass immediately and returns the
 // violations newly flagged by it. It requires WithLifecycleLedger (the

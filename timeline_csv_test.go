@@ -1,0 +1,68 @@
+package lfrc_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTimelineCSVFormatGolden locks the /debug/lfrc/timeline.csv row format:
+// the header line is golden (spreadsheets and gnuplot scripts address columns
+// by name), and every data row must carry exactly one field per column with
+// the seq column strictly increasing.
+//
+// Regenerate with: UPDATE_GOLDEN=1 go test -run TestTimelineCSVFormatGolden .
+func TestTimelineCSVFormatGolden(t *testing.T) {
+	sys := newTimelineSystem(t)
+	sys.CaptureTimelineSample()
+	sys.CaptureTimelineSample()
+	sys.CaptureTimelineSample()
+
+	var buf bytes.Buffer
+	if err := sys.WriteTimelineCSV(&buf); err != nil {
+		t.Fatalf("WriteTimelineCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+
+	header := lines[0] + "\n"
+	golden := filepath.Join("testdata", "timeline_csv_header.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, []byte(header), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if header != string(want) {
+		t.Errorf("timeline.csv header changed.\n--- got ---\n%s--- want (%s) ---\n%s"+
+			"If the change is intentional, regenerate with UPDATE_GOLDEN=1 and call it out in review.",
+			header, golden, want)
+	}
+
+	cols := strings.Split(lines[0], ",")
+	prevSeq := int64(-1)
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(cols) {
+			t.Errorf("row has %d fields, header has %d columns: %q", len(fields), len(cols), line)
+			continue
+		}
+		seq, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			t.Errorf("seq column not numeric: %q", line)
+			continue
+		}
+		if seq <= prevSeq {
+			t.Errorf("seq not strictly increasing: %d after %d", seq, prevSeq)
+		}
+		prevSeq = seq
+	}
+}
