@@ -12,11 +12,11 @@ BENCHTIME ?=
 # array (one record per GOMAXPROCS; lfrcperf selects the one matching the
 # candidate). PERF_TOL is the relative tolerance; PERF_STRICT=1 turns a
 # regression into a hard failure.
-PERF_BASELINE ?= BENCH_0007.json
+PERF_BASELINE ?= BENCH_0009.json
 PERF_TOL ?= 0.25
 PERF_STRICT ?= 0
 
-.PHONY: all check build vet test check-race check-fault check-reclaim check-timeline check-census race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race check-fault check-reclaim check-timeline check-census check-doctor race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
@@ -30,8 +30,10 @@ all: check
 # lfrctop render layer under the race detector.
 # check-census covers the heap-census graph pass — including censuses taken
 # while mutators run, which must be race-clean and strictly read-only.
+# check-doctor covers the health watchdog's rule engine, bundle capture, and
+# the chaos -> bundle -> lfrcdoctor offline-diagnosis loop on both backends.
 # perf-check rides along as a soft gate (warn-only unless PERF_STRICT=1).
-check: build vet test check-race check-fault check-reclaim check-timeline check-census race perf-check
+check: build vet test check-race check-fault check-reclaim check-timeline check-census check-doctor race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
@@ -84,10 +86,11 @@ bench:
 
 # One quick pass over the sharded-allocator benchmark (experiment A3), the
 # observer-overhead benchmark (O1), the lifecycle-ledger benchmark (O2), the
-# contention-observatory benchmark (O3) and the timeline capture path (O4;
-# the benchmark itself fails if a snapshot exceeds 1µs).
+# contention-observatory benchmark (O3), the timeline capture path (O4;
+# the benchmark itself fails if a snapshot exceeds 1µs) and the watchdog's
+# quiet path (O6; must stay allocation-free).
 bench-smoke:
-	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead|BenchmarkLifecycleLedger|BenchmarkContention|BenchmarkTimelineCapture' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkAllocShards|BenchmarkObserverOverhead|BenchmarkLifecycleLedger|BenchmarkContention|BenchmarkTimelineCapture|BenchmarkWatchdogQuietPath' -benchtime=1x -run='^$$' .
 
 # Record a new perf-trajectory point against which perf-check gates. Commit
 # the refreshed $(PERF_BASELINE) when the change in performance is intended.
@@ -113,6 +116,41 @@ perf-check:
 			echo "perf-check: regression vs $(PERF_BASELINE) (warn-only; set PERF_STRICT=1 to enforce)"; \
 		fi; \
 	fi
+
+# Watchdog / diagnostic-bundle gate. Three layers:
+#   1. the rule-engine unit suite and the system-level watchdog/bundle tests
+#      (capture-while-mutating runs under the race detector);
+#   2. a planted epoch starvation (reclaim.epoch:p=1 pins the epoch, so limbo
+#      grows with zero drains): the chaos run must FAIL, auto-capture a
+#      bundle, and lfrcdoctor — offline, from the tarball alone — must reach
+#      the limbo_stall verdict with exit 1;
+#   3. a planted retry storm on the lfrc backend (core.load:p=0.85 forces the
+#      paper's §5 retry window): the chaos run itself stays clean, the
+#      explicitly requested bundle must carry the storm, and lfrcdoctor must
+#      surface the retry_storm finding.
+check-doctor:
+	$(GO) test -count=1 ./internal/watchdog
+	$(GO) test -race -count=1 -run 'TestWatchdog|TestBundle' .
+	$(GO) test -count=1 ./cmd/lfrcdoctor
+	@dir=$$(mktemp -d /tmp/lfrc-doctor-XXXXXX); \
+	echo "check-doctor: epoch limbo starvation -> bundle -> lfrcdoctor"; \
+	if $(GO) run ./cmd/lfrcbench -fault-plan 'reclaim.epoch:p=1' -reclaim epoch \
+		-dur 500ms -workers 4 -destroy-budget 1 -bundle $$dir/epoch.tar.gz >$$dir/epoch.log 2>&1; then \
+		echo "check-doctor: planted epoch starvation did not FAIL chaos"; cat $$dir/epoch.log; rm -rf $$dir; exit 1; \
+	fi; \
+	grep -q '^bundle=' $$dir/epoch.log || { echo "check-doctor: FAIL did not capture a bundle"; cat $$dir/epoch.log; rm -rf $$dir; exit 1; }; \
+	if $(GO) run ./cmd/lfrcdoctor -json $$dir/epoch.tar.gz >$$dir/epoch.json 2>&1; then \
+		echo "check-doctor: lfrcdoctor called the starved epoch bundle healthy"; cat $$dir/epoch.json; rm -rf $$dir; exit 1; \
+	fi; \
+	grep -q '"rule": "limbo_stall"' $$dir/epoch.json || { echo "check-doctor: no limbo_stall verdict"; cat $$dir/epoch.json; rm -rf $$dir; exit 1; }; \
+	grep -q '"reclaimer": "epoch"' $$dir/epoch.json || { echo "check-doctor: wrong backend in verdict"; cat $$dir/epoch.json; rm -rf $$dir; exit 1; }; \
+	echo "check-doctor: lfrc retry storm -> bundle -> lfrcdoctor"; \
+	$(GO) run ./cmd/lfrcbench -fault-plan 'core.load:p=0.85' -reclaim lfrc \
+		-dur 500ms -workers 4 -bundle $$dir/lfrc.tar.gz >$$dir/lfrc.log 2>&1 || { echo "check-doctor: retry-storm chaos run failed"; cat $$dir/lfrc.log; rm -rf $$dir; exit 1; }; \
+	$(GO) run ./cmd/lfrcdoctor -json $$dir/lfrc.tar.gz >$$dir/lfrc.json 2>&1; \
+	grep -q '"rule": "retry_storm"' $$dir/lfrc.json || { echo "check-doctor: no retry_storm finding"; cat $$dir/lfrc.json; rm -rf $$dir; exit 1; }; \
+	grep -q '"reclaimer": "lfrc"' $$dir/lfrc.json || { echo "check-doctor: wrong backend in verdict"; cat $$dir/lfrc.json; rm -rf $$dir; exit 1; }; \
+	rm -rf $$dir; echo "check-doctor: PASS"
 
 # Short fuzzing burst per fuzzer (seed corpora always run under `make test`).
 fuzz:

@@ -21,6 +21,7 @@ import (
 	"lfrc/internal/mem"
 	"lfrc/internal/snark"
 	"lfrc/internal/valois"
+	"lfrc/internal/watchdog"
 	"lfrc/internal/workload"
 )
 
@@ -878,6 +879,28 @@ func BenchmarkTimelineCapture(b *testing.B) {
 	}
 	if best > time.Microsecond {
 		b.Fatalf("timeline capture took %v/snapshot at best, budget is 1µs", best)
+	}
+}
+
+// BenchmarkWatchdogQuietPath measures one watchdog rule evaluation over a
+// healthy sample — the incremental cost the always-on watchdog adds to every
+// timeline capture (experiment O6 measures the end-to-end overhead). The
+// quiet path must stay allocation-free: a nonzero allocs/op here means a rule
+// closure started boxing its evidence.
+func BenchmarkWatchdogQuietPath(b *testing.B) {
+	eng := watchdog.New(watchdog.Options{})
+	var in watchdog.Input
+	in.Sample.DurNS = int64(100 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Sample.Seq++
+		in.Sample.TS += in.Sample.DurNS
+		eng.Observe(&in)
+	}
+	b.StopTimer()
+	if st := eng.Stats(); st.Firings != 0 {
+		b.Fatalf("quiet-path benchmark fired %d incidents", st.Firings)
 	}
 }
 

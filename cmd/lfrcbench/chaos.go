@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,8 +25,12 @@ import (
 // fault_schedule= lines identify exactly which attempts were failed, and
 // rerunning with the same seed and plan re-fails the same attempt ordinals at
 // every point.
-func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string, seed uint64, dur time.Duration, workers int) error {
-	sys, err := lfrc.New(
+//
+// A FAIL additionally captures a diagnostic bundle (to bundlePath, or an
+// auto-generated name) and echoes it as a machine-readable "bundle=" line so
+// harnesses can hand the black box straight to cmd/lfrcdoctor.
+func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string, seed uint64, dur time.Duration, workers int, bundlePath string, destroyBudget, heapWords int) error {
+	opts := []lfrc.Option{
 		lfrc.WithEngine(eng),
 		lfrc.WithReclamation(rec),
 		lfrc.WithFaultPlan(plan),
@@ -33,16 +38,61 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
 		lfrc.WithLifecycleLedger(1),
 		lfrc.WithTraceSampling(64),
-		// The telemetry timeline rides along at the default cadence so a
-		// -metrics chaos run serves live limbo/degradation series on
+		// The telemetry timeline rides along at a chaos-friendly cadence
+		// (~10ms instead of the default): chaos runs last fractions of a
+		// second, and the watchdog's windowed rules (limbo_stall needs ten
+		// qualifying samples) must be able to fire inside one. A -metrics
+		// chaos run serves the same samples live on
 		// /debug/lfrc/timeline.json — the epoch backend's limbo backlog
 		// rising and draining is the headline trajectory.
-		lfrc.WithTimeline(lfrc.TimelineOptions{}),
-	)
+		lfrc.WithTimeline(lfrc.TimelineOptions{Interval: 10 * time.Millisecond}),
+		// Probe the census more often than the always-on default for the
+		// same reason: short run, want at least a few cross-checks.
+		lfrc.WithWatchdog(lfrc.WatchdogOptions{CensusProbeEvery: 16}),
+	}
+	if destroyBudget > 0 {
+		opts = append(opts, lfrc.WithIncrementalDestroy(destroyBudget))
+	}
+	if heapWords > 0 {
+		// A deliberately tiny arena turns sustained pushes into genuine
+		// heap-pressure exhaustions — the planted scenario for the
+		// watchdog's heap_exhaustion rule.
+		opts = append(opts, lfrc.WithMaxHeapWords(uint64(heapWords)))
+	}
+	sys, err := lfrc.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	// capture writes the black box: a bundle carrying the timeline,
+	// incidents, census and fault schedule that explain the run, diagnosable
+	// offline by cmd/lfrcdoctor. Every FAIL captures one (auto-named when
+	// -bundle is unset); an explicit -bundle path is written even on PASS so
+	// harnesses can always collect the capsule.
+	capture := func() {
+		path := bundlePath
+		if path == "" {
+			path = fmt.Sprintf("lfrc-chaos-%s-%s.tar.gz", eng, sys.ReclaimerName())
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stdout, "bundle_error=%v\n", err)
+			return
+		}
+		werr := sys.WriteBundle(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stdout, "bundle_error=%v\n", werr)
+			return
+		}
+		fmt.Fprintf(stdout, "bundle=%s\n", path)
+	}
+	fail := func(verdict error) error {
+		capture()
+		return verdict
+	}
 	// Publish for the -metrics mux: a chaos run is exactly when live
 	// /debug/lfrc/timeline.json (and the rest of the surface) matters.
 	workload.SetCurrentSystem(sys)
@@ -128,14 +178,14 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 	case err := <-errc:
 		close(stop)
 		wg.Wait()
-		return err
+		return fail(err)
 	case <-timer.C:
 		close(stop)
 		wg.Wait()
 	}
 	select {
 	case err := <-errc:
-		return err
+		return fail(err)
 	default:
 	}
 
@@ -188,17 +238,20 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 
 	switch {
 	case violations > 0:
-		return fmt.Errorf("chaos: %d lifecycle violations (see postmortems)", violations)
+		return fail(fmt.Errorf("chaos: %d lifecycle violations (see postmortems)", violations))
 	case len(rcAudit) > 0:
-		return fmt.Errorf("chaos: rc audit failed: %s", strings.Join(rcAudit, "; "))
+		return fail(fmt.Errorf("chaos: rc audit failed: %s", strings.Join(rcAudit, "; ")))
 	case postCensus.CycleCount > 0:
-		return fmt.Errorf("chaos: census found %d cycle leaks holding %d bytes (first: %v)",
-			postCensus.CycleCount, postCensus.CycleBytes, cycleMembers(postCensus.Cycles[0]))
+		return fail(fmt.Errorf("chaos: census found %d cycle leaks holding %d bytes (first: %v)",
+			postCensus.CycleCount, postCensus.CycleBytes, cycleMembers(postCensus.Cycles[0])))
 	case postCensus.Unreachable.Objects > 0:
-		return fmt.Errorf("chaos: census found %d unreachable objects (%d bytes) after close+drain",
-			postCensus.Unreachable.Objects, postCensus.Unreachable.Bytes)
+		return fail(fmt.Errorf("chaos: census found %d unreachable objects (%d bytes) after close+drain",
+			postCensus.Unreachable.Objects, postCensus.Unreachable.Bytes))
 	case live != 0:
-		return fmt.Errorf("chaos: %d objects leaked after close", live)
+		return fail(fmt.Errorf("chaos: %d objects leaked after close", live))
+	}
+	if bundlePath != "" {
+		capture()
 	}
 	fmt.Fprintln(stdout, "chaos: PASS (0 violations, clean rc audit, clean census, 0 leaked objects)")
 	return nil

@@ -1,5 +1,5 @@
 // Command lfrcbench runs the reproduction's experiment suite (E1..E9, A1,
-// A2, A3, L1, G1, R2, O1, O2, O3, O4, O5 — see DESIGN.md §4 and EXPERIMENTS.md)
+// A2, A3, L1, G1, R2, O1..O6 — see DESIGN.md §4 and EXPERIMENTS.md)
 // and prints
 // one table per experiment, in the same format EXPERIMENTS.md records. A3's
 // notes include the unified System.Stats snapshot as JSON.
@@ -37,8 +37,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"lfrc"
@@ -46,10 +48,46 @@ import (
 )
 
 func main() {
+	// SIGQUIT is the field escape hatch: instead of the runtime's goroutine
+	// dump, capture a diagnostic bundle of whatever system is currently
+	// published (chaos runs, O-series experiments, -bench-json) so a stuck or
+	// misbehaving run can be frozen for cmd/lfrcdoctor without killing it.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			writeSignalBundle(os.Stderr)
+		}
+	}()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lfrcbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeSignalBundle dumps the published system's bundle to an auto-named file
+// and echoes the machine-readable bundle= line on w.
+func writeSignalBundle(w io.Writer) {
+	sys := workload.CurrentSystem()
+	if sys == nil {
+		fmt.Fprintln(w, "lfrcbench: SIGQUIT: no published system to bundle yet")
+		return
+	}
+	path := fmt.Sprintf("lfrc-sigquit-%d.tar.gz", os.Getpid())
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(w, "lfrcbench: SIGQUIT: %v\n", err)
+		return
+	}
+	werr := sys.WriteBundle(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(w, "lfrcbench: SIGQUIT: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(w, "bundle=%s\n", path)
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -68,6 +106,9 @@ func run(args []string, stdout io.Writer) error {
 		benchRuns = fs.Int("bench-runs", 5, "adjacent runs per workload in -bench-json mode")
 		faultPlan = fs.String("fault-plan", "", "chaos mode: skip the experiment tables and stress all structures under this fault-injection plan (e.g. 'core.*:p=0.01;mem.alloc:every=500')")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-injection seed; same seed and plan replay the same firing schedule")
+		bundle    = fs.String("bundle", "", "chaos mode: write the diagnostic bundle here even on PASS; a FAIL always captures one (auto-named lfrc-chaos-<engine>-<reclaim>.tar.gz when unset)")
+		destroyB  = fs.Int("destroy-budget", 0, "chaos mode: incremental-destroy budget (objects parked per release; 0 = eager)")
+		heapWords = fs.Int("heap-words", 0, "chaos mode: cap the arena at this many words (0 = default) to plant heap-pressure exhaustions")
 		doCensus  = fs.Bool("census", false, "after the run, take a heap census of the published system, drain zombies, take another, and print the summaries plus the diff")
 	)
 	reclaimer := lfrc.ReclaimerLFRC
@@ -119,7 +160,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-fault-plan: pick a single engine (locking or mcas), not both")
 		}
 		nw := workerCounts[len(workerCounts)-1]
-		return runChaos(stdout, lfrc.Engine(kinds[0]), reclaimer, *faultPlan, *faultSeed, *dur, nw)
+		return runChaos(stdout, lfrc.Engine(kinds[0]), reclaimer, *faultPlan, *faultSeed, *dur, nw, *bundle, *destroyB, *heapWords)
 	}
 
 	if benchMode {
@@ -201,6 +242,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if want("O5") {
 			emit(workload.RunO5(kind, sc))
+		}
+		if want("O6") {
+			emit(workload.RunO6(kind, *dur))
 		}
 	}
 	// Engine-sweeping experiments run once.

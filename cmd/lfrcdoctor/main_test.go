@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lfrc"
+)
+
+// captureBundle writes sys's bundle to a file under t.TempDir and returns the
+// path — the doctor only ever sees the tarball, exactly as in the field.
+func captureBundle(t *testing.T, sys *lfrc.System) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.WriteBundle(&buf); err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.tar.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write bundle: %v", err)
+	}
+	return path
+}
+
+// TestDoctorDiagnosesExhaustion: a system driven into heap exhaustion yields a
+// bundle the doctor — offline, from the tarball alone — diagnoses with the
+// right rule, and the offline replay independently corroborates the live
+// watchdog's record.
+func TestDoctorDiagnosesExhaustion(t *testing.T) {
+	sys, err := lfrc.New(
+		lfrc.WithMaxHeapWords(1<<12),
+		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
+		lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		if err := d.PushRight(lfrc.Value(i + 1)); err != nil {
+			if !errors.Is(err, lfrc.ErrOutOfMemory) {
+				t.Fatalf("PushRight: %v", err)
+			}
+			break
+		}
+	}
+	if sys.Stats().Degraded.Exhaustions == 0 {
+		t.Fatal("heap never exhausted")
+	}
+	sys.CaptureTimelineSample()
+
+	path := captureBundle(t, sys)
+	b, err := load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rep := analyze(path, b)
+	if rep.Healthy {
+		t.Fatal("doctor called an exhausted system healthy")
+	}
+
+	var f *finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Rule == "heap_exhaustion" {
+			f = &rep.Findings[i]
+		}
+	}
+	if f == nil {
+		t.Fatalf("no heap_exhaustion finding: %+v", rep.Findings)
+	}
+	if f.Severity != "critical" {
+		t.Errorf("severity = %q, want critical", f.Severity)
+	}
+	srcs := strings.Join(f.Sources, "+")
+	if !strings.Contains(srcs, "replay") || !strings.Contains(srcs, "live") {
+		t.Errorf("sources = %v, want replay corroborating live", f.Sources)
+	}
+	// Findings are ranked: criticals before warnings.
+	for i := 1; i < len(rep.Findings); i++ {
+		if rep.Findings[i].Level > rep.Findings[i-1].Level {
+			t.Errorf("findings not ranked by severity: %+v", rep.Findings)
+		}
+	}
+
+	var human bytes.Buffer
+	printHuman(&human, rep)
+	out := human.String()
+	for _, want := range []string{"UNHEALTHY", "heap_exhaustion", "engine ", "reclaimer "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human verdict lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDoctorHealthyBundle: a quiet instrumented system produces a bundle the
+// doctor pronounces healthy, and the JSON report round-trips.
+func TestDoctorHealthyBundle(t *testing.T) {
+	sys, err := lfrc.New(lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := lfrc.Value(1); i <= 16; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatalf("PushRight: %v", err)
+		}
+	}
+	sys.CaptureTimelineSample()
+	sys.CaptureTimelineSample()
+
+	path := captureBundle(t, sys)
+	b, err := load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rep := analyze(path, b)
+	if !rep.Healthy || len(rep.Findings) != 0 {
+		t.Fatalf("healthy system diagnosed sick: %+v", rep.Findings)
+	}
+
+	var human bytes.Buffer
+	printHuman(&human, rep)
+	if !strings.Contains(human.String(), "HEALTHY") {
+		t.Errorf("human verdict lacks HEALTHY:\n%s", human.String())
+	}
+
+	js, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var back report
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if !back.Healthy || back.Manifest.Engine != rep.Manifest.Engine {
+		t.Errorf("report round-trip lost data: %+v", back)
+	}
+}
+
+// TestDoctorRejectsGarbage: load errors cleanly on missing and non-bundle
+// inputs instead of misdiagnosing them.
+func TestDoctorRejectsGarbage(t *testing.T) {
+	if _, err := load(filepath.Join(t.TempDir(), "nope.tar.gz")); err == nil {
+		t.Error("load of a missing file succeeded")
+	}
+	junk := filepath.Join(t.TempDir(), "junk.tar.gz")
+	if err := os.WriteFile(junk, []byte("this is not a bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(junk); err == nil {
+		t.Error("load of a non-gzip file succeeded")
+	}
+}

@@ -1,7 +1,9 @@
 // Command lfrctop is the live terminal dashboard for an lfrc system: it polls
-// the /debug/lfrc/timeline.json endpoint (see lfrc.WithTimeline and
-// lfrc.NewDebugMux) and redraws sparkline panels for throughput, RC churn,
-// zombie/limbo depth, degradation activity, and the contention heatmap.
+// the /debug/lfrc/timeline.json and /debug/lfrc/incidents.json endpoints (see
+// lfrc.WithTimeline, lfrc.WithWatchdog and lfrc.NewDebugMux) and redraws
+// sparkline panels for throughput, RC churn, zombie/limbo depth, degradation
+// activity, the contention heatmap, and the health watchdog's latest
+// incidents.
 //
 // Usage:
 //
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"lfrc/internal/timeline"
+	"lfrc/internal/watchdog"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 	flag.Parse()
 
 	url := timelineURL(*addr)
+	incURL := incidentsURL(*addr)
 	client := &http.Client{Timeout: 5 * time.Second}
 
 	if *once {
@@ -46,7 +50,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lfrctop: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(render(doc, *window, time.Now()))
+		fmt.Print(render(doc, fetchIncidents(client, incURL), *window, time.Now()))
 		return
 	}
 
@@ -60,7 +64,7 @@ func main() {
 		if err != nil {
 			frame = fmt.Sprintf("lfrctop: %s\n\n%v\n(retrying every %v)\n", url, err, *interval)
 		} else {
-			frame = render(doc, *window, time.Now())
+			frame = render(doc, fetchIncidents(client, incURL), *window, time.Now())
 		}
 		fmt.Print("\x1b[H" + strings.ReplaceAll(frame, "\n", "\x1b[K\n") + "\x1b[J")
 		time.Sleep(*interval)
@@ -73,6 +77,33 @@ func timelineURL(addr string) string {
 		addr = "http://" + addr
 	}
 	return strings.TrimSuffix(addr, "/") + "/debug/lfrc/timeline.json"
+}
+
+// incidentsURL normalizes -addr into the watchdog incidents endpoint URL.
+func incidentsURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/") + "/debug/lfrc/incidents.json"
+}
+
+// fetchIncidents retrieves the watchdog incident document. Best-effort: any
+// error (including a mux predating the endpoint) yields a zero document,
+// which renders as no panel at all.
+func fetchIncidents(client *http.Client, url string) watchdog.Doc {
+	var doc watchdog.Doc
+	resp, err := client.Get(url)
+	if err != nil {
+		return watchdog.Doc{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return watchdog.Doc{}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return watchdog.Doc{}
+	}
+	return doc
 }
 
 // fetch retrieves and decodes one timeline document.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lfrc/internal/timeline"
+	"lfrc/internal/watchdog"
 )
 
 // sparkRunes is the 8-level sparkline alphabet, lowest to highest.
@@ -73,9 +74,62 @@ func panel(title string, vals []float64, unit string) string {
 	return fmt.Sprintf("  %-14s %s  %s %s\n", title, sparkline(vals), fmtCount(cur), unit)
 }
 
-// render builds one complete dashboard frame from a timeline document.
-// Pure text: the caller owns cursor control.
-func render(doc timeline.Doc, window int, now time.Time) string {
+// incidentGlyphs maps watchdog severity levels to panel glyphs.
+func incidentGlyph(level watchdog.Severity) string {
+	switch level {
+	case watchdog.SevCritical:
+		return "✖"
+	case watchdog.SevWarn:
+		return "▲"
+	default:
+		return "•"
+	}
+}
+
+// incidentsPanel renders the watchdog's last few incidents, newest last. An
+// absent or disabled watchdog document renders nothing (older muxes without
+// /debug/lfrc/incidents.json keep the dashboard usable).
+func incidentsPanel(b *strings.Builder, inc watchdog.Doc, keep int, now time.Time) {
+	if !inc.Enabled {
+		return
+	}
+	b.WriteString("\n  incidents (health watchdog)\n")
+	if len(inc.Incidents) == 0 {
+		b.WriteString("    (none — all rules quiet)\n")
+		return
+	}
+	recs := inc.Incidents
+	if len(recs) > keep {
+		recs = recs[len(recs)-keep:]
+	}
+	for _, r := range recs {
+		age := ""
+		if r.LastTS > 0 {
+			age = fmtAge(now.Sub(time.Unix(0, r.LastTS)))
+		}
+		fmt.Fprintf(b, "    %s %-8s %-15s ×%-3d %-5s %s\n",
+			incidentGlyph(r.Level), r.Severity, r.Rule, r.Count, age, r.Message)
+	}
+}
+
+// fmtAge renders an incident age compactly ("3s", "2m", "1h").
+func fmtAge(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "0s"
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	default:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	}
+}
+
+// render builds one complete dashboard frame from a timeline document plus
+// the watchdog's incident document. Pure text: the caller owns cursor
+// control.
+func render(doc timeline.Doc, inc watchdog.Doc, window int, now time.Time) string {
 	var b strings.Builder
 	ss := doc.Samples
 
@@ -132,6 +186,7 @@ func render(doc timeline.Doc, window int, now time.Time) string {
 	if !hot {
 		b.WriteString("    (quiet — no contended cells)\n")
 	}
+	incidentsPanel(&b, inc, 4, now)
 	return b.String()
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"lfrc"
 	"lfrc/internal/timeline"
+	"lfrc/internal/watchdog"
 )
 
 func TestSparklineScaling(t *testing.T) {
@@ -66,8 +67,25 @@ func sampleDoc() timeline.Doc {
 	}
 }
 
+// sampleIncidents builds a synthetic watchdog incident document: one stale
+// warning and one fresh critical, as the panel would see mid-incident.
+func sampleIncidents() watchdog.Doc {
+	return watchdog.Doc{
+		SchemaVersion: watchdog.SchemaVersion,
+		Enabled:       true,
+		Incidents: []watchdog.Incident{
+			{ID: 1, Rule: "retry_storm", Severity: "warn", Level: watchdog.SevWarn,
+				Message: "retry p99 held at 12 (threshold 8) across 5 intervals",
+				Count:   3, LastTS: time.Unix(100, 0).UnixNano()},
+			{ID: 2, Rule: "limbo_stall", Severity: "critical", Level: watchdog.SevCritical,
+				Message: "limbo grew 80→1880 over 1.0s with zero drains",
+				Count:   1, LastTS: time.Unix(175, 0).UnixNano()},
+		},
+	}
+}
+
 func TestRenderFrame(t *testing.T) {
-	frame := render(sampleDoc(), 60, time.Unix(0, 0))
+	frame := render(sampleDoc(), watchdog.Doc{}, 60, time.Unix(0, 0))
 	for _, want := range []string{
 		"lfrctop", "schema v1", "throughput", "rc churn", "zombie/limbo",
 		"degradation", "contention heatmap", "0x40", "right_hat",
@@ -86,14 +104,54 @@ func TestRenderFrame(t *testing.T) {
 	if strings.Contains(frame, "\x1b") {
 		t.Error("render output contains ANSI escapes; cursor control belongs to the caller")
 	}
+	// Without a watchdog document there must be no incidents panel at all.
+	if strings.Contains(frame, "incidents") {
+		t.Errorf("frame renders an incidents panel without a watchdog doc:\n%s", frame)
+	}
+}
+
+// TestRenderIncidentsPanel: the panel shows the newest incidents with the
+// right severity glyphs, firing counts, and ages relative to the frame time.
+func TestRenderIncidentsPanel(t *testing.T) {
+	now := time.Unix(180, 0)
+	frame := render(sampleDoc(), sampleIncidents(), 60, now)
+	for _, want := range []string{
+		"incidents (health watchdog)",
+		"▲ warn     retry_storm     ×3   1m",
+		"✖ critical limbo_stall     ×1   5s",
+		"limbo grew 80→1880",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// An enabled watchdog with nothing on the books says so explicitly.
+	frame = render(sampleDoc(), watchdog.Doc{Enabled: true}, 60, now)
+	if !strings.Contains(frame, "all rules quiet") {
+		t.Errorf("quiet watchdog frame missing placeholder:\n%s", frame)
+	}
+
+	// The panel keeps only the newest few records.
+	doc := watchdog.Doc{Enabled: true}
+	for i := 1; i <= 9; i++ {
+		doc.Incidents = append(doc.Incidents, watchdog.Incident{
+			ID: int64(i), Rule: "retry_storm", Severity: "warn",
+			Level: watchdog.SevWarn, Message: "m", Count: int64(i),
+		})
+	}
+	frame = render(sampleDoc(), doc, 60, now)
+	if strings.Contains(frame, "×5 ") || !strings.Contains(frame, "×9 ") {
+		t.Errorf("panel should keep only the newest incidents:\n%s", frame)
+	}
 }
 
 func TestRenderDisabledAndEmpty(t *testing.T) {
-	frame := render(timeline.Doc{SchemaVersion: 1}, 60, time.Unix(0, 0))
+	frame := render(timeline.Doc{SchemaVersion: 1}, watchdog.Doc{}, 60, time.Unix(0, 0))
 	if !strings.Contains(frame, "timeline disabled") {
 		t.Errorf("disabled frame = %q", frame)
 	}
-	frame = render(timeline.Doc{SchemaVersion: 1, Enabled: true}, 60, time.Unix(0, 0))
+	frame = render(timeline.Doc{SchemaVersion: 1, Enabled: true}, watchdog.Doc{}, 60, time.Unix(0, 0))
 	if !strings.Contains(frame, "no samples yet") {
 		t.Errorf("empty frame = %q", frame)
 	}
@@ -102,7 +160,10 @@ func TestRenderDisabledAndEmpty(t *testing.T) {
 // TestFetchAgainstLiveMux polls a real system's debug mux end to end — the
 // exact path the dashboard takes.
 func TestFetchAgainstLiveMux(t *testing.T) {
-	sys, err := lfrc.New(lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}))
+	sys, err := lfrc.New(
+		lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}),
+		lfrc.WithWatchdog(lfrc.WatchdogOptions{}),
+	)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -120,9 +181,16 @@ func TestFetchAgainstLiveMux(t *testing.T) {
 	if !doc.Enabled || len(doc.Samples) != 2 {
 		t.Fatalf("doc = enabled %v, %d samples; want enabled with 2", doc.Enabled, len(doc.Samples))
 	}
-	frame := render(doc, 60, time.Unix(0, 0))
+	inc := fetchIncidents(&http.Client{}, incidentsURL(srv.URL))
+	if !inc.Enabled {
+		t.Error("incidents doc not enabled on a watchdog-bearing system")
+	}
+	frame := render(doc, inc, 60, time.Unix(0, 0))
 	if !strings.Contains(frame, "throughput") {
 		t.Errorf("live frame missing panels:\n%s", frame)
+	}
+	if !strings.Contains(frame, "all rules quiet") {
+		t.Errorf("live frame missing incidents panel:\n%s", frame)
 	}
 }
 

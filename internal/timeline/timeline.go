@@ -380,6 +380,17 @@ func WithRoleNames(f func(uint8) string) Option {
 	return func(s *Sampler) { s.roleName = f }
 }
 
+// WithOnSample installs a post-publication hook: after each capture is
+// delta-converted and published into the ring, fn is called with the
+// published sample (delta form, Seq set). It runs on the capture path under
+// the writer lock, so it inherits the capture contract: it must not block,
+// allocate on its quiet path, or call back into the Sampler. The health
+// watchdog rides this hook so it evaluates exactly once per interval with no
+// cadence of its own.
+func WithOnSample(fn func(*Sample)) Option {
+	return func(s *Sampler) { s.onSample = fn }
+}
+
 // Sampler owns the ring and the capture cadence. Create with New, then
 // Start/Stop the background goroutine (or drive it manually with CaptureNow
 // in tests and benchmarks). All read methods are safe for concurrent use
@@ -387,6 +398,7 @@ func WithRoleNames(f func(uint8) string) Option {
 type Sampler struct {
 	capture  func(*Sample)
 	roleName func(uint8) string
+	onSample func(*Sample)
 	interval time.Duration
 
 	ring []slot
@@ -515,6 +527,9 @@ func (s *Sampler) CaptureNow() {
 	s.prevSet = true
 	out.Seq = s.pos.Add(1)
 	s.ring[(out.Seq-1)&s.mask].store(out, &s.scratch)
+	if s.onSample != nil {
+		s.onSample(out)
+	}
 	s.mu.Unlock()
 }
 

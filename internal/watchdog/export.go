@@ -1,0 +1,63 @@
+package watchdog
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SchemaVersion is the incidents.json document schema version; bump on any
+// incompatible field change (the schema is locked by a golden test).
+const SchemaVersion = 1
+
+// RuleInfo is one rule's descriptor as rendered in the document.
+type RuleInfo struct {
+	Name     string   `json:"name"`
+	Severity string   `json:"severity"`
+	Level    Severity `json:"level"`
+	Window   int      `json:"window"`
+	Help     string   `json:"help"`
+}
+
+// Doc is the incidents.json document: the engine's accounting, the active
+// rule set, and the retained incidents (oldest first).
+type Doc struct {
+	SchemaVersion int        `json:"schema_version"`
+	Enabled       bool       `json:"enabled"`
+	Stats         Stats      `json:"stats"`
+	Rules         []RuleInfo `json:"rules"`
+	Incidents     []Incident `json:"incidents"`
+}
+
+// Document snapshots the engine as a Doc. Nil-safe: a nil engine yields a
+// valid document with Enabled false and empty (non-null) lists.
+func (e *Engine) Document() Doc {
+	d := Doc{
+		SchemaVersion: SchemaVersion,
+		Rules:         []RuleInfo{},
+		Incidents:     []Incident{},
+	}
+	if e == nil {
+		return d
+	}
+	d.Enabled = true
+	d.Stats = e.Stats()
+	for i := range e.rules {
+		r := &e.rules[i]
+		d.Rules = append(d.Rules, RuleInfo{
+			Name:     r.Name,
+			Severity: r.Severity.String(),
+			Level:    r.Severity,
+			Window:   r.Window,
+			Help:     r.Help,
+		})
+	}
+	d.Incidents = e.Incidents()
+	return d
+}
+
+// WriteJSON writes the document, indented. Nil-safe.
+func (e *Engine) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.Document())
+}

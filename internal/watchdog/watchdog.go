@@ -1,0 +1,493 @@
+// Package watchdog is the always-on health evaluator: a declarative rule set
+// run over the telemetry timeline, turning threshold crossings into
+// structured, rate-limited Incidents.
+//
+// The engine owns no goroutine and no clock. It is driven by whoever owns a
+// cadence — online that is the timeline sampler's capture tick (the root
+// package installs Observe as the sampler's on-sample hook), offline it is
+// cmd/lfrcdoctor replaying a bundle's decoded samples. Time comes exclusively
+// from the samples themselves (Sample.TS), so a replayed evaluation reaches
+// bit-identical verdicts to the live one.
+//
+// Like every observer layer before it (obs, timeline), the watchdog must not
+// perturb what it watches: Observe allocates nothing on the quiet path — a
+// fixed rule walk over scalar fields under one mutex. Allocation (message
+// formatting, incident records) happens only when a rule actually fires,
+// which is by definition not the steady state.
+package watchdog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lfrc/internal/contend"
+	"lfrc/internal/timeline"
+)
+
+// Severity ranks incidents. Higher is worse.
+type Severity uint8
+
+// Severities.
+const (
+	SevInfo     Severity = 1
+	SevWarn     Severity = 2
+	SevCritical Severity = 3
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Input is one evaluation tick: the interval's timeline sample plus the
+// signals that live outside the sample — the flight recorder's cumulative
+// postmortem count and, on probe ticks, the census cross-check results.
+type Input struct {
+	// Sample is the interval's delta sample (counters are per-interval
+	// deltas, gauges instantaneous; see timeline.Sample).
+	Sample timeline.Sample
+
+	// Postmortems is the cumulative postmortem count at capture time (the
+	// postmortem rule fires on increases between ticks).
+	Postmortems uint64
+
+	// Probed reports that a census probe ran this tick; the Census* fields
+	// are meaningful only then.
+	Probed            bool
+	CensusMismatches  int64
+	CensusCycles      int64
+	CensusCycleBytes  int64
+	CensusUnreachable int64
+}
+
+// Rule is one declarative health check. Cond is evaluated once per tick; it
+// must not allocate. After Window consecutive qualifying ticks the rule
+// fires, producing (or coalescing into) an Incident.
+type Rule struct {
+	// Name identifies the rule in incidents, metrics, and verdicts.
+	Name string
+
+	// Severity is the incidents' rank.
+	Severity Severity
+
+	// Help is the one-line description rendered in incidents.json.
+	Help string
+
+	// Window is how many consecutive qualifying ticks arm the rule
+	// (1 = fire on the first).
+	Window int
+
+	// Cond reports whether the tick qualifies, plus the primary and
+	// secondary evidence values. prev is the previous tick's input (nil on
+	// the first tick).
+	Cond func(prev, in *Input) (ok bool, value, aux int64)
+
+	// Format renders the incident's human message from its evidence.
+	Format func(inc *Incident) string
+}
+
+// Incident is one structured finding: a rule that held for its full window,
+// with the evidence values at the start and end of the qualifying streak.
+// Re-firings within the engine's cooldown coalesce into the open incident
+// (Count, Value, LastTS, ToSeq advance) rather than minting a new record.
+type Incident struct {
+	// ID is the engine-unique incident ordinal (1-based).
+	ID int64 `json:"id"`
+
+	// Rule and severity identify what fired.
+	Rule     string   `json:"rule"`
+	Severity string   `json:"severity"`
+	Level    Severity `json:"level"`
+
+	// Message is the rendered human evidence line.
+	Message string `json:"message"`
+
+	// Count is how many firings this record has absorbed (>= 1).
+	Count int64 `json:"count"`
+
+	// First/Value are the rule's primary evidence value at the start of the
+	// qualifying streak and at the most recent firing; Aux is the rule's
+	// secondary evidence (rule-specific; 0 when unused).
+	First int64 `json:"first_value"`
+	Value int64 `json:"value"`
+	Aux   int64 `json:"aux"`
+
+	// The evidence window: sample sequence numbers and capture timestamps
+	// (ns since the Unix epoch) from the start of the qualifying streak to
+	// the most recent firing, plus the rule's arming window in ticks.
+	FromSeq uint64 `json:"from_seq"`
+	ToSeq   uint64 `json:"to_seq"`
+	FirstTS int64  `json:"first_ts"`
+	LastTS  int64  `json:"last_ts"`
+	Window  int    `json:"window"`
+}
+
+// Default rule thresholds.
+const (
+	// DefaultRetryP99Threshold is the sampled retry-count p99 at or above
+	// which the retry_storm rule starts counting.
+	DefaultRetryP99Threshold = 8
+
+	// DefaultLimboMin is the deferred-reclamation backlog below which the
+	// limbo_stall rule never arms (small backlogs are normal).
+	DefaultLimboMin = 64
+)
+
+// hotIsRC reports whether a heatmap cell is an rc-role cell. Online samples
+// carry only the numeric role id (the capture path must not touch strings);
+// decoded offline samples carry only the rendered name.
+func hotIsRC(h *timeline.HotCell) bool {
+	if h.Addr == 0 {
+		return false
+	}
+	if h.Role != "" {
+		return h.Role == contend.RoleRC.String()
+	}
+	return h.RoleID == uint8(contend.RoleRC)
+}
+
+// DefaultRules is the standard rule set: the paper's invariants and the
+// failure modes PRs 2–8 made visible, as watchable conditions.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "retry_storm", Severity: SevWarn, Window: 5,
+			Help: "sampled DCAS retry p99 held at or above threshold for a sustained window",
+			Cond: func(_, in *Input) (bool, int64, int64) {
+				return in.Sample.RetryP99 >= DefaultRetryP99Threshold, in.Sample.RetryP99, 0
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("retry p99 held at %d (threshold %d) across %d intervals",
+					inc.Value, int64(DefaultRetryP99Threshold), inc.Count+int64(inc.Window)-1)
+			},
+		},
+		{
+			Name: "limbo_stall", Severity: SevCritical, Window: 10,
+			Help: "deferred-reclamation backlog rising (or pinned) with zero frees for a full window",
+			Cond: func(prev, in *Input) (bool, int64, int64) {
+				p := in.Sample.ReclaimPending
+				if p < DefaultLimboMin || in.Sample.ReclaimFreed != 0 {
+					return false, 0, 0
+				}
+				if prev != nil && p < prev.Sample.ReclaimPending {
+					return false, 0, 0
+				}
+				return true, p, 0
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("limbo grew %d→%d over %.1fs with zero drains",
+					inc.First, inc.Value, float64(inc.LastTS-inc.FirstTS)/1e9)
+			},
+		},
+		{
+			Name: "heap_exhaustion", Severity: SevCritical, Window: 1,
+			Help: "operations failed even after the full heap-pressure degradation policy",
+			Cond: func(_, in *Input) (bool, int64, int64) {
+				return in.Sample.DegExhaustions > 0, in.Sample.DegExhaustions, 0
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("%d operation(s) exhausted the full heap-pressure policy", inc.Value)
+			},
+		},
+		{
+			Name: "postmortem", Severity: SevCritical, Window: 1,
+			Help: "the flight recorder captured new violation postmortems (auditor findings or poison corruptions)",
+			Cond: func(prev, in *Input) (bool, int64, int64) {
+				if prev == nil {
+					return false, 0, 0
+				}
+				d := int64(in.Postmortems) - int64(prev.Postmortems)
+				return d > 0, d, int64(in.Postmortems)
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("%d new violation postmortem(s) captured (%d total)", inc.Value, inc.Aux)
+			},
+		},
+		{
+			Name: "rc_mismatch", Severity: SevCritical, Window: 1,
+			Help: "a census probe found stored reference counts disagreeing with actual in-edges",
+			Cond: func(_, in *Input) (bool, int64, int64) {
+				return in.Probed && in.CensusMismatches > 0, in.CensusMismatches, in.CensusUnreachable
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("census probe found %d stored-RC vs in-edge mismatch(es)", inc.Value)
+			},
+		},
+		{
+			Name: "cycle_leak", Severity: SevCritical, Window: 1,
+			Help: "a census probe found unreachable reference-counted cycles (garbage LFRC can never free)",
+			Cond: func(_, in *Input) (bool, int64, int64) {
+				return in.Probed && in.CensusCycles > 0, in.CensusCycles, in.CensusCycleBytes
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("census probe found %d unreachable cycle(s) holding %d bytes", inc.Value, inc.Aux)
+			},
+		},
+		{
+			Name: "rc_hotspot", Severity: SevWarn, Window: 3,
+			Help: "the contention heatmap's hottest cell is an rc-role cell (the paper's known DCAS hot spot)",
+			Cond: func(_, in *Input) (bool, int64, int64) {
+				h := &in.Sample.Hot[0]
+				return hotIsRC(h), h.Hot, h.Failures
+			},
+			Format: func(inc *Incident) string {
+				return fmt.Sprintf("hottest contention cell is an rc cell (hot score %d, %d attributed failures)",
+					inc.Value, inc.Aux)
+			},
+		},
+	}
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxIncidents = 64
+	DefaultCooldown     = 5 * time.Second
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Rules is the rule set; nil selects DefaultRules.
+	Rules []Rule
+
+	// MaxIncidents bounds the retained incident records (oldest evicted);
+	// 0 selects DefaultMaxIncidents.
+	MaxIncidents int
+
+	// Cooldown is the per-rule rate limit: re-firings within it coalesce
+	// into the rule's open incident instead of minting a new record.
+	// 0 selects DefaultCooldown; negative disables coalescing.
+	Cooldown time.Duration
+
+	// OnIncident, when set, is called with each newly minted incident
+	// (not coalesced re-firings), synchronously under the engine lock —
+	// implementations that do real work must hand off to a goroutine.
+	OnIncident func(Incident)
+}
+
+// ruleState is one rule's streak accounting.
+type ruleState struct {
+	streak    int
+	firstVal  int64
+	firstTS   int64
+	fromSeq   uint64
+	lastIncID int64
+}
+
+// Engine evaluates a rule set over a stream of Inputs. Create with New; feed
+// it with Observe; read back with Incidents, Stats, and Document. All methods
+// are safe for concurrent use and nil-safe.
+type Engine struct {
+	mu       sync.Mutex
+	rules    []Rule
+	states   []ruleState
+	prev     Input
+	havePrev bool
+
+	incidents []Incident // oldest first, bounded by maxIncidents
+	nextID    int64
+
+	evals     uint64
+	probes    uint64
+	firings   uint64
+	created   uint64
+	coalesced uint64
+	dropped   uint64
+	lastTS    int64
+
+	maxIncidents int
+	cooldownNS   int64
+	onIncident   func(Incident)
+}
+
+// New creates an Engine.
+func New(o Options) *Engine {
+	rules := o.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	maxInc := o.MaxIncidents
+	if maxInc <= 0 {
+		maxInc = DefaultMaxIncidents
+	}
+	cd := o.Cooldown
+	if cd == 0 {
+		cd = DefaultCooldown
+	}
+	return &Engine{
+		rules:        rules,
+		states:       make([]ruleState, len(rules)),
+		incidents:    make([]Incident, 0, maxInc),
+		maxIncidents: maxInc,
+		cooldownNS:   int64(cd),
+		onIncident:   o.OnIncident,
+	}
+}
+
+// Observe evaluates every rule against one tick. Quiet path (no rule firing)
+// allocates nothing. Nil-safe.
+func (e *Engine) Observe(in *Input) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.evals++
+	if in.Probed {
+		e.probes++
+	}
+	var prev *Input
+	if e.havePrev {
+		prev = &e.prev
+	}
+	for i := range e.rules {
+		r := &e.rules[i]
+		st := &e.states[i]
+		ok, val, aux := r.Cond(prev, in)
+		if !ok {
+			st.streak = 0
+			continue
+		}
+		if st.streak == 0 {
+			st.firstVal = val
+			st.firstTS = in.Sample.TS
+			st.fromSeq = in.Sample.Seq
+		}
+		st.streak++
+		if st.streak < r.Window {
+			continue
+		}
+		e.fire(r, st, in, val, aux)
+	}
+	e.prev = *in
+	e.havePrev = true
+	e.mu.Unlock()
+}
+
+// fire records one rule firing: coalesce into the rule's open incident while
+// inside the cooldown, else mint a new record. Called with e.mu held.
+func (e *Engine) fire(r *Rule, st *ruleState, in *Input, val, aux int64) {
+	e.firings++
+	e.lastTS = in.Sample.TS
+	if st.lastIncID != 0 && e.cooldownNS > 0 {
+		if inc := e.findLocked(st.lastIncID); inc != nil && in.Sample.TS-inc.LastTS <= e.cooldownNS {
+			inc.Count++
+			inc.Value = val
+			inc.Aux = aux
+			inc.LastTS = in.Sample.TS
+			inc.ToSeq = in.Sample.Seq
+			inc.Message = r.Format(inc)
+			e.coalesced++
+			return
+		}
+	}
+	e.nextID++
+	inc := Incident{
+		ID:       e.nextID,
+		Rule:     r.Name,
+		Severity: r.Severity.String(),
+		Level:    r.Severity,
+		Count:    1,
+		First:    st.firstVal,
+		Value:    val,
+		Aux:      aux,
+		FromSeq:  st.fromSeq,
+		ToSeq:    in.Sample.Seq,
+		FirstTS:  st.firstTS,
+		LastTS:   in.Sample.TS,
+		Window:   r.Window,
+	}
+	inc.Message = r.Format(&inc)
+	if len(e.incidents) == e.maxIncidents {
+		copy(e.incidents, e.incidents[1:])
+		e.incidents = e.incidents[:e.maxIncidents-1]
+		e.dropped++
+	}
+	e.incidents = append(e.incidents, inc)
+	st.lastIncID = inc.ID
+	e.created++
+	if e.onIncident != nil {
+		e.onIncident(inc)
+	}
+}
+
+// findLocked returns the retained incident with the given id, or nil if
+// eviction has dropped it. Called with e.mu held.
+func (e *Engine) findLocked(id int64) *Incident {
+	for i := range e.incidents {
+		if e.incidents[i].ID == id {
+			return &e.incidents[i]
+		}
+	}
+	return nil
+}
+
+// Incidents returns the retained incident records, oldest first. Nil-safe.
+func (e *Engine) Incidents() []Incident {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	out := make([]Incident, len(e.incidents))
+	copy(out, e.incidents)
+	e.mu.Unlock()
+	return out
+}
+
+// Stats is the engine's own accounting (the lfrc_watchdog_* meta-metrics).
+type Stats struct {
+	// Enabled reports whether a watchdog is installed.
+	Enabled bool `json:"enabled"`
+
+	// Rules is the rule-set size.
+	Rules int `json:"rules"`
+
+	// Evals counts Observe ticks; CensusProbes the ticks that carried
+	// census cross-check data.
+	Evals        uint64 `json:"evals"`
+	CensusProbes uint64 `json:"census_probes"`
+
+	// Firings counts rule firings (including coalesced ones); Incidents the
+	// incident records minted; Coalesced the firings absorbed into open
+	// incidents; Dropped the records evicted by the retention bound.
+	Firings   uint64 `json:"firings"`
+	Incidents uint64 `json:"incidents"`
+	Coalesced uint64 `json:"coalesced"`
+	Dropped   uint64 `json:"dropped"`
+
+	// Retained is the current record count; LastIncidentTS the most recent
+	// firing's sample timestamp (0 = never).
+	Retained       int   `json:"retained"`
+	LastIncidentTS int64 `json:"last_incident_ts"`
+}
+
+// Stats snapshots the engine's accounting. Nil-safe (zero Stats, Enabled
+// false).
+func (e *Engine) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	e.mu.Lock()
+	st := Stats{
+		Enabled:        true,
+		Rules:          len(e.rules),
+		Evals:          e.evals,
+		CensusProbes:   e.probes,
+		Firings:        e.firings,
+		Incidents:      e.created,
+		Coalesced:      e.coalesced,
+		Dropped:        e.dropped,
+		Retained:       len(e.incidents),
+		LastIncidentTS: e.lastTS,
+	}
+	e.mu.Unlock()
+	return st
+}

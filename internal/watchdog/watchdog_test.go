@@ -1,0 +1,312 @@
+package watchdog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"lfrc/internal/contend"
+	"lfrc/internal/timeline"
+)
+
+// tick builds a quiet input at a given ordinal (100ms cadence).
+func tick(seq uint64) *Input {
+	return &Input{Sample: timeline.Sample{
+		Seq:   seq,
+		TS:    int64(seq) * int64(100*time.Millisecond),
+		DurNS: int64(100 * time.Millisecond),
+	}}
+}
+
+func findIncident(incs []Incident, rule string) *Incident {
+	for i := range incs {
+		if incs[i].Rule == rule {
+			return &incs[i]
+		}
+	}
+	return nil
+}
+
+// TestQuietPathAllocatesNothing: Observe with no rule firing is on the
+// timeline capture path and must not allocate.
+func TestQuietPathAllocatesNothing(t *testing.T) {
+	e := New(Options{})
+	in := tick(1)
+	e.Observe(in) // warm the prev buffer
+	n := testing.AllocsPerRun(1000, func() {
+		in.Sample.Seq++
+		in.Sample.TS += int64(100 * time.Millisecond)
+		e.Observe(in)
+	})
+	if n != 0 {
+		t.Fatalf("quiet Observe allocates %v times per run, want 0", n)
+	}
+	if got := e.Stats().Incidents; got != 0 {
+		t.Fatalf("quiet run minted %d incidents", got)
+	}
+}
+
+// TestRetryStormWindow: the rule needs its full consecutive window; a single
+// calm tick resets the streak.
+func TestRetryStormWindow(t *testing.T) {
+	e := New(Options{})
+	seq := uint64(0)
+	hot := func() *Input {
+		seq++
+		in := tick(seq)
+		in.Sample.RetryP99 = DefaultRetryP99Threshold + 1
+		return in
+	}
+	calm := func() *Input { seq++; return tick(seq) }
+
+	for i := 0; i < 4; i++ {
+		e.Observe(hot())
+	}
+	e.Observe(calm()) // breaks the streak at 4/5
+	for i := 0; i < 4; i++ {
+		e.Observe(hot())
+	}
+	if n := len(e.Incidents()); n != 0 {
+		t.Fatalf("rule fired with a broken streak: %d incidents", n)
+	}
+	e.Observe(hot()) // 5th consecutive
+	incs := e.Incidents()
+	inc := findIncident(incs, "retry_storm")
+	if inc == nil {
+		t.Fatalf("no retry_storm incident after a full window: %+v", incs)
+	}
+	if inc.Severity != "warn" || inc.Level != SevWarn {
+		t.Errorf("severity = %s/%d", inc.Severity, inc.Level)
+	}
+	if inc.ToSeq-inc.FromSeq != 4 {
+		t.Errorf("evidence window [%d,%d], want 5 ticks", inc.FromSeq, inc.ToSeq)
+	}
+}
+
+// TestLimboStallEvidence: fires after ten non-decreasing zero-free ticks and
+// renders the growth range in the message.
+func TestLimboStallEvidence(t *testing.T) {
+	e := New(Options{})
+	pending := int64(80)
+	for i := uint64(1); i <= 10; i++ {
+		in := tick(i)
+		in.Sample.ReclaimPending = pending
+		pending += 200
+		e.Observe(in)
+	}
+	inc := findIncident(e.Incidents(), "limbo_stall")
+	if inc == nil {
+		t.Fatalf("no limbo_stall incident: %+v", e.Incidents())
+	}
+	if inc.First != 80 || inc.Value != 80+9*200 {
+		t.Errorf("evidence %d→%d, want 80→%d", inc.First, inc.Value, 80+9*200)
+	}
+	if !strings.Contains(inc.Message, "limbo grew 80→1880") || !strings.Contains(inc.Message, "zero drains") {
+		t.Errorf("message = %q", inc.Message)
+	}
+
+	// Any interval that actually freed resets the streak.
+	e2 := New(Options{})
+	for i := uint64(1); i <= 20; i++ {
+		in := tick(i)
+		in.Sample.ReclaimPending = 1000
+		if i%5 == 0 {
+			in.Sample.ReclaimFreed = 3
+		}
+		e2.Observe(in)
+	}
+	if n := len(e2.Incidents()); n != 0 {
+		t.Errorf("limbo_stall fired despite periodic drains: %d incidents", n)
+	}
+}
+
+// TestPostmortemDelta: fires on increases of the cumulative count, not on a
+// pre-existing baseline.
+func TestPostmortemDelta(t *testing.T) {
+	e := New(Options{})
+	in := tick(1)
+	in.Postmortems = 7 // pre-existing at attach time: baseline, not news
+	e.Observe(in)
+	if n := len(e.Incidents()); n != 0 {
+		t.Fatalf("fired on the baseline tick: %d incidents", n)
+	}
+	in = tick(2)
+	in.Postmortems = 9
+	e.Observe(in)
+	inc := findIncident(e.Incidents(), "postmortem")
+	if inc == nil {
+		t.Fatal("no postmortem incident on count increase")
+	}
+	if inc.Value != 2 || inc.Aux != 9 {
+		t.Errorf("delta/total = %d/%d, want 2/9", inc.Value, inc.Aux)
+	}
+}
+
+// TestCensusRulesNeedProbe: census evidence only counts on probe ticks.
+func TestCensusRulesNeedProbe(t *testing.T) {
+	e := New(Options{})
+	in := tick(1)
+	in.CensusMismatches = 3
+	in.CensusCycles = 2
+	in.CensusCycleBytes = 512
+	e.Observe(in) // stale census fields without Probed: ignored
+	if n := len(e.Incidents()); n != 0 {
+		t.Fatalf("census rules fired without a probe: %d incidents", n)
+	}
+	in = tick(2)
+	in.Probed = true
+	in.CensusMismatches = 3
+	in.CensusCycles = 2
+	in.CensusCycleBytes = 512
+	e.Observe(in)
+	if inc := findIncident(e.Incidents(), "rc_mismatch"); inc == nil || inc.Value != 3 {
+		t.Errorf("rc_mismatch = %+v", inc)
+	}
+	inc := findIncident(e.Incidents(), "cycle_leak")
+	if inc == nil || inc.Value != 2 || inc.Aux != 512 {
+		t.Fatalf("cycle_leak = %+v", inc)
+	}
+	if !strings.Contains(inc.Message, "2 unreachable cycle(s) holding 512 bytes") {
+		t.Errorf("message = %q", inc.Message)
+	}
+}
+
+// TestRCHotspotBothEncodings: online samples carry only the numeric role id,
+// decoded offline samples only the rendered name; the rule must match both.
+func TestRCHotspotBothEncodings(t *testing.T) {
+	for name, cell := range map[string]timeline.HotCell{
+		"online":  {Addr: 0x40, RoleID: uint8(contend.RoleRC), Hot: 99, Failures: 1234},
+		"offline": {Addr: 0x40, Role: "rc", Hot: 99, Failures: 1234},
+	} {
+		e := New(Options{})
+		for i := uint64(1); i <= 3; i++ {
+			in := tick(i)
+			in.Sample.Hot[0] = cell
+			e.Observe(in)
+		}
+		inc := findIncident(e.Incidents(), "rc_hotspot")
+		if inc == nil {
+			t.Fatalf("%s: no rc_hotspot incident", name)
+		}
+		if inc.Value != 99 || inc.Aux != 1234 {
+			t.Errorf("%s: evidence = %d/%d", name, inc.Value, inc.Aux)
+		}
+	}
+	// A non-rc hottest cell must not fire even with an rc cell at rank 2.
+	e := New(Options{})
+	for i := uint64(1); i <= 6; i++ {
+		in := tick(i)
+		in.Sample.Hot[0] = timeline.HotCell{Addr: 0x8, Role: "right_hat", Hot: 200}
+		in.Sample.Hot[1] = timeline.HotCell{Addr: 0x40, Role: "rc", Hot: 100}
+		e.Observe(in)
+	}
+	if n := len(e.Incidents()); n != 0 {
+		t.Errorf("rc_hotspot fired on a non-rc top cell: %d incidents", n)
+	}
+}
+
+// TestCooldownCoalescing: firings inside the cooldown fold into the open
+// incident; past it a fresh record is minted.
+func TestCooldownCoalescing(t *testing.T) {
+	e := New(Options{Cooldown: time.Second})
+	fire := func(seq uint64) {
+		in := tick(seq)
+		in.Sample.DegExhaustions = 1
+		e.Observe(in)
+	}
+	fire(1)
+	fire(2) // 100ms later: coalesces
+	fire(3)
+	incs := e.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("got %d incident records inside the cooldown, want 1", len(incs))
+	}
+	if incs[0].Count != 3 || incs[0].ToSeq != 3 {
+		t.Errorf("coalesced incident = %+v", incs[0])
+	}
+	fire(3 + 11) // 1.1s after the last firing: past the cooldown
+	incs = e.Incidents()
+	if len(incs) != 2 {
+		t.Fatalf("got %d incident records past the cooldown, want 2", len(incs))
+	}
+	st := e.Stats()
+	if st.Firings != 4 || st.Incidents != 2 || st.Coalesced != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestRetentionBound: the record ring evicts oldest and counts drops.
+func TestRetentionBound(t *testing.T) {
+	e := New(Options{MaxIncidents: 4, Cooldown: -1}) // no coalescing
+	for i := uint64(1); i <= 10; i++ {
+		in := tick(i)
+		in.Sample.DegExhaustions = 1
+		e.Observe(in)
+	}
+	incs := e.Incidents()
+	if len(incs) != 4 {
+		t.Fatalf("retained %d, want 4", len(incs))
+	}
+	if incs[0].ID != 7 || incs[3].ID != 10 {
+		t.Errorf("retained IDs %d..%d, want 7..10", incs[0].ID, incs[3].ID)
+	}
+	if st := e.Stats(); st.Dropped != 6 {
+		t.Errorf("dropped = %d, want 6", st.Dropped)
+	}
+}
+
+// TestDocumentJSON: the document round-trips and a nil engine still renders a
+// valid disabled document.
+func TestDocumentJSON(t *testing.T) {
+	e := New(Options{})
+	in := tick(1)
+	in.Sample.DegExhaustions = 2
+	e.Observe(in)
+
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var d Doc
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if d.SchemaVersion != SchemaVersion || !d.Enabled || len(d.Rules) != len(DefaultRules()) || len(d.Incidents) != 1 {
+		t.Errorf("doc = %+v", d)
+	}
+	if d.Incidents[0].Rule != "heap_exhaustion" || d.Incidents[0].Severity != "critical" {
+		t.Errorf("incident = %+v", d.Incidents[0])
+	}
+
+	buf.Reset()
+	var nilEngine *Engine
+	if err := nilEngine.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("nil round-trip: %v", err)
+	}
+	if d.Enabled || d.Rules == nil || d.Incidents == nil {
+		t.Errorf("nil doc = %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"incidents": []`) {
+		t.Errorf("nil doc incidents not an empty array:\n%s", buf.String())
+	}
+}
+
+// TestOnIncidentCallback fires for minted records only, not coalesced
+// re-firings.
+func TestOnIncidentCallback(t *testing.T) {
+	var got []Incident
+	e := New(Options{OnIncident: func(inc Incident) { got = append(got, inc) }})
+	for i := uint64(1); i <= 3; i++ {
+		in := tick(i)
+		in.Sample.DegExhaustions = 1
+		e.Observe(in)
+	}
+	if len(got) != 1 || got[0].Rule != "heap_exhaustion" {
+		t.Fatalf("callback saw %+v, want one heap_exhaustion", got)
+	}
+}

@@ -202,8 +202,10 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 	// repeats in a block: run i of every workload sees near-identical
 	// machine state, which is what makes cmd/lfrcperf's run pairing fair.
 	// The final run of each workload carries a telemetry timeline whose
-	// per-interval rate series lands in the record; experiment O4 bounds
-	// the sampler tax at ≤1%, so the final run stays pair-comparable.
+	// per-interval rate series lands in the record, with the health watchdog
+	// riding it exactly as production would; experiments O4 and O6 bound the
+	// sampler and rule-engine taxes at ≤1–2%, so the final run stays
+	// pair-comparable.
 	interval := seriesInterval(dur)
 	rates := make([][]float64, len(benchWorkloads))
 	series := make([][]float64, len(benchWorkloads))
@@ -211,7 +213,9 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 		for i, wl := range benchWorkloads {
 			var extra []lfrc.Option
 			if r == runs-1 {
-				extra = append(extra, lfrc.WithTimeline(lfrc.TimelineOptions{Interval: interval}))
+				extra = append(extra,
+					lfrc.WithTimeline(lfrc.TimelineOptions{Interval: interval}),
+					lfrc.WithWatchdog(lfrc.WatchdogOptions{}))
 			}
 			rate, sys, err := benchRun(kind, rec, wl.mix, dur, workers, prefill, extra...)
 			if err != nil {

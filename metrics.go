@@ -97,6 +97,35 @@ func (s *System) WriteMetrics(w io.Writer) {
 		writeScalar(w, "lfrc_timeline_dropped_total", int64(st.Timeline.Dropped))
 	}
 
+	if s.wd != nil {
+		writeHeader(w, "lfrc_watchdog_rules", "gauge", "Health rules the watchdog evaluates per timeline tick.")
+		writeScalar(w, "lfrc_watchdog_rules", int64(st.Watchdog.Rules))
+		writeHeader(w, "lfrc_watchdog_evals_total", "counter", "Watchdog rule-set evaluations (one per timeline tick).")
+		writeScalar(w, "lfrc_watchdog_evals_total", int64(st.Watchdog.Evals))
+		writeHeader(w, "lfrc_watchdog_census_probes_total", "counter", "Watchdog ticks that ran the sampled census cross-check.")
+		writeScalar(w, "lfrc_watchdog_census_probes_total", int64(st.Watchdog.CensusProbes))
+		writeHeader(w, "lfrc_watchdog_firings_total", "counter", "Rule firings, including ones coalesced into open incidents.")
+		writeScalar(w, "lfrc_watchdog_firings_total", int64(st.Watchdog.Firings))
+		writeHeader(w, "lfrc_watchdog_incidents_total", "counter", "Incident records minted (rate-limited by the per-rule cooldown).")
+		writeScalar(w, "lfrc_watchdog_incidents_total", int64(st.Watchdog.Incidents))
+		writeHeader(w, "lfrc_watchdog_coalesced_total", "counter", "Rule firings absorbed into an open incident by the cooldown.")
+		writeScalar(w, "lfrc_watchdog_coalesced_total", int64(st.Watchdog.Coalesced))
+		writeHeader(w, "lfrc_watchdog_dropped_total", "counter", "Incident records evicted by the retention bound.")
+		writeScalar(w, "lfrc_watchdog_dropped_total", int64(st.Watchdog.Dropped))
+		writeHeader(w, "lfrc_watchdog_retained_incidents", "gauge", "Incident records currently retained, by severity.")
+		var bySev [4]int64
+		for _, inc := range s.Incidents() {
+			if int(inc.Level) < len(bySev) {
+				bySev[inc.Level]++
+			}
+		}
+		writeLabeled(w, "lfrc_watchdog_retained_incidents", "severity", "info", bySev[1])
+		writeLabeled(w, "lfrc_watchdog_retained_incidents", "severity", "warn", bySev[2])
+		writeLabeled(w, "lfrc_watchdog_retained_incidents", "severity", "critical", bySev[3])
+		writeHeader(w, "lfrc_watchdog_last_incident_ts", "gauge", "Sample timestamp of the most recent rule firing (0 = never).")
+		writeScalar(w, "lfrc_watchdog_last_incident_ts", st.Watchdog.LastIncidentTS)
+	}
+
 	if st.Fault.Enabled {
 		writeHeader(w, "lfrc_fault_attempts_total", "counter", "Attempts seen at armed fault-injection points.")
 		for _, p := range st.Fault.Points {
@@ -358,7 +387,15 @@ var (
 //	                       to `go tool pprof` to rank leak sources
 //	/debug/lfrc/census.dot Graphviz DOT render of the object graph (small
 //	                       heaps; ?max=N raises the node cap)
+//	/debug/lfrc/incidents.json
+//	                       health-watchdog incidents with evidence windows
+//	/debug/lfrc/bundle.tar.gz
+//	                       on-demand diagnostic bundle (see WriteBundle);
+//	                       feed it to cmd/lfrcdoctor
 //	/debug/pprof/...       the standard Go profiler endpoints
+//
+// Every lfrc endpoint is read-only: non-GET/HEAD methods answer 405 (the
+// pprof subtree keeps its own method handling).
 //
 // get is called per request so callers can swap the live system (benchmark
 // harnesses rebuild systems per phase); use func() *System { return s } for a
@@ -377,8 +414,22 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 		debugSystem.Store(s)
 	}
 
-	withSys := func(fn func(s *System, w http.ResponseWriter, r *http.Request)) http.Handler {
+	// Every published endpoint is a read: anything but GET/HEAD answers 405
+	// with an Allow header. (The pprof subtree is exempt — pprof's symbol
+	// endpoint legitimately accepts POST.)
+	readOnly := func(h http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+
+	withSys := func(fn func(s *System, w http.ResponseWriter, r *http.Request)) http.Handler {
+		return readOnly(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			s := get()
 			if s == nil {
 				http.Error(w, "no live lfrc system", http.StatusServiceUnavailable)
@@ -386,7 +437,7 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 			}
 			debugSystem.Store(s)
 			fn(s, w, r)
-		})
+		}))
 	}
 
 	// endpoints is the single source of truth: every entry is registered on
@@ -477,7 +528,22 @@ func NewDebugMux(get func() *System) *http.ServeMux {
 					http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 				}
 			})},
-		{"/debug/vars", "expvar JSON, including an \"lfrc\" variable carrying Stats", expvar.Handler()},
+		{"/debug/lfrc/incidents.json", "health-watchdog incidents: rules, firing counters, evidence windows (WithWatchdog)",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				if err := s.WriteIncidentsJSON(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/lfrc/bundle.tar.gz", "diagnostic bundle: the whole observability stack as one black-box tar.gz for cmd/lfrcdoctor",
+			withSys(func(s *System, w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/gzip")
+				w.Header().Set("Content-Disposition", `attachment; filename="lfrc-bundle.tar.gz"`)
+				if err := s.WriteBundle(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})},
+		{"/debug/vars", "expvar JSON, including an \"lfrc\" variable carrying Stats", readOnly(expvar.Handler())},
 		{"/debug/pprof/", "standard Go profiler endpoints (cmdline, profile, symbol, trace, ...)", http.HandlerFunc(pprof.Index)},
 	}
 

@@ -11,21 +11,31 @@ import (
 	"lfrc"
 )
 
-// muxEndpoints is the published debug surface the index page must list.
-var muxEndpoints = []string{
-	"/metrics",
-	"/debug/lfrc/stats",
-	"/debug/lfrc/trace",
-	"/debug/lfrc/trace.json",
-	"/debug/lfrc/timeline.json",
-	"/debug/lfrc/timeline.csv",
-	"/debug/lfrc/contention",
-	"/debug/lfrc/contention.pb.gz",
-	"/debug/lfrc/census.json",
-	"/debug/lfrc/census.pb.gz",
-	"/debug/lfrc/census.dot",
-	"/debug/vars",
-	"/debug/pprof/",
+// muxRoster is the published debug surface: every endpoint the index page
+// must list, with the Content-Type each must declare on GET. The pprof
+// subtree is roster-listed but exempt from the read-only method audit (its
+// symbol endpoint legitimately accepts POST).
+var muxRoster = []struct {
+	path        string
+	contentType string // required prefix of the GET Content-Type
+	attachment  bool   // must set a Content-Disposition: attachment header
+	pprofExempt bool   // outside the GET/HEAD-only contract
+}{
+	{path: "/metrics", contentType: "text/plain"},
+	{path: "/debug/lfrc/stats", contentType: "application/json"},
+	{path: "/debug/lfrc/trace", contentType: "application/json"},
+	{path: "/debug/lfrc/trace.json", contentType: "application/json", attachment: true},
+	{path: "/debug/lfrc/timeline.json", contentType: "application/json"},
+	{path: "/debug/lfrc/timeline.csv", contentType: "text/csv"},
+	{path: "/debug/lfrc/contention", contentType: "text/plain"},
+	{path: "/debug/lfrc/contention.pb.gz", contentType: "application/octet-stream", attachment: true},
+	{path: "/debug/lfrc/census.json", contentType: "application/json"},
+	{path: "/debug/lfrc/census.pb.gz", contentType: "application/octet-stream", attachment: true},
+	{path: "/debug/lfrc/census.dot", contentType: "text/vnd.graphviz"},
+	{path: "/debug/lfrc/incidents.json", contentType: "application/json"},
+	{path: "/debug/lfrc/bundle.tar.gz", contentType: "application/gzip", attachment: true},
+	{path: "/debug/vars", contentType: "application/json"},
+	{path: "/debug/pprof/", contentType: "text/html", pprofExempt: true},
 }
 
 func newMuxServer(t *testing.T) (*httptest.Server, *lfrc.System) {
@@ -76,9 +86,9 @@ func TestDebugMuxIndexListsEveryEndpoint(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	for _, ep := range muxEndpoints {
-		if !strings.Contains(string(body), ep) {
-			t.Errorf("index page does not list %s", ep)
+	for _, ep := range muxRoster {
+		if !strings.Contains(string(body), ep.path) {
+			t.Errorf("index page does not list %s", ep.path)
 		}
 	}
 
@@ -163,5 +173,49 @@ func TestDebugMuxWithoutSystem(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("index = %d with no system, want 200 (it documents the surface)", resp.StatusCode)
+	}
+}
+
+// TestDebugMuxRoster audits every published endpoint in one table: GET must
+// answer 200 with the declared Content-Type (and Content-Disposition for
+// downloads), and any write method must bounce with 405 + Allow — the whole
+// debug surface is read-only. Only the pprof subtree is exempt.
+func TestDebugMuxRoster(t *testing.T) {
+	srv, _ := newMuxServer(t)
+
+	for _, ep := range muxRoster {
+		resp, _ := get(t, srv, ep.path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", ep.path, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, ep.contentType) {
+			t.Errorf("GET %s Content-Type = %q, want prefix %q", ep.path, ct, ep.contentType)
+		}
+		if ep.attachment && !strings.HasPrefix(resp.Header.Get("Content-Disposition"), "attachment") {
+			t.Errorf("GET %s Content-Disposition = %q, want attachment",
+				ep.path, resp.Header.Get("Content-Disposition"))
+		}
+
+		if ep.pprofExempt {
+			continue
+		}
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, err := http.NewRequest(method, srv.URL+ep.path, strings.NewReader("x"))
+			if err != nil {
+				t.Fatalf("NewRequest %s %s: %v", method, ep.path, err)
+			}
+			resp, err := srv.Client().Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", method, ep.path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, ep.path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s Allow = %q, want %q", method, ep.path, allow, "GET, HEAD")
+			}
+		}
 	}
 }

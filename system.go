@@ -22,6 +22,7 @@ import (
 	"lfrc/internal/snark"
 	"lfrc/internal/stackrc"
 	"lfrc/internal/timeline"
+	"lfrc/internal/watchdog"
 )
 
 // Value is the payload type carried by the structures.
@@ -81,6 +82,7 @@ type config struct {
 	pressure       HeapPressurePolicy
 	timeline       bool
 	timelineOpts   TimelineOptions
+	watchdog       WatchdogOptions
 	censusRoots    []func() []uint32
 }
 
@@ -229,6 +231,20 @@ type System struct {
 	// Every consumer is nil-safe.
 	tl *timeline.Sampler
 
+	// wd is the health watchdog engine riding the sampler's cadence; nil
+	// unless the timeline is on and the watchdog not disabled. Every
+	// consumer is nil-safe. wdTicks/wdProbeEvery pace the sampled census
+	// probe (single writer: the sampler's capture path); bundleBusy keeps
+	// incident-triggered bundle captures from overlapping.
+	wd           *watchdog.Engine
+	wdTicks      uint64
+	wdProbeEvery int
+	bundleBusy   atomic.Bool
+
+	// faultPlan retains the WithFaultPlan source string for the diagnostic
+	// bundle manifest (the injector itself keeps only the parsed form).
+	faultPlan string
+
 	// censusRoots are the caller-registered extra root sources (see
 	// WithCensusRoots); lastCensus caches the most recent graph census so
 	// /metrics can report it without re-walking the heap per scrape.
@@ -356,6 +372,7 @@ func New(opts ...Option) (*System, error) {
 		ledger:      led,
 		fj:          fj,
 		pressure:    cfg.pressure,
+		faultPlan:   cfg.faultPlan,
 		censusRoots: cfg.censusRoots,
 	}
 	if led != nil {
@@ -369,7 +386,12 @@ func New(opts ...Option) (*System, error) {
 		}
 	}
 	if cfg.timeline {
-		// Last: the capture closure reads every subsystem built above.
+		// Last: the capture closure reads every subsystem built above. The
+		// watchdog comes first only because the sampler's on-sample hook
+		// feeds it; it is always on with the timeline unless disabled.
+		if !cfg.watchdog.Disabled {
+			s.newWatchdog(cfg.watchdog)
+		}
 		s.newTimeline(cfg.timelineOpts)
 	}
 	return s, nil
@@ -562,6 +584,7 @@ func (s *System) Stats() Stats {
 		ZombiesDrained: s.deg.zombiesDrained.Load(),
 	}
 	st.Timeline = s.tl.Stats()
+	st.Watchdog = s.wd.Stats()
 	return st
 }
 
@@ -605,6 +628,10 @@ type Stats struct {
 	// Timeline is the telemetry timeline sampler's accounting; zero unless
 	// the system was built WithTimeline.
 	Timeline TimelineStats `json:"timeline"`
+
+	// Watchdog is the health watchdog's accounting; zero unless a watchdog
+	// is riding the timeline (see WithWatchdog).
+	Watchdog WatchdogStats `json:"watchdog"`
 }
 
 // LifecycleStats is the lifecycle ledger and auditor accounting.

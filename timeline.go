@@ -57,12 +57,15 @@ func WithTimeline(o TimelineOptions) Option {
 // Called once from New after every subsystem the capture closure reads is in
 // place.
 func (s *System) newTimeline(o TimelineOptions) {
-	s.tl = timeline.New(
-		s.captureTimeline,
+	opts := []timeline.Option{
 		timeline.WithInterval(o.Interval),
 		timeline.WithSlots(o.Slots),
 		timeline.WithRoleNames(func(id uint8) string { return contend.Role(id).String() }),
-	)
+	}
+	if s.wd != nil {
+		opts = append(opts, timeline.WithOnSample(s.observeHealth))
+	}
+	s.tl = timeline.New(s.captureTimeline, opts...)
 	if !o.Manual {
 		s.tl.Start()
 	}

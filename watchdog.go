@@ -1,0 +1,183 @@
+package lfrc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lfrc/internal/timeline"
+	"lfrc/internal/watchdog"
+)
+
+// Incident is one structured health finding: a watchdog rule that held for
+// its full evidence window, with severity, firing counters, and the evidence
+// values at the start and end of the qualifying streak. See WithWatchdog.
+type Incident = watchdog.Incident
+
+// WatchdogStats is the watchdog engine's own accounting (rule evaluations,
+// firings, coalescing, retention drops).
+type WatchdogStats = watchdog.Stats
+
+// DefaultCensusProbeEvery is how many timeline ticks separate the watchdog's
+// census probes when WatchdogOptions.CensusProbeEvery is zero: at the default
+// 100ms cadence, one whole-heap cross-check roughly every 6.4s.
+const DefaultCensusProbeEvery = 64
+
+// WatchdogOptions configures the health watchdog (WithWatchdog). The zero
+// value is the default always-on configuration.
+type WatchdogOptions struct {
+	// Disabled turns the watchdog off entirely (it is on by default
+	// whenever the timeline is on — the watchdog rides the sampler's
+	// cadence and has none of its own).
+	Disabled bool
+
+	// MaxIncidents bounds the retained incident records (oldest evicted);
+	// 0 selects the 64-record default.
+	MaxIncidents int
+
+	// Cooldown is the per-rule rate limit: re-firings within it coalesce
+	// into the rule's open incident instead of minting a new record.
+	// 0 selects the 5s default; negative disables coalescing.
+	Cooldown time.Duration
+
+	// CensusProbeEvery is how many timeline ticks separate census probes —
+	// the sampled whole-heap cross-check feeding the rc_mismatch and
+	// cycle_leak rules. 0 selects DefaultCensusProbeEvery; negative
+	// disables probing (the probe is the one watchdog activity that is not
+	// allocation-free, which is why it is sampled so coarsely). A probe
+	// tick that lands on a busy interval is skipped: the census is exact
+	// only at quiescence, and asserting from a moving heap would turn
+	// transient in-flight states into false incidents.
+	CensusProbeEvery int
+
+	// BundleDir, when set, auto-captures a diagnostic bundle (WriteBundle)
+	// into this directory for every newly minted incident, named
+	// lfrc-incident-<id>-<rule>.tar.gz. Captures run on their own
+	// goroutine; overlapping incidents skip the capture rather than queue.
+	BundleDir string
+
+	// OnIncident, when set, is called (on its own goroutine) with each
+	// newly minted incident.
+	OnIncident func(Incident)
+}
+
+// WithWatchdog configures the always-on health watchdog: a rule engine that
+// evaluates every timeline sample against the failure modes the telemetry
+// can express — sustained retry storms, a reclamation backlog rising with
+// zero drains, heap-pressure exhaustions, new violation postmortems, census
+// rc-mismatch and cycle-leak findings, and the contention heatmap flipping
+// onto an rc-role cell — and turns threshold crossings into rate-limited
+// Incidents (System.Incidents, /debug/lfrc/incidents.json, lfrc_watchdog_*
+// metrics). The watchdog is on by default whenever WithTimeline is on; use
+// this option to tune it, arm auto-capture, or disable it. Implies
+// WithTimeline at its defaults when no timeline was requested (unless
+// Disabled).
+func WithWatchdog(o WatchdogOptions) Option {
+	return optionFunc(func(c *config) {
+		c.watchdog = o
+		if !o.Disabled {
+			c.timeline = true
+		}
+	})
+}
+
+// newWatchdog builds the watchdog engine. Called from New before newTimeline
+// (the sampler's on-sample hook feeds it).
+func (s *System) newWatchdog(o WatchdogOptions) {
+	probeEvery := o.CensusProbeEvery
+	if probeEvery == 0 {
+		probeEvery = DefaultCensusProbeEvery
+	}
+	s.wdProbeEvery = probeEvery
+	var onInc func(watchdog.Incident)
+	if o.OnIncident != nil || o.BundleDir != "" {
+		userCB, dir := o.OnIncident, o.BundleDir
+		onInc = func(inc watchdog.Incident) {
+			// Called under the engine and sampler locks: hand every
+			// consequence to its own goroutine.
+			if userCB != nil {
+				go userCB(inc)
+			}
+			if dir != "" {
+				s.captureIncidentBundle(dir, inc)
+			}
+		}
+	}
+	s.wd = watchdog.New(watchdog.Options{
+		MaxIncidents: o.MaxIncidents,
+		Cooldown:     o.Cooldown,
+		OnIncident:   onInc,
+	})
+}
+
+// observeHealth is the timeline sampler's on-sample hook: it assembles the
+// watchdog input from the published sample plus the out-of-band signals and
+// runs one rule evaluation. Quiet-path allocation-free; every
+// CensusProbeEvery-th tick it additionally takes a whole-heap census (the
+// sampled cross-check, allocation allowed).
+func (s *System) observeHealth(sm *timeline.Sample) {
+	in := watchdog.Input{Sample: *sm}
+	if s.obs != nil {
+		in.Postmortems = s.obs.PostmortemCount()
+	}
+	s.wdTicks++
+	if s.wdProbeEvery > 0 && s.wdTicks%uint64(s.wdProbeEvery) == 0 && quiescent(sm) {
+		cs := s.Census()
+		in.Probed = true
+		in.CensusMismatches = cs.RCMismatchCount
+		in.CensusCycles = cs.CycleCount
+		in.CensusCycleBytes = cs.CycleBytes
+		in.CensusUnreachable = cs.Unreachable.Objects
+	}
+	s.wd.Observe(&in)
+}
+
+// quiescent reports whether the sampled interval saw no RC mutations. The
+// census counts stored RCs against in-edges across a moving heap, so its
+// mismatch and cycle verdicts are exact only at quiescence — probing a busy
+// interval would turn transient in-flight states into false critical
+// incidents. (Offline, cmd/lfrcdoctor gets the same guarantee from the
+// bundle's census, which chaos captures after close+drain.)
+func quiescent(sm *timeline.Sample) bool {
+	return sm.RCStores == 0 && sm.RCCAS == 0 && sm.RCDCAS == 0 && sm.RCDestroys == 0
+}
+
+// captureIncidentBundle writes one auto-capture bundle on its own goroutine.
+// A capture already in flight makes this a no-op (bundles are seconds-class;
+// incidents inside one capture are already represented in it).
+func (s *System) captureIncidentBundle(dir string, inc watchdog.Incident) {
+	if !s.bundleBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.bundleBusy.Store(false)
+		name := filepath.Join(dir, fmt.Sprintf("lfrc-incident-%03d-%s.tar.gz", inc.ID, inc.Rule))
+		f, err := os.Create(name)
+		if err != nil {
+			return
+		}
+		err = s.WriteBundle(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(name)
+		}
+	}()
+}
+
+// Incidents returns the watchdog's retained incident records, oldest first.
+// Without a watchdog (WithTimeline off, or WatchdogOptions.Disabled) it
+// returns nil.
+func (s *System) Incidents() []Incident { return s.wd.Incidents() }
+
+// WatchdogStats reports the watchdog engine's accounting. Without a watchdog
+// every field is zero.
+func (s *System) WatchdogStats() WatchdogStats { return s.wd.Stats() }
+
+// WriteIncidentsJSON writes the schema-versioned incidents document (the
+// same bytes served on /debug/lfrc/incidents.json). Without a watchdog it
+// writes a valid document with Enabled false.
+func (s *System) WriteIncidentsJSON(w io.Writer) error { return s.wd.WriteJSON(w) }

@@ -1,0 +1,183 @@
+package lfrc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lfrc"
+)
+
+// exhaustSystem builds a system whose heap is small enough to exhaust under
+// the degradation policy, pushes until it does, and returns it with at least
+// one degraded-mode exhaustion on the books.
+func exhaustSystem(t *testing.T, opts ...lfrc.Option) *lfrc.System {
+	t.Helper()
+	opts = append([]lfrc.Option{
+		lfrc.WithMaxHeapWords(1 << 12),
+		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
+		lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}),
+	}, opts...)
+	sys, err := lfrc.New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(sys.Close)
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		if err := d.PushRight(lfrc.Value(i + 1)); err != nil {
+			if !errors.Is(err, lfrc.ErrOutOfMemory) {
+				t.Fatalf("PushRight: %v", err)
+			}
+			break
+		}
+	}
+	if sys.Stats().Degraded.Exhaustions == 0 {
+		t.Fatal("heap never exhausted; grow the push loop or shrink the heap")
+	}
+	return sys
+}
+
+// TestWatchdogRidesTimeline: the watchdog is on whenever the timeline is on,
+// evaluates once per capture, and can be disabled without losing the
+// timeline.
+func TestWatchdogRidesTimeline(t *testing.T) {
+	sys, err := lfrc.New(lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	for i := 0; i < 5; i++ {
+		sys.CaptureTimelineSample()
+	}
+	st := sys.WatchdogStats()
+	if !st.Enabled || st.Evals != 5 || st.Rules == 0 {
+		t.Errorf("WatchdogStats = %+v, want enabled with 5 evals", st)
+	}
+	if got := sys.Stats().Watchdog; got != st {
+		t.Errorf("Stats().Watchdog = %+v, want %+v", got, st)
+	}
+	if incs := sys.Incidents(); len(incs) != 0 {
+		t.Errorf("healthy quiet system has incidents: %+v", incs)
+	}
+
+	off, err := lfrc.New(
+		lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}),
+		lfrc.WithWatchdog(lfrc.WatchdogOptions{Disabled: true}),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer off.Close()
+	off.CaptureTimelineSample()
+	if st := off.WatchdogStats(); st.Enabled || st.Evals != 0 {
+		t.Errorf("disabled watchdog stats = %+v", st)
+	}
+	if off.TimelineStats().Captures != 1 {
+		t.Error("disabling the watchdog lost the timeline")
+	}
+}
+
+// TestWatchdogHeapExhaustionIncident: a real exhaustion surfaces as a
+// critical incident on the next capture.
+func TestWatchdogHeapExhaustionIncident(t *testing.T) {
+	sys := exhaustSystem(t)
+	sys.CaptureTimelineSample()
+	incs := sys.Incidents()
+	var found *lfrc.Incident
+	for i := range incs {
+		if incs[i].Rule == "heap_exhaustion" {
+			found = &incs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no heap_exhaustion incident: %+v", incs)
+	}
+	if found.Severity != "critical" || found.Value == 0 || found.Message == "" {
+		t.Errorf("incident = %+v", *found)
+	}
+	if sys.WatchdogStats().LastIncidentTS == 0 {
+		t.Error("LastIncidentTS not stamped")
+	}
+}
+
+// TestWatchdogCensusProbe: the sampled census cross-check runs on its
+// configured cadence and a healthy heap raises nothing.
+func TestWatchdogCensusProbe(t *testing.T) {
+	sys, err := lfrc.New(
+		lfrc.WithTimeline(lfrc.TimelineOptions{Manual: true}),
+		lfrc.WithWatchdog(lfrc.WatchdogOptions{CensusProbeEvery: 2}),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sys.Close()
+	d, err := sys.NewDeque()
+	if err != nil {
+		t.Fatalf("NewDeque: %v", err)
+	}
+	for i := lfrc.Value(1); i <= 8; i++ {
+		if err := d.PushRight(i); err != nil {
+			t.Fatalf("PushRight: %v", err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		sys.CaptureTimelineSample()
+	}
+	st := sys.WatchdogStats()
+	if st.CensusProbes != 3 {
+		t.Errorf("CensusProbes = %d after 6 ticks at every-2, want 3", st.CensusProbes)
+	}
+	if incs := sys.Incidents(); len(incs) != 0 {
+		t.Errorf("healthy heap raised incidents: %+v", incs)
+	}
+}
+
+// TestWatchdogIncidentsSchemaGolden locks the incidents.json key set: the
+// document is consumed offline by cmd/lfrcdoctor and scraped by lfrctop, so
+// schema drift must surface as a golden diff in review.
+//
+// Regenerate with: UPDATE_GOLDEN=1 go test -run TestWatchdogIncidentsSchemaGolden .
+func TestWatchdogIncidentsSchemaGolden(t *testing.T) {
+	sys := exhaustSystem(t)
+	sys.CaptureTimelineSample()
+	if len(sys.Incidents()) == 0 {
+		t.Fatal("no incident to lock the incidents[] shape with")
+	}
+
+	var buf bytes.Buffer
+	if err := sys.WriteIncidentsJSON(&buf); err != nil {
+		t.Fatalf("WriteIncidentsJSON: %v", err)
+	}
+	var tree any
+	if err := json.Unmarshal(buf.Bytes(), &tree); err != nil {
+		t.Fatalf("incidents.json invalid: %v", err)
+	}
+	keys := keyPaths("", tree)
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "incidents_schema.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("incidents.json key set changed.\n--- got ---\n%s--- want (%s) ---\n%s"+
+			"If the change is intentional, regenerate with UPDATE_GOLDEN=1 and call it out in review.",
+			got, golden, want)
+	}
+}
