@@ -16,7 +16,7 @@ PERF_BASELINE ?= BENCH_0009.json
 PERF_TOL ?= 0.25
 PERF_STRICT ?= 0
 
-.PHONY: all check build vet test check-race check-fault check-reclaim check-timeline check-census check-doctor race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
+.PHONY: all check build vet test check-race check-fault check-reclaim check-rc check-timeline check-census check-doctor race cover bench bench-smoke perf-baseline perf-check fuzz experiments stress explore examples clean
 
 all: check
 
@@ -26,6 +26,8 @@ all: check
 # and fails fast before the full -race sweep. check-fault stresses every
 # structure under deterministic fault injection with the lifecycle auditor
 # armed. check-reclaim repeats that sweep across both reclamation backends.
+# check-rc repeats it again across both reference-count strategies — the
+# count protocol is safety, not policy, so every cell must pass unconditionally.
 # check-timeline covers the telemetry ring (seqlock capture vs read) and the
 # lfrctop render layer under the race detector.
 # check-census covers the heap-census graph pass — including censuses taken
@@ -33,7 +35,7 @@ all: check
 # check-doctor covers the health watchdog's rule engine, bundle capture, and
 # the chaos -> bundle -> lfrcdoctor offline-diagnosis loop on both backends.
 # perf-check rides along as a soft gate (warn-only unless PERF_STRICT=1).
-check: build vet test check-race check-fault check-reclaim check-timeline check-census check-doctor race perf-check
+check: build vet test check-race check-fault check-reclaim check-rc check-timeline check-census check-doctor race perf-check
 
 # Focused race gate over the concurrency-critical packages.
 check-race:
@@ -51,6 +53,15 @@ check-fault:
 check-reclaim:
 	$(GO) test -race -count=1 ./internal/reclaim
 	$(GO) test -race -count=1 -run 'TestReclaim|TestReclamation' .
+
+# Cross-strategy RC gate: the strategy unit matrix in internal/core (figure2
+# vs split protocol equivalence, packing boundaries, refill/merge paths), the
+# split boundary tests on both engines, and the system-level fault/chaos/
+# auditor sweep over every {figure2, split} x {locking, mcas} x {lfrc, epoch}
+# cell, 2 seeds each, under the race detector.
+check-rc:
+	$(GO) test -race -count=1 ./internal/core
+	$(GO) test -race -count=1 -run 'TestRCStrategy|TestSplit' .
 
 # Telemetry-timeline gate: the ring's concurrent capture-vs-read seqlock
 # tests, the system-level timeline tests, and the lfrctop render/fetch tests.

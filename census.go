@@ -78,6 +78,7 @@ func (s *System) Census() *CensusSnapshot {
 	snap := census.Take(census.Config{
 		Heap:    s.heap,
 		Read:    s.rc.SnapshotRead,
+		Decode:  s.rc.DecodeLink,
 		Roots:   roots,
 		Backend: s.ReclaimerName(),
 	})

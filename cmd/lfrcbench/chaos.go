@@ -29,15 +29,18 @@ import (
 // A FAIL additionally captures a diagnostic bundle (to bundlePath, or an
 // auto-generated name) and echoes it as a machine-readable "bundle=" line so
 // harnesses can hand the black box straight to cmd/lfrcdoctor.
-func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string, seed uint64, dur time.Duration, workers int, bundlePath string, destroyBudget, heapWords int) error {
+func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, strat lfrc.RCStrategy, plan string, seed uint64, dur time.Duration, workers int, bundlePath string, destroyBudget, heapWords int) error {
 	opts := []lfrc.Option{
 		lfrc.WithEngine(eng),
 		lfrc.WithReclamation(rec),
+		lfrc.WithRCStrategy(strat),
 		lfrc.WithFaultPlan(plan),
 		lfrc.WithFaultSeed(seed),
 		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
-		lfrc.WithLifecycleLedger(1),
-		lfrc.WithTraceSampling(64),
+		lfrc.WithObservability(lfrc.ObservabilityOptions{
+			LifecycleEvery: 1,
+			SampleEvery:    64,
+		}),
 		// The telemetry timeline rides along at a chaos-friendly cadence
 		// (~10ms instead of the default): chaos runs last fractions of a
 		// second, and the watchdog's windowed rules (limbo_stall needs ten
@@ -114,7 +117,7 @@ func runChaos(stdout io.Writer, eng lfrc.Engine, rec lfrc.Reclaimer, plan string
 		return err
 	}
 
-	fmt.Fprintf(stdout, "chaos: engine=%s reclaim=%s workers=%d dur=%v\n", eng, sys.ReclaimerName(), workers, dur)
+	fmt.Fprintf(stdout, "chaos: engine=%s reclaim=%s rc=%s workers=%d dur=%v\n", eng, sys.ReclaimerName(), sys.RCStrategyName(), workers, dur)
 	fmt.Fprintf(stdout, "fault_seed=%d\n", seed)
 	fmt.Fprintf(stdout, "fault_plan=%s\n", plan)
 

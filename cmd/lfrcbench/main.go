@@ -7,9 +7,9 @@
 // Usage:
 //
 //	lfrcbench [-run E1,E5] [-engine locking|mcas|both] [-reclaim lfrc|epoch]
-//	          [-scale N] [-dur 250ms] [-workers 1,2,4,8] [-markdown]
-//	          [-stats-json] [-census] [-metrics addr] [-trace out.json]
-//	          [-bench-json out.json] [-bench-runs N]
+//	          [-rc figure2|split] [-scale N] [-dur 250ms] [-workers 1,2,4,8]
+//	          [-markdown] [-stats-json] [-census] [-metrics addr]
+//	          [-trace out.json] [-bench-json out.json] [-bench-runs N]
 //
 // With no -run flag every experiment runs. -stats-json appends the final
 // unified System.Stats of the last system an experiment published (O1, O2,
@@ -113,6 +113,8 @@ func run(args []string, stdout io.Writer) error {
 	)
 	reclaimer := lfrc.ReclaimerLFRC
 	fs.Var(&reclaimer, "reclaim", "reclamation backend: lfrc or epoch (applies to -bench-json, -fault-plan and R2)")
+	rcStrategy := lfrc.RCFigure2
+	fs.Var(&rcStrategy, "rc", "reference-count strategy: figure2 or split (applies to -bench-json and -fault-plan; experiment R3 always measures both)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,7 +162,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-fault-plan: pick a single engine (locking or mcas), not both")
 		}
 		nw := workerCounts[len(workerCounts)-1]
-		return runChaos(stdout, lfrc.Engine(kinds[0]), reclaimer, *faultPlan, *faultSeed, *dur, nw, *bundle, *destroyB, *heapWords)
+		return runChaos(stdout, lfrc.Engine(kinds[0]), reclaimer, rcStrategy, *faultPlan, *faultSeed, *dur, nw, *bundle, *destroyB, *heapWords)
 	}
 
 	if benchMode {
@@ -170,7 +172,7 @@ func run(args []string, stdout io.Writer) error {
 		if *benchRuns < 1 {
 			return fmt.Errorf("-bench-runs %d < 1", *benchRuns)
 		}
-		rec, err := workload.RunBenchJSON(kinds[0], reclaimer, *dur, *benchRuns)
+		rec, err := workload.RunBenchJSON(kinds[0], reclaimer, rcStrategy, *dur, *benchRuns)
 		if err != nil {
 			return fmt.Errorf("-bench-json: %w", err)
 		}
@@ -259,6 +261,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if want("A3") {
 		emit(workload.RunA3(*dur))
+	}
+	if want("R3") {
+		emit(workload.RunR3(*dur))
 	}
 
 	if *tracePath != "" {

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	lfrcexplore [-scenario all] [-engine locking|mcas] [-reclaim lfrc|epoch]
-//	            [-preemptions 3] [-maxruns 200000] [-claiming] [-random 0]
-//	            [-maxsteps 200000]
+//	            [-rc figure2|split] [-preemptions 3] [-maxruns 200000]
+//	            [-claiming] [-random 0] [-maxsteps 200000]
 //
 // With -random N > 0, N seeded random schedules run instead of the
 // preemption-bounded DFS. Exit status is 0 even when anomalies are found —
@@ -74,7 +74,7 @@ func scenarios() []namedScenario {
 	}
 }
 
-func buildScenario(sc namedScenario, engine lfrc.Engine, rec lfrc.Reclaimer, claiming bool) explore.Scenario {
+func buildScenario(sc namedScenario, engine lfrc.Engine, rec lfrc.Reclaimer, strat lfrc.RCStrategy, claiming bool) explore.Scenario {
 	return func(instrument func(dcas.Engine) dcas.Engine) ([]func(), func() error) {
 		h := mem.NewHeap()
 		var base dcas.Engine
@@ -84,8 +84,11 @@ func buildScenario(sc namedScenario, engine lfrc.Engine, rec lfrc.Reclaimer, cla
 			base = dcas.NewLocking(h)
 		}
 		e := instrument(base)
-		// lfrc.Reclaimer is numerically aligned with reclaim.Kind.
-		rc := core.New(h, e, core.WithReclaimerKind(reclaim.Kind(rec)))
+		// lfrc.Reclaimer is numerically aligned with reclaim.Kind, and
+		// lfrc.RCStrategy with core.StrategyKind.
+		rc := core.New(h, e,
+			core.WithReclaimerKind(reclaim.Kind(rec)),
+			core.WithStrategyKind(core.StrategyKind(strat)))
 		var sopts []snark.Option
 		if claiming {
 			sopts = append(sopts, snark.WithValueClaiming())
@@ -187,6 +190,8 @@ func run(args []string) error {
 	fs.Var(&engine, "engine", "DCAS engine under exploration: locking or mcas")
 	reclaimer := lfrc.ReclaimerLFRC
 	fs.Var(&reclaimer, "reclaim", "reclamation backend under exploration: lfrc or epoch")
+	rcStrategy := lfrc.RCFigure2
+	fs.Var(&rcStrategy, "rc", "reference-count strategy under exploration: figure2 or split")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,7 +207,7 @@ func run(args []string) error {
 		if *scenarioName != "all" && sc.name != *scenarioName {
 			continue
 		}
-		s := buildScenario(sc, engine, reclaimer, *claiming)
+		s := buildScenario(sc, engine, reclaimer, rcStrategy, *claiming)
 		start := time.Now()
 		var res explore.Result
 		mode := fmt.Sprintf("dfs(<=%d preemptions)", *preemptions)

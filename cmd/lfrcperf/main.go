@@ -20,14 +20,19 @@
 //     excluded — instead of whole-run medians, so allocator/scheduler warmup
 //     can neither mask nor fake a regression.
 //
-// A record is refused when the schema versions differ, when the two records
-// measured different reclamation backends — lfrc-vs-epoch deltas are a policy
-// comparison (experiment R2), not a regression signal, so comparing them here
-// would poison the gate — and when they ran at different GOMAXPROCS: the
-// scalability curve is not flat, so a 4-proc record "regressing" against a
-// 1-proc record (or vice versa) is a topology delta, not a code one. Records
-// written before the reclaimer field existed count as "lfrc", the only
-// backend of their era. Any other host mismatch is reported but compared
+// A record is refused (exit 2, a hard error distinct from exit 1's
+// regression verdict) when the schema versions are incompatible (v1 and v2
+// differ only by the additive rc_strategy field and remain comparable), when
+// the two records measured different reclamation backends — lfrc-vs-epoch
+// deltas are a policy comparison (experiment R2), not a regression signal, so
+// comparing them here would poison the gate — when they measured different
+// reference-count strategies — figure2-vs-split is experiment R3's protocol
+// comparison, and the protocols do different per-operation work by design —
+// and when they ran at different GOMAXPROCS: the scalability curve is not
+// flat, so a 4-proc record "regressing" against a 1-proc record (or vice
+// versa) is a topology delta, not a code one. Records written before the
+// reclaimer and rc_strategy fields existed count as "lfrc" and "figure2", the
+// only choices of their era. Any other host mismatch is reported but compared
 // anyway (with a warning — cross-host ratios need generous tolerance).
 //
 // The -old baseline may be a JSON array of records (one per GOMAXPROCS, as
@@ -43,6 +48,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 
 	"lfrc/internal/workload"
 )
@@ -51,10 +57,20 @@ func main() {
 	regressions, err := run(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfrcperf:", err)
-		os.Exit(2)
 	}
-	if regressions > 0 {
-		os.Exit(1)
+	os.Exit(exitCode(regressions, err))
+}
+
+// exitCode maps run's outcome to the process exit status: refusals and other
+// hard errors exit 2, regressions exit 1, a clean comparison exits 0.
+func exitCode(regressions int, err error) int {
+	switch {
+	case err != nil:
+		return 2
+	case regressions > 0:
+		return 1
+	default:
+		return 0
 	}
 }
 
@@ -84,20 +100,24 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if oldRec.SchemaVersion != newRec.SchemaVersion {
+	if !compatibleSchemas(oldRec.SchemaVersion, newRec.SchemaVersion) {
 		return 0, fmt.Errorf("schema version mismatch: %s is v%d, %s is v%d",
 			*oldPath, oldRec.SchemaVersion, *newPath, newRec.SchemaVersion)
 	}
-	if or, nr := reclaimerOf(oldRec), reclaimerOf(newRec); or != nr {
-		return 0, fmt.Errorf("reclaimer mismatch: %s measured %q, %s measured %q; "+
-			"backend policies are compared in experiment R2, not gated here",
-			*oldPath, or, *newPath, nr)
+	if err := refuseMismatch("reclaimer", *oldPath, reclaimerOf(oldRec), *newPath, reclaimerOf(newRec),
+		"backend policies are compared in experiment R2, not gated here"); err != nil {
+		return 0, err
 	}
-	if og, ng := oldRec.Host.GOMAXPROCS, newRec.Host.GOMAXPROCS; og != ng {
-		return 0, fmt.Errorf("gomaxprocs mismatch: %s ran at %d, %s at %d; "+
-			"throughput does not scale flat across proc counts, so the delta "+
-			"is topology, not regression — record a baseline at GOMAXPROCS=%d",
-			*oldPath, og, *newPath, ng, ng)
+	if err := refuseMismatch("rc strategy", *oldPath, rcStrategyOf(oldRec), *newPath, rcStrategyOf(newRec),
+		"the protocols do different per-operation work by design, so the delta "+
+			"is experiment R3's comparison, not a regression"); err != nil {
+		return 0, err
+	}
+	og, ng := oldRec.Host.GOMAXPROCS, newRec.Host.GOMAXPROCS
+	if err := refuseMismatch("gomaxprocs", *oldPath, strconv.Itoa(og), *newPath, strconv.Itoa(ng),
+		fmt.Sprintf("throughput does not scale flat across proc counts, so the delta "+
+			"is topology, not regression — record a baseline at GOMAXPROCS=%d", ng)); err != nil {
+		return 0, err
 	}
 	if oldRec.Host != newRec.Host {
 		fmt.Fprintf(stdout, "warning: host mismatch (%+v vs %+v); cross-host ratios need generous -tol\n",
@@ -208,6 +228,32 @@ func medianOf(vals []float64) float64 {
 	}
 }
 
+// refuseMismatch is the one comparison-refusal shape: when a configuration
+// axis differs between the two records the comparison itself is meaningless,
+// so the gate must answer "cannot compare" (exit 2), never "regression"
+// (exit 1) or "ok" (exit 0). A nil return means the axis matches.
+func refuseMismatch(what, oldPath, oldVal, newPath, newVal, why string) error {
+	if oldVal == newVal {
+		return nil
+	}
+	return fmt.Errorf("%s mismatch: %s measured %q, %s measured %q; %s",
+		what, oldPath, oldVal, newPath, newVal, why)
+}
+
+// compatibleSchemas reports whether two BenchRecord schema versions can be
+// compared: v2 only added the rc_strategy field to v1 (read back as
+// "figure2"), so v1 and v2 records remain mutually comparable.
+func compatibleSchemas(a, b int) bool {
+	if a == b {
+		return true
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo == 1 && hi == 2
+}
+
 // reclaimerOf names a record's reclamation backend; records that predate the
 // field were all taken on the lfrc backend.
 func reclaimerOf(rec *workload.BenchRecord) string {
@@ -215,6 +261,15 @@ func reclaimerOf(rec *workload.BenchRecord) string {
 		return "lfrc"
 	}
 	return rec.Reclaimer
+}
+
+// rcStrategyOf names a record's reference-count strategy; records that
+// predate the field (schema v1) were all taken on the figure2 protocol.
+func rcStrategyOf(rec *workload.BenchRecord) string {
+	if rec.RCStrategy == "" {
+		return "figure2"
+	}
+	return rec.RCStrategy
 }
 
 func readRecord(path string) (*workload.BenchRecord, error) {

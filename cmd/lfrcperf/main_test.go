@@ -332,6 +332,45 @@ func TestSteadyStateCatchesSteadyRegression(t *testing.T) {
 	}
 }
 
+func TestRCStrategyMismatchRefused(t *testing.T) {
+	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
+	oldRec := record(t, runs) // no rc_strategy field: legacy record, reads as figure2
+	newRec := record(t, runs)
+	newRec.RCStrategy = "split"
+	_, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "rc strategy mismatch") {
+		t.Errorf("cross-strategy records not refused: %v", err)
+	}
+	// A refusal is a hard error, exit 2 — distinct from exit 1's regression
+	// verdict, so CI can tell "cannot compare" from "compared and regressed".
+	if got := exitCode(0, err); got != 2 {
+		t.Errorf("refusal exit code = %d, want 2", got)
+	}
+
+	// Same strategy — explicitly or via the legacy default — compares fine.
+	newRec.RCStrategy = "figure2"
+	if _, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard); err != nil {
+		t.Errorf("legacy-vs-figure2 records refused: %v", err)
+	}
+	oldRec.RCStrategy, newRec.RCStrategy = "split", "split"
+	if _, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard); err != nil {
+		t.Errorf("split-vs-split records refused: %v", err)
+	}
+}
+
+func TestSchemaV1V2Comparable(t *testing.T) {
+	// v2 only added rc_strategy: a v1 baseline must stay usable against a v2
+	// candidate (and vice versa), while unknown versions are still refused
+	// (TestSchemaVersionMismatchRefused).
+	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
+	oldRec := record(t, runs)
+	oldRec.SchemaVersion = 1
+	newRec := record(t, runs)
+	if _, err := run([]string{"-old", writeRecord(t, oldRec), "-new", writeRecord(t, newRec)}, io.Discard); err != nil {
+		t.Errorf("v1 baseline vs v2 candidate refused: %v", err)
+	}
+}
+
 func TestReclaimerMismatchRefused(t *testing.T) {
 	runs := map[string][]float64{"deque/balanced": {1e6, 1e6, 1e6}}
 	oldRec := record(t, runs) // no reclaimer field: legacy record, reads as lfrc

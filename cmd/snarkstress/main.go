@@ -7,7 +7,8 @@
 // Usage:
 //
 //	snarkstress [-dur 10s] [-workers 8] [-engine locking|mcas]
-//	            [-reclaim lfrc|epoch] [-structure deque|queue|stack|all]
+//	            [-reclaim lfrc|epoch] [-rc figure2|split]
+//	            [-structure deque|queue|stack|all]
 //	            [-checkpoint 2s] [-claim]
 //
 // Exit status is non-zero if any invariant is violated.
@@ -45,6 +46,7 @@ type options struct {
 	workers    int
 	engine     workload.EngineKind
 	reclaimer  lfrc.Reclaimer
+	rcStrategy lfrc.RCStrategy
 	structures []string
 	checkpoint time.Duration
 	claim      bool
@@ -63,6 +65,8 @@ func run(args []string) error {
 	fs.Var(&engine, "engine", "DCAS engine: locking or mcas")
 	reclaimer := lfrc.ReclaimerLFRC
 	fs.Var(&reclaimer, "reclaim", "reclamation backend: lfrc or epoch")
+	rcStrategy := lfrc.RCFigure2
+	fs.Var(&rcStrategy, "rc", "reference-count strategy: figure2 or split")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +89,7 @@ func run(args []string) error {
 		workers:    *workers,
 		engine:     kind,
 		reclaimer:  reclaimer,
+		rcStrategy: rcStrategy,
 		structures: structures,
 		checkpoint: *checkpoint,
 		claim:      *claim,
@@ -95,8 +100,8 @@ func run(args []string) error {
 
 	failures := 0
 	for _, st := range opts.structures {
-		fmt.Printf("=== soaking %s (%s engine, %s reclaim, %d workers, %v) ===\n",
-			st, opts.engine, opts.reclaimer, opts.workers, opts.dur)
+		fmt.Printf("=== soaking %s (%s engine, %s reclaim, %s rc, %d workers, %v) ===\n",
+			st, opts.engine, opts.reclaimer, opts.rcStrategy, opts.workers, opts.dur)
 		if err := soak(st, opts); err != nil {
 			fmt.Printf("FAIL %s: %v\n", st, err)
 			failures++
@@ -183,8 +188,11 @@ func buildOps(st string, env *workload.Env, claim bool) (ops, error) {
 }
 
 func soak(st string, o options) error {
-	// lfrc.Reclaimer is numerically aligned with reclaim.Kind.
-	env := workload.NewEnv(o.engine, core.WithReclaimerKind(reclaim.Kind(o.reclaimer)))
+	// lfrc.Reclaimer is numerically aligned with reclaim.Kind, and
+	// lfrc.RCStrategy with core.StrategyKind.
+	env := workload.NewEnv(o.engine,
+		core.WithReclaimerKind(reclaim.Kind(o.reclaimer)),
+		core.WithStrategyKind(core.StrategyKind(o.rcStrategy)))
 	structure, err := buildOps(st, env, o.claim)
 	if err != nil {
 		return err
@@ -234,7 +242,7 @@ func soak(st string, o options) error {
 		// ...then a quiescent audit.
 		audits++
 		extra := map[mem.Ref]int64{structure.anchor(): 1}
-		if vs := check.AuditRC(env.Heap, extra); len(vs) != 0 {
+		if vs := check.AuditRCDecoded(env.Heap, extra, env.RC.DecodeLink); len(vs) != 0 {
 			return fmt.Errorf("audit %d: %d rc violations, first: %s", audits, len(vs), vs[0])
 		}
 		if vs := check.ScanPoison(env.Heap); len(vs) != 0 {

@@ -1,7 +1,5 @@
 package lfrc
 
-import "fmt"
-
 // ParseEngine resolves an engine name ("locking" or "mcas", as printed by
 // Engine.String) to its Engine value. It is the inverse of String and the
 // canonical way for command-line tools to accept an -engine flag; Engine also
@@ -13,7 +11,7 @@ func ParseEngine(s string) (Engine, error) {
 	case "mcas":
 		return EngineMCAS, nil
 	default:
-		return 0, fmt.Errorf(`lfrc: unknown engine %q (want "locking" or "mcas")`, s)
+		return 0, unknownNameError("engine", s, "locking", "mcas")
 	}
 }
 

@@ -2,6 +2,9 @@ package lfrc
 
 import (
 	"errors"
+	"fmt"
+	"strconv"
+	"strings"
 
 	"lfrc/internal/mem"
 )
@@ -30,4 +33,21 @@ var (
 
 	// ErrClosed reports an operation on a structure after its Close.
 	ErrClosed = errors.New("lfrc: structure is closed")
+
+	// ErrUnknownName reports a name that resolves to no value of one of the
+	// pluggable seams: ParseEngine, ParseReclaimer and ParseRCStrategy all
+	// wrap it (listing the valid names), so flag plumbing and config
+	// loaders can branch on bad selector input with a single errors.Is.
+	ErrUnknownName = errors.New("lfrc: unknown")
 )
+
+// unknownNameError is the one error shape shared by every seam parser:
+// what the name was supposed to select, what was given, and the full list
+// of valid spellings — wrapped around ErrUnknownName.
+func unknownNameError(what, got string, valid ...string) error {
+	quoted := make([]string, len(valid))
+	for i, v := range valid {
+		quoted[i] = strconv.Quote(v)
+	}
+	return fmt.Errorf("%w %s %q (want %s)", ErrUnknownName, what, got, strings.Join(quoted, " or "))
+}

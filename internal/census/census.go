@@ -71,6 +71,13 @@ type Config struct {
 	// reporting descriptor-tagged cells as 0 after a bounded retry.
 	Read func(mem.Addr) uint64
 
+	// Decode interprets a raw pointer-cell word as (referent, count weight)
+	// under the system's RC strategy (core.RC.DecodeLink): figure2 stores
+	// bare refs at weight 1, split packs a weight stash beside the ref and
+	// the stored count equals the weighted in-edge sum. Nil means the
+	// bare-ref reading.
+	Decode func(u uint64) (mem.Ref, int64)
+
 	// Roots are the reachability roots, keyed by ref.
 	Roots map[uint32]Root
 
@@ -239,6 +246,7 @@ type node struct {
 	rc    uint64
 	edges []int32 // out-neighbor node indices
 	in    int32   // in-edge count (self-edges included)
+	inw   int64   // weighted in-edge sum (== in under figure2)
 	class uint8
 	root  bool
 }
@@ -276,6 +284,15 @@ func Take(cfg Config) *Snapshot {
 
 // materialize walks the heap and builds the node table and edge lists.
 func materialize(cfg Config, s *Snapshot) *graph {
+	decode := cfg.Decode
+	if decode == nil {
+		decode = func(u uint64) (mem.Ref, int64) {
+			if u == 0 {
+				return 0, 0
+			}
+			return mem.Ref(u), 1
+		}
+	}
 	g := &graph{heap: cfg.Heap, index: make(map[uint32]int32)}
 	cfg.Heap.WalkBlocks(func(b mem.Block) bool {
 		if b.Freed {
@@ -305,9 +322,13 @@ func materialize(cfg Config, s *Snapshot) *graph {
 			if v == 0 {
 				continue
 			}
+			child, w := decode(v)
+			if child == 0 {
+				continue
+			}
 			j, ok := int32(-1), false
-			if v <= 0xFFFF_FFFF {
-				j, ok = g.index[uint32(v)]
+			if uint64(child) <= 0xFFFF_FFFF {
+				j, ok = g.index[uint32(child)]
 			}
 			if !ok {
 				s.DanglingEdges++
@@ -315,6 +336,7 @@ func materialize(cfg Config, s *Snapshot) *graph {
 			}
 			n.edges = append(n.edges, j)
 			g.nodes[j].in++
+			g.nodes[j].inw += w
 			s.Edges++
 		}
 	}
@@ -398,17 +420,18 @@ func classify(cfg Config, s *Snapshot, g *graph) {
 	}
 }
 
-// findMismatches compares each object's stored count against its in-edges
-// plus root registrations. Poisoned counts are skipped: the block was freed
-// between the header read and the rc read, which is a walk race, not a count
-// bug.
+// findMismatches compares each object's stored count against its weighted
+// in-edge sum (each link contributes its decoded weight — 1 under figure2,
+// the stash under split) plus root registrations. Poisoned counts are
+// skipped: the block was freed between the header read and the rc read,
+// which is a walk race, not a count bug.
 func findMismatches(cfg Config, s *Snapshot, g *graph) {
 	for i := range g.nodes {
 		n := &g.nodes[i]
 		if n.rc >= mem.Poison {
 			continue
 		}
-		expected := int64(n.in)
+		expected := n.inw
 		if n.root {
 			expected += cfg.Roots[n.ref].Count
 		}

@@ -38,15 +38,38 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s violation at %#x: want %d, got %d", v.Kind, v.Ref, v.Want, v.Got)
 }
 
+// Decoder interprets one raw pointer-cell word as (referent, count weight).
+// The figure2 strategy stores bare refs, each worth one count unit; the split
+// strategy packs a weight stash next to the ref, and the stored count equals
+// the sum of link weights plus external references. A nil Decoder means the
+// bare-ref reading.
+type Decoder func(u uint64) (mem.Ref, int64)
+
 // AuditRC verifies that at quiescence every live object's reference count
 // equals the number of heap pointers to it plus the caller-declared external
 // references (extra), e.g. one per Go-side anchor handle. It returns all
-// violations found.
+// violations found. It assumes bare-ref pointer cells (the figure2 strategy);
+// heaps running a packing strategy audit through AuditRCDecoded.
 //
 // Objects managed outside the LFRC protocol (such as a valois queue's
 // type-stable pool) should not share a heap with audited objects, or should
 // be accounted for in extra.
 func AuditRC(h *mem.Heap, extra map[mem.Ref]int64) []Violation {
+	return AuditRCDecoded(h, extra, nil)
+}
+
+// AuditRCDecoded is AuditRC under an explicit link decoder: each pointer cell
+// is decoded to (referent, weight) and the expected count is the weighted
+// in-edge sum plus extra. decode == nil means bare refs at weight 1.
+func AuditRCDecoded(h *mem.Heap, extra map[mem.Ref]int64, decode Decoder) []Violation {
+	if decode == nil {
+		decode = func(u uint64) (mem.Ref, int64) {
+			if u == 0 {
+				return 0, 0
+			}
+			return mem.Ref(u), 1
+		}
+	}
 	expected := make(map[mem.Ref]int64, 256)
 	var live []mem.Ref
 	h.Walk(func(r mem.Ref, freed bool) bool {
@@ -59,10 +82,8 @@ func AuditRC(h *mem.Heap, extra map[mem.Ref]int64) []Violation {
 			return true
 		}
 		for _, f := range d.PtrFields {
-			if t := mem.Ref(h.Load(h.FieldAddr(r, f))); t != 0 && t != r {
-				expected[t]++
-			} else if t == r {
-				expected[t]++ // self-pointers count too
+			if t, w := decode(h.Load(h.FieldAddr(r, f))); t != 0 {
+				expected[t] += w // self-pointers count too
 			}
 		}
 		return true

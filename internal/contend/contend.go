@@ -62,6 +62,7 @@ const (
 	RoleLeftHat       // the Snark anchor's LeftHat word
 	RoleRightHat      // the Snark anchor's RightHat word
 	RoleAnchor        // another anchor word (e.g. the Dummy pointer)
+	RoleRCExt         // a pointer cell's colocated external count (split RC strategy weight stash)
 
 	numRoles
 )
@@ -76,6 +77,7 @@ func (r Role) String() string {
 		RoleLeftHat:  "left_hat",
 		RoleRightHat: "right_hat",
 		RoleAnchor:   "anchor",
+		RoleRCExt:    "rc_ext",
 	}
 	if int(r) < len(names) {
 		return names[r]

@@ -47,6 +47,15 @@ type RC struct {
 	h *mem.Heap
 	e dcas.Engine
 
+	// strat is the reference-count strategy (see strategy.go): the paper's
+	// figure2 single-count protocol by default, or the weighted split
+	// external/internal protocol. stratKind and the split weights are the
+	// construction-time knobs it is built from.
+	strat       Strategy
+	stratKind   StrategyKind
+	splitLink   int64
+	splitRefill int64
+
 	// reclaimKind selects the reclamation backend built at construction;
 	// destroyBudget is the incremental-destroy budget handed to it (the
 	// paper's §7 "incremental collection of large structures").
@@ -107,6 +116,20 @@ func WithReclaimerKind(k reclaim.Kind) Option {
 	return func(c *RC) { c.reclaimKind = k }
 }
 
+// WithStrategyKind selects the reference-count strategy (see strategy.go).
+// The default is StrategyFigure2, the paper-faithful single-count protocol.
+func WithStrategyKind(k StrategyKind) Option {
+	return func(c *RC) { c.stratKind = k }
+}
+
+// WithSplitWeights overrides the split strategy's link stash size and refill
+// amount (both default to splitDefaultWeight). It only takes effect when
+// StrategySplit is selected; tests use tiny weights to force the refill and
+// merge boundaries that are vanishingly rare at the default size.
+func WithSplitWeights(link, refill int64) Option {
+	return func(c *RC) { c.splitLink, c.splitRefill = link, refill }
+}
+
 // WithObserver attaches a flight recorder: LFRC operations record sampled
 // events (kind, ref, cell, outcome, retry count, latency) into its lock-free
 // per-stripe rings. A nil recorder leaves observation disabled.
@@ -144,6 +167,7 @@ func New(h *mem.Heap, e dcas.Engine, opts ...Option) *RC {
 	for _, o := range opts {
 		o(c)
 	}
+	c.strat = strategyFor(c.stratKind, c.splitLink, c.splitRefill)
 	c.rec = reclaim.New(c.reclaimKind, c,
 		reclaim.WithBudget(c.destroyBudget),
 		reclaim.WithObserver(c.obs),
@@ -179,6 +203,20 @@ func (c *RC) Engine() dcas.Engine { return c.e }
 // Reclaimer returns the reclamation backend the RC was built with.
 func (c *RC) Reclaimer() reclaim.Reclaimer { return c.rec }
 
+// Strategy returns the reference-count strategy the RC was built with.
+func (c *RC) Strategy() Strategy { return c.strat }
+
+// StrategyName returns the active strategy's name ("figure2" or "split").
+func (c *RC) StrategyName() string { return c.strat.Name() }
+
+// DecodeLink decodes a raw pointer-cell word into the referent it links to
+// and the reference-count weight the link carries (0, 0 for null). Strictly
+// read-only observers (census, audits, the tracing collector) use it to
+// understand cells without assuming the figure2 bare-ref encoding.
+func (c *RC) DecodeLink(u uint64) (mem.Ref, int64) {
+	return c.strat.Ref(u), c.strat.Weight(u)
+}
+
 // NewObject allocates an object of type t with reference count 1 — the
 // reference returned to the caller, which the caller must eventually either
 // store somewhere with StoreAlloc or release with Destroy.
@@ -191,54 +229,19 @@ func (c *RC) NewObject(t mem.TypeID) (mem.Ref, error) {
 	return r, nil
 }
 
-// Load implements LFRCLoad (paper Figure 2, lines 1–12): it loads the
-// pointer at shared cell a into *dest, incrementing the referent's count
-// atomically — via DCAS — with the check that the pointer still exists, and
-// then releases the reference previously held in *dest.
+// Load implements LFRCLoad: it loads the pointer at shared cell a into
+// *dest, securing a counted reference to the referent per the active
+// strategy — the paper's Figure-2 DCAS (lines 1–12) under figure2, a
+// weight-stash borrow under split — and then releases the reference
+// previously held in *dest. The retry loop itself lives with the strategy
+// (see strategy.go).
 func (c *RC) Load(a mem.Addr, dest *mem.Ref) {
 	t0 := c.obs.Sample()
-	var retries uint32
-	var oldrc uint64
 	olddest := *dest
-	for {
-		v := mem.Ref(c.e.Read(a))
-		if v == 0 {
-			*dest = 0
-			break
-		}
-		r := c.e.Read(c.h.RCAddr(v))
-		if c.LoadHook != nil {
-			c.LoadHook(v)
-		}
-		// An injected firing here lands in the paper's §5 window — between
-		// reading (v, rc) and the DCAS — and forces the retry path.
-		if c.fj.Inject(fault.CoreLoad) {
-			retries++
-			c.st().loadRetries.Add(1)
-			continue
-		}
-		if c.e.DCAS(a, c.h.RCAddr(v), uint64(v), r, uint64(v), r+1) {
-			*dest = v
-			oldrc = r
-			break
-		}
-		retries++
-		c.st().loadRetries.Add(1)
-		if c.ct != nil {
-			m0, m1 := dcas.Attribute(c.e, a, c.h.RCAddr(v), uint64(v), r)
-			c.ct.Attempt(obs.KindLoad, uint32(a), contend.RolePointer,
-				uint32(c.h.RCAddr(v)), contend.RoleRC, m0, m1)
-		}
-	}
+	v, old, delta, retries := c.strat.Load(c, a)
+	*dest = v
 	c.st().loads.Add(1)
-	if retries > 0 {
-		var rcA uint32
-		if *dest != 0 {
-			rcA = uint32(c.h.RCAddr(*dest))
-		}
-		c.ct.OpDone(obs.KindLoad, uint32(a), contend.RolePointer, rcA, contend.RoleRC, retries)
-	}
-	c.recordT(t0, obs.KindLoad, *dest, a, true, retries, oldrc, 1)
+	c.recordT(t0, obs.KindLoad, v, a, true, retries, old, delta)
 	c.Destroy(olddest)
 }
 
@@ -254,7 +257,7 @@ func (c *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 	var oldrc uint64
 	olddest := *dest
 	for {
-		v := mem.Ref(c.e.Read(a))
+		v := c.strat.Ref(c.e.Read(a))
 		if v == 0 {
 			*dest = 0
 			break
@@ -263,7 +266,7 @@ func (c *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 			c.NaiveHook(v)
 		}
 		oldrc = c.addToRC(obs.KindNaiveLoad, v, 1) // unsafe: v may already be freed
-		if mem.Ref(c.e.Read(a)) == v {
+		if c.strat.Ref(c.e.Read(a)) == v {
 			*dest = v
 			break
 		}
@@ -281,60 +284,71 @@ func (c *RC) NaiveLoad(a mem.Addr, dest *mem.Ref) {
 }
 
 // Store implements LFRCStore (Figure 2, lines 21–28): it stores pointer
-// value v into shared cell a, incrementing v's count first and releasing the
-// overwritten pointer afterwards.
+// value v into shared cell a, crediting v's count with a full link's worth
+// first and releasing the displaced link afterwards.
 func (c *RC) Store(a mem.Addr, v mem.Ref) {
 	t0 := c.obs.Sample()
 	var oldrc uint64
+	lc := c.strat.LinkCredit()
 	if v != 0 {
-		oldrc = c.addToRC(obs.KindStore, v, 1)
+		oldrc = c.addToRC(obs.KindStore, v, lc)
 	}
+	nw := c.strat.Pack(v)
 	var retries uint32
 	for {
-		old := mem.Ref(c.e.Read(a))
+		u := c.e.Read(a)
 		if c.fj.Inject(fault.CoreStore) {
 			retries++
 			continue
 		}
-		if c.e.CAS(a, uint64(old), uint64(v)) {
+		if c.e.CAS(a, u, nw) {
 			c.st().stores.Add(1)
 			if retries > 0 {
 				c.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
 			}
-			c.recordT(t0, obs.KindStore, v, a, true, retries, oldrc, 1)
-			c.Destroy(old)
+			c.recordT(t0, obs.KindStore, v, a, true, retries, oldrc, lc)
+			c.releaseWord(u)
 			return
 		}
 		retries++
-		c.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
+		if c.ct != nil {
+			c.ct.Attempt(obs.KindStore, uint32(a), c.strat.FailRole(c, a, u), 0, contend.RoleUnknown, true, false)
+		}
 	}
 }
 
 // StoreAlloc is LFRCStoreAlloc (paper §4, Figure 1 caption): like Store but
-// without incrementing v's count — it transfers the reference that NewObject
-// returned directly into the cell. After StoreAlloc the caller's local copy
-// of v is dead weight: do not Destroy it and do not use it as a counted
+// transferring the reference that NewObject returned directly into the cell
+// (under split, the strategy's AllocCredit tops the transferred weight-1
+// reference up to a full link stash). After StoreAlloc the caller's local
+// copy of v is dead weight: do not Destroy it and do not use it as a counted
 // reference.
 func (c *RC) StoreAlloc(a mem.Addr, v mem.Ref) {
 	t0 := c.obs.Sample()
+	if ac := c.strat.AllocCredit(); ac > 0 && v != 0 {
+		c.addToRC(obs.KindStore, v, ac)
+	}
+	nw := c.strat.Pack(v)
 	var retries uint32
 	for {
-		old := mem.Ref(c.e.Read(a))
+		u := c.e.Read(a)
 		if c.fj.Inject(fault.CoreStoreAlloc) {
 			retries++
 			continue
 		}
-		if c.e.CAS(a, uint64(old), uint64(v)) {
+		if c.e.CAS(a, u, nw) {
 			c.st().stores.Add(1)
 			if retries > 0 {
 				c.ct.OpDone(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, retries)
 			}
 			c.obs.Record(t0, obs.KindStore, uint32(v), uint32(a), true, retries)
-			c.Destroy(old)
+			c.releaseWord(u)
 			return
 		}
 		retries++
-		c.ct.Attempt(obs.KindStore, uint32(a), contend.RolePointer, 0, contend.RoleUnknown, true, false)
+		if c.ct != nil {
+			c.ct.Attempt(obs.KindStore, uint32(a), c.strat.FailRole(c, a, u), 0, contend.RoleUnknown, true, false)
+		}
 	}
 }
 
@@ -354,49 +368,104 @@ func (c *RC) Copy(v *mem.Ref, w mem.Ref) {
 }
 
 // CAS implements LFRCCAS: the single-location simplification of DCAS (paper
-// §2.2 and Figure 2 caption).
+// §2.2 and Figure 2 caption). The comparison is over abstract pointer values
+// — the strategy's Swing absorbs weight-stash churn internally.
 func (c *RC) CAS(a mem.Addr, old, new mem.Ref) bool {
 	t0 := c.obs.Sample()
 	var oldrc uint64
+	lc := c.strat.LinkCredit()
 	if new != 0 {
-		oldrc = c.addToRC(obs.KindCAS, new, 1)
+		oldrc = c.addToRC(obs.KindCAS, new, lc)
 	}
 	c.st().casOps.Add(1)
 	// An injected firing fails the whole operation: the caller observes a
-	// lost CAS and the provisional increment on new is compensated below —
-	// the exact path a genuine failure takes.
-	if !c.fj.Inject(fault.CoreCAS) && c.e.CAS(a, uint64(old), uint64(new)) {
-		c.recordT(t0, obs.KindCAS, new, a, true, 0, oldrc, 1)
-		c.Destroy(old)
-		return true
+	// lost CAS and the provisional credit on new is compensated below — the
+	// exact path a genuine failure takes.
+	if !c.fj.Inject(fault.CoreCAS) {
+		if d, ok := c.strat.Swing(c, a, old, new); ok {
+			c.recordT(t0, obs.KindCAS, new, a, true, 0, oldrc, lc)
+			c.releaseWord(d)
+			return true
+		}
 	}
-	c.recordT(t0, obs.KindCAS, new, a, false, 0, oldrc, 1)
-	c.Destroy(new)
+	c.recordT(t0, obs.KindCAS, new, a, false, 0, oldrc, lc)
+	c.releaseWeight(new, lc)
 	return false
 }
 
 // DCAS implements LFRCDCAS (Figure 2, lines 33–39): reference counts of the
-// new referents are raised before the attempt; on success the two displaced
-// pointers are released, on failure the two provisional increments are
+// new referents are credited before the attempt; on success the two
+// displaced links are released, on failure the two provisional credits are
 // compensated.
 func (c *RC) DCAS(a0, a1 mem.Addr, old0, old1, new0, new1 mem.Ref) bool {
 	t0 := c.obs.Sample()
 	var oldrc0 uint64
+	lc := c.strat.LinkCredit()
 	if new0 != 0 {
-		oldrc0 = c.addToRC(obs.KindDCAS, new0, 1)
+		oldrc0 = c.addToRC(obs.KindDCAS, new0, lc)
 	}
 	if new1 != 0 {
-		c.addToRC(obs.KindDCAS, new1, 1)
+		c.addToRC(obs.KindDCAS, new1, lc)
 	}
 	c.st().dcasOps.Add(1)
-	if !c.fj.Inject(fault.CoreDCAS) && c.e.DCAS(a0, a1, uint64(old0), uint64(old1), uint64(new0), uint64(new1)) {
-		c.recordT(t0, obs.KindDCAS, new0, a0, true, 0, oldrc0, 1)
-		c.Destroy(old0, old1)
-		return true
+	if !c.fj.Inject(fault.CoreDCAS) {
+		if d0, d1, ok := c.strat.SwingPair(c, a0, a1, old0, old1, new0, new1); ok {
+			c.recordT(t0, obs.KindDCAS, new0, a0, true, 0, oldrc0, lc)
+			c.releasePair(d0, d1)
+			return true
+		}
 	}
-	c.recordT(t0, obs.KindDCAS, new0, a0, false, 0, oldrc0, 1)
-	c.Destroy(new0, new1)
+	c.recordT(t0, obs.KindDCAS, new0, a0, false, 0, oldrc0, lc)
+	if lc == 1 {
+		c.Destroy(new0, new1)
+	} else {
+		c.releaseWeight(new0, lc)
+		c.releaseWeight(new1, lc)
+	}
 	return false
+}
+
+// releaseWord releases the link credit carried by a displaced pointer word.
+func (c *RC) releaseWord(u uint64) {
+	v := c.strat.Ref(u)
+	if v == 0 {
+		return
+	}
+	c.releaseWeight(v, c.strat.Weight(u))
+}
+
+// releasePair releases two displaced pointer words from one DCAS, keeping
+// the figure2 path on the exact batched-Destroy shape it always had.
+func (c *RC) releasePair(d0, d1 uint64) {
+	w0, w1 := c.strat.Weight(d0), c.strat.Weight(d1)
+	if w0 <= 1 && w1 <= 1 {
+		c.Destroy(c.strat.Ref(d0), c.strat.Ref(d1))
+		return
+	}
+	c.releaseWord(d0)
+	c.releaseWord(d1)
+}
+
+// releaseWeight drops w units of v's reference count, retiring v when the
+// count hits zero. Weight 1 is exactly Destroy of one local reference; a
+// larger weight is a split-strategy external merge — a destroyed link's
+// remaining stash folded back into the count in one update.
+func (c *RC) releaseWeight(v mem.Ref, w int64) {
+	if v == 0 || w <= 0 {
+		return
+	}
+	if w == 1 {
+		c.Destroy(v)
+		return
+	}
+	c.st().destroys.Add(1)
+	c.st().extMerges.Add(1)
+	old := c.addToRC(obs.KindDestroy, v, -w)
+	hitZero := old == uint64(w)
+	c.recordT(0, obs.KindDestroy, v, 0, hitZero, 0, old, -w)
+	if hitZero {
+		c.rec.Retire([]mem.Ref{v})
+	}
 }
 
 // Destroy implements LFRCDestroy (Figure 2, lines 13–15) for any number of
@@ -444,15 +513,22 @@ func (c *RC) ReleaseChildren(p mem.Ref, dst []mem.Ref) []mem.Ref {
 		return dst
 	}
 	for _, f := range d.PtrFields {
-		child := mem.Ref(c.e.Read(c.h.FieldAddr(p, f)))
+		u := c.e.Read(c.h.FieldAddr(p, f))
+		child := c.strat.Ref(u)
 		if child == 0 {
 			continue
 		}
 		c.h.Store(c.h.FieldAddr(p, f), 0)
+		// The dying link's whole remaining weight merges back in one update
+		// (weight is always 1 under figure2).
+		w := c.strat.Weight(u)
 		c.st().destroys.Add(1)
-		old := c.addToRC(obs.KindDestroy, child, -1)
-		c.recordT(0, obs.KindDestroy, child, 0, old == 1, 0, old, -1)
-		if old == 1 {
+		if w > 1 {
+			c.st().extMerges.Add(1)
+		}
+		old := c.addToRC(obs.KindDestroy, child, -w)
+		c.recordT(0, obs.KindDestroy, child, 0, old == uint64(w), 0, old, -w)
+		if old == uint64(w) {
 			dst = append(dst, child)
 		}
 	}
@@ -527,6 +603,19 @@ func (c *RC) recordT(t0 int64, kind obs.Kind, ref mem.Ref, addr mem.Addr, ok boo
 	c.obs.RecordT(t0, kind, uint32(ref), uint32(addr), ok, retries, o, n)
 }
 
+// AttributeLinks assigns blame for a failed pointer-cell CAS/DCAS the way
+// dcas.Attribute does, but over abstract pointer values: the two cells are
+// re-read and decoded through the strategy before comparing, so split-
+// strategy weight-stash churn is not mistaken for pointer motion. Structure
+// packages attribute their own retry loops through it.
+func (c *RC) AttributeLinks(a0, a1 mem.Addr, old0, old1 mem.Ref) (m0, m1 bool) {
+	m0 = c.strat.Ref(c.e.Read(a0)) != old0
+	if a1 != a0 {
+		m1 = c.strat.Ref(c.e.Read(a1)) != old1
+	}
+	return m0, m1
+}
+
 // RCOf returns the current reference count of p (diagnostics only).
 func (c *RC) RCOf(p mem.Ref) uint64 { return c.e.Read(c.h.RCAddr(p)) }
 
@@ -577,7 +666,9 @@ type opStripe struct {
 	frees             atomic.Int64
 	freeErrors        atomic.Int64
 	poisonedRCUpdates atomic.Int64
-	_                 [40]byte
+	weightRefills     atomic.Int64
+	extMerges         atomic.Int64
+	_                 [24]byte
 }
 
 // Stats is a snapshot of LFRC operation counters.
@@ -600,6 +691,12 @@ type Stats struct {
 	// in the count cell — each one is a use-after-free that DCAS-based
 	// Load would have prevented.
 	PoisonedRCUpdates int64
+
+	// WeightRefills and ExtMerges are split-strategy traffic (always 0
+	// under figure2): refills recharge a drained link weight stash via the
+	// slow-path DCAS, merges fold a destroyed link's remaining stash back
+	// into the internal count in one update.
+	WeightRefills, ExtMerges int64
 }
 
 // Stats returns a snapshot of the RC's counters, summed across stripes.
@@ -618,6 +715,8 @@ func (c *RC) Stats() Stats {
 		s.DCASOps += st.dcasOps.Load()
 		s.Destroys += st.destroys.Load()
 		s.PoisonedRCUpdates += st.poisonedRCUpdates.Load()
+		s.WeightRefills += st.weightRefills.Load()
+		s.ExtMerges += st.extMerges.Load()
 	}
 	s.ZombiePushes = c.rec.Stats().Parked
 	return s

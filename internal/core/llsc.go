@@ -75,14 +75,17 @@ func (rc *RC) Unlink(l *Link) {
 // generalization its §2.1 anticipates, and the DCAS-based sorted list
 // (package dlist) is its client.
 func (rc *RC) DCASMixed(a0 mem.Addr, old0, new0 mem.Ref, a1 mem.Addr, old1, new1 uint64) bool {
+	lc := rc.strat.LinkCredit()
 	if new0 != 0 {
-		rc.addToRC(obs.KindDCAS, new0, 1)
+		rc.addToRC(obs.KindDCAS, new0, lc)
 	}
 	rc.st().dcasOps.Add(1)
-	if !rc.fj.Inject(fault.CoreDCAS) && rc.e.DCAS(a0, a1, uint64(old0), old1, uint64(new0), new1) {
-		rc.Destroy(old0)
-		return true
+	if !rc.fj.Inject(fault.CoreDCAS) {
+		if d0, ok := rc.strat.SwingMixed(rc, a0, old0, new0, a1, old1, new1); ok {
+			rc.releaseWord(d0)
+			return true
+		}
 	}
-	rc.Destroy(new0)
+	rc.releaseWeight(new0, lc)
 	return false
 }

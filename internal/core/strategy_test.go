@@ -1,0 +1,411 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"lfrc/internal/mem"
+)
+
+// These tests exercise the split (weighted) reference-count strategy at the
+// boundaries that never occur at the default 2^16 stash size: refill when a
+// link's stash drains to its last unit, external-count merge when a link is
+// destroyed, and ref/weight packing at the field limits. `make check-rc`
+// runs them under -race on both engines.
+
+// splitWorld builds a world on the split strategy with tiny weights so the
+// boundary paths fire constantly.
+func splitWorlds(link, refill int64) map[string]func(t *testing.T, opts ...Option) *world {
+	base := worldFactories()
+	out := make(map[string]func(t *testing.T, opts ...Option) *world, len(base))
+	for name, mk := range base {
+		mk := mk
+		out[name] = func(t *testing.T, opts ...Option) *world {
+			t.Helper()
+			opts = append([]Option{
+				WithStrategyKind(StrategySplit),
+				WithSplitWeights(link, refill),
+			}, opts...)
+			return mk(t, opts...)
+		}
+	}
+	return out
+}
+
+// linkWeight decodes the stash weight of the link currently in cell a.
+func linkWeight(w *world, a mem.Addr) int64 {
+	_, wt := w.rc.DecodeLink(w.rc.WordLoad(a))
+	return wt
+}
+
+func TestSplitCodecBoundaries(t *testing.T) {
+	s := strategyFor(StrategySplit, splitMaxWeight, splitMaxWeight).(*splitStrategy)
+
+	if got := s.Pack(0); got != 0 {
+		t.Errorf("Pack(0) = %#x, want 0", got)
+	}
+	// The widest possible word — max ref with max weight — must round-trip
+	// and stay inside the engine's value range, clear of descriptor tags.
+	maxRef := mem.Ref(0xFFFF_FFFF)
+	word := s.Pack(maxRef)
+	if got := s.Ref(word); got != maxRef {
+		t.Errorf("Ref(Pack(max)) = %#x, want %#x", got, maxRef)
+	}
+	if got := s.Weight(word); got != splitMaxWeight {
+		t.Errorf("Weight(Pack(max)) = %d, want %d", got, splitMaxWeight)
+	}
+	if word&^mem.ValueMask != 0 {
+		t.Errorf("packed word %#x overflows ValueMask", word)
+	}
+
+	// A bare-ref word (no weight bits) decodes as a weight-1 link, never 0:
+	// a release through it must not vanish.
+	if got := s.Weight(uint64(maxRef)); got != 1 {
+		t.Errorf("Weight(bare ref) = %d, want 1", got)
+	}
+	if got := s.Weight(0); got != 0 {
+		t.Errorf("Weight(0) = %d, want 0", got)
+	}
+
+	// Out-of-range construction weights clamp into the packable field.
+	c := strategyFor(StrategySplit, splitMaxWeight+100, -5).(*splitStrategy)
+	if c.link != splitMaxWeight || c.refill != splitDefaultWeight {
+		t.Errorf("clamp: link=%d refill=%d", c.link, c.refill)
+	}
+
+	f := strategyFor(StrategyFigure2, 0, 0)
+	if f.Name() != "figure2" || f.Pack(maxRef) != uint64(maxRef) || f.LinkCredit() != 1 {
+		t.Error("figure2 strategy must be the identity codec with unit credit")
+	}
+}
+
+func TestSplitStoreInstallsWeightedLink(t *testing.T) {
+	const W = 8
+	for name, mk := range splitWorlds(W, W) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+
+			w.rc.Store(a, p)
+			// Invariant: rc == sum of outstanding weights = local(1) + stash(W).
+			if got := w.rc.RCOf(p); got != 1+W {
+				t.Errorf("rc(p) = %d, want %d (local + stash)", got, 1+W)
+			}
+			if got := linkWeight(w, a); got != W {
+				t.Errorf("stash = %d, want %d", got, W)
+			}
+
+			// Overwriting with null merges the whole stash back and releases
+			// the link: only the local reference remains.
+			w.rc.Store(a, 0)
+			if got := w.rc.RCOf(p); got != 1 {
+				t.Errorf("after unlink, rc(p) = %d, want 1", got)
+			}
+			if got := w.rc.Stats().ExtMerges; got == 0 {
+				t.Error("unlink of a fresh link did not count an external merge")
+			}
+			w.rc.Destroy(p)
+			if !w.h.IsFreed(p) {
+				t.Error("object not freed after last Destroy")
+			}
+		})
+	}
+}
+
+func TestSplitStoreAllocTopsUpToFullStash(t *testing.T) {
+	const W = 8
+	for name, mk := range splitWorlds(W, W) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+
+			// StoreAlloc transfers the weight-1 NewObject reference and adds
+			// AllocCredit = W-1, so the cell still carries a full stash.
+			w.rc.StoreAlloc(a, p)
+			if got := w.rc.RCOf(p); got != W {
+				t.Errorf("rc(p) = %d, want %d (stash only)", got, W)
+			}
+			if got := linkWeight(w, a); got != W {
+				t.Errorf("stash = %d, want %d", got, W)
+			}
+			w.rc.Store(a, 0)
+			if !w.h.IsFreed(p) {
+				t.Error("unlinking the only reference did not free the object")
+			}
+		})
+	}
+}
+
+func TestSplitLoadBorrowsFromStash(t *testing.T) {
+	const W = 8
+	for name, mk := range splitWorlds(W, W) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p) // rc = W, stash = W
+
+			// Each fast-path Load moves one unit from the stash to a local:
+			// the total (rc word) must not move at all.
+			locals := make([]mem.Ref, 3)
+			for i := range locals {
+				w.rc.Load(a, &locals[i])
+				if locals[i] != p {
+					t.Fatalf("Load = %d, want %d", locals[i], p)
+				}
+			}
+			if got := w.rc.RCOf(p); got != W {
+				t.Errorf("rc(p) after %d borrows = %d, want %d (untouched)", len(locals), got, W)
+			}
+			if got := linkWeight(w, a); got != W-int64(len(locals)) {
+				t.Errorf("stash = %d, want %d", got, W-int64(len(locals)))
+			}
+			if got := w.rc.Stats().WeightRefills; got != 0 {
+				t.Errorf("WeightRefills = %d, want 0 (stash never drained)", got)
+			}
+
+			// Return the borrows, unlink, and the object dies exactly once.
+			w.rc.Destroy(locals...)
+			w.rc.Store(a, 0)
+			if !w.h.IsFreed(p) {
+				t.Error("object not freed")
+			}
+			if got := w.rc.Stats().Frees; got != 1 {
+				t.Errorf("Frees = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestSplitRefillAtDrainedStash(t *testing.T) {
+	const W, K = 2, 3
+	for name, mk := range splitWorlds(W, K) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p) // rc = 2, stash = 2
+
+			// Borrow past the stash: the second Load finds the last unit and
+			// must take the refill slow path (stash -> K, rc += K) instead of
+			// ever letting the stash reach 0.
+			var locals []mem.Ref
+			for i := 0; i < 5; i++ {
+				var dst mem.Ref
+				w.rc.Load(a, &dst)
+				locals = append(locals, dst)
+				if got := linkWeight(w, a); got < 1 {
+					t.Fatalf("stash dropped to %d after load %d; the link no longer pins the object", got, i)
+				}
+			}
+			if got := w.rc.Stats().WeightRefills; got == 0 {
+				t.Error("draining the stash never took the refill path")
+			}
+			// Conservation at quiescence: rc == locals + stash.
+			want := uint64(len(locals)) + uint64(linkWeight(w, a))
+			if got := w.rc.RCOf(p); got != want {
+				t.Errorf("rc(p) = %d, want %d (locals %d + stash %d)", got, want, len(locals), linkWeight(w, a))
+			}
+
+			w.rc.Destroy(locals...)
+			w.rc.Store(a, 0)
+			if !w.h.IsFreed(p) {
+				t.Error("object not freed after all references dropped")
+			}
+			hs := w.h.Stats()
+			if hs.DoubleFrees != 0 || hs.Corruptions != 0 {
+				t.Errorf("DoubleFrees=%d Corruptions=%d, want 0/0", hs.DoubleFrees, hs.Corruptions)
+			}
+		})
+	}
+}
+
+func TestSplitMaxWeightPackingBoundary(t *testing.T) {
+	// The widest stash the packing supports must behave like any other: no
+	// bleed into the ref bits on borrow, no count corruption on merge.
+	for name, mk := range splitWorlds(splitMaxWeight, splitMaxWeight) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+
+			var dst mem.Ref
+			w.rc.Load(a, &dst)
+			if dst != p {
+				t.Fatalf("Load = %d, want %d", dst, p)
+			}
+			if got := linkWeight(w, a); got != splitMaxWeight-1 {
+				t.Errorf("stash = %d, want %d", got, splitMaxWeight-1)
+			}
+			if got, _ := w.rc.DecodeLink(w.rc.WordLoad(a)); got != p {
+				t.Errorf("ref bits corrupted: %d, want %d", got, p)
+			}
+			w.rc.Destroy(dst)
+			w.rc.Store(a, 0)
+			if !w.h.IsFreed(p) {
+				t.Error("object not freed")
+			}
+		})
+	}
+}
+
+func TestSplitCASAndDCASSwingRefs(t *testing.T) {
+	const W = 4
+	for name, mk := range splitWorlds(W, W) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			q, _ := w.rc.NewObject(w.node)
+			w.rc.Store(a, p)
+
+			// Drain one unit so the cell's word is not the freshly packed
+			// value: the CAS must still succeed — it compares pointers, not
+			// raw words.
+			var dst mem.Ref
+			w.rc.Load(a, &dst)
+			w.rc.Destroy(dst)
+
+			if !w.rc.CAS(a, p, q) {
+				t.Fatal("CAS(p -> q) failed despite unchanged pointer")
+			}
+			if got := w.rc.RCOf(p); got != 1 {
+				t.Errorf("rc(p) after displacement = %d, want 1", got)
+			}
+			if got := w.rc.RCOf(q); got != 1+W {
+				t.Errorf("rc(q) = %d, want %d", got, 1+W)
+			}
+			if w.rc.CAS(a, p, q) {
+				t.Error("CAS succeeded against a stale pointer")
+			}
+
+			// DCAS across two cells, same discipline.
+			b := w.sharedPtr(t)
+			w.rc.Store(b, q)
+			if !w.rc.DCAS(a, b, q, q, p, p) {
+				t.Fatal("DCAS failed despite matching pointers")
+			}
+			if got := w.rc.RCOf(p); got != 1+2*W {
+				t.Errorf("rc(p) = %d, want %d", got, 1+2*W)
+			}
+			w.rc.Store(a, 0)
+			w.rc.Store(b, 0)
+			w.rc.Destroy(p, q)
+			if !w.h.IsFreed(p) || !w.h.IsFreed(q) {
+				t.Error("objects not freed")
+			}
+		})
+	}
+}
+
+func TestSplitConcurrentChurnKeepsSafety(t *testing.T) {
+	// The TestConcurrentLoadStoreChurn scenario with stash sizes small
+	// enough that refills, merges and borrows race constantly. Run with
+	// -race on both engines (make check-rc).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for name, mk := range splitWorlds(2, 2) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			a := w.sharedPtr(t)
+			p, _ := w.rc.NewObject(w.node)
+			w.rc.StoreAlloc(a, p)
+
+			const (
+				readers = 6
+				rounds  = 2000
+			)
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var dst mem.Ref
+					for {
+						select {
+						case <-stop:
+							w.rc.Destroy(dst)
+							return
+						default:
+							w.rc.Load(a, &dst)
+							if dst != 0 && w.h.IsFreed(dst) {
+								t.Error("Load returned a freed object")
+								w.rc.Destroy(dst)
+								return
+							}
+						}
+					}
+				}()
+			}
+			for i := 0; i < rounds; i++ {
+				n, err := w.rc.NewObject(w.node)
+				if err != nil {
+					t.Fatalf("NewObject: %v", err)
+				}
+				w.rc.StoreAlloc(a, n)
+			}
+			close(stop)
+			wg.Wait()
+			w.rc.Store(a, 0)
+
+			s := w.rc.Stats()
+			if s.PoisonedRCUpdates != 0 {
+				t.Errorf("PoisonedRCUpdates = %d, want 0", s.PoisonedRCUpdates)
+			}
+			hs := w.h.Stats()
+			if hs.Corruptions != 0 || hs.DoubleFrees != 0 {
+				t.Errorf("Corruptions=%d DoubleFrees=%d, want 0/0", hs.Corruptions, hs.DoubleFrees)
+			}
+			if hs.LiveObjects != 1 {
+				t.Errorf("LiveObjects = %d, want 1 (the holder)", hs.LiveObjects)
+			}
+		})
+	}
+}
+
+func TestSplitDCASMixedPointerAndScalar(t *testing.T) {
+	const W = 4
+	for name, mk := range splitWorlds(W, W) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(t)
+			holder, err := w.rc.NewObject(w.node) // fields: ptr, ptr, scalar
+			if err != nil {
+				t.Fatalf("NewObject: %v", err)
+			}
+			pa := w.h.FieldAddr(holder, 0)
+			sa := w.h.FieldAddr(holder, 2)
+			p, _ := w.rc.NewObject(w.node)
+			q, _ := w.rc.NewObject(w.node)
+			w.rc.Store(pa, p)
+			w.rc.WordStore(sa, 7)
+
+			// Weight noise on the pointer side must not fail the mixed DCAS.
+			var dst mem.Ref
+			w.rc.Load(pa, &dst)
+			w.rc.Destroy(dst)
+
+			if !w.rc.DCASMixed(pa, p, q, sa, 7, 9) {
+				t.Fatal("DCASMixed failed despite matching pointer and scalar")
+			}
+			if got := w.rc.WordLoad(sa); got != 9 {
+				t.Errorf("scalar = %d, want 9", got)
+			}
+			if got := w.rc.RCOf(p); got != 1 {
+				t.Errorf("rc(p) = %d, want 1 (stash merged out)", got)
+			}
+			// A moved scalar is an abstract failure and compensates q's credit.
+			if w.rc.DCASMixed(pa, q, p, sa, 7, 1) {
+				t.Error("DCASMixed succeeded against a stale scalar")
+			}
+			if got := w.rc.RCOf(q); got != 1+W {
+				t.Errorf("rc(q) = %d, want %d after compensation", got, 1+W)
+			}
+			w.rc.Store(pa, 0)
+			w.rc.Destroy(p, q, holder)
+		})
+	}
+}

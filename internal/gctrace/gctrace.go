@@ -29,8 +29,9 @@ import (
 type Collector struct {
 	h *mem.Heap
 
-	mu    sync.Mutex
-	roots map[mem.Ref]*rootEntry
+	mu     sync.Mutex
+	roots  map[mem.Ref]*rootEntry
+	decode func(uint64) (mem.Ref, int64)
 }
 
 // rootEntry is one registered root's bookkeeping: how many handles hold it
@@ -43,6 +44,29 @@ type rootEntry struct {
 // New creates a collector for h.
 func New(h *mem.Heap) *Collector {
 	return &Collector{h: h, roots: make(map[mem.Ref]*rootEntry)}
+}
+
+// SetDecoder installs a link decoder mapping a raw pointer-cell word to
+// (referent, count weight). RC strategies that pack per-link state into the
+// pointer word (split) need it so the mark phase follows real edges and the
+// sweep phase subtracts each dying link's full weight from its survivor. A
+// nil decoder (the default) reads bare refs at weight 1 — the figure2 layout.
+func (c *Collector) SetDecoder(decode func(uint64) (mem.Ref, int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decode = decode
+}
+
+// decodeCell applies the installed decoder (or the bare-ref default) to one
+// pointer-cell word. Callers hold c.mu.
+func (c *Collector) decodeCell(u uint64) (mem.Ref, int64) {
+	if c.decode != nil {
+		return c.decode(u)
+	}
+	if u == 0 {
+		return 0, 0
+	}
+	return mem.Ref(u), 1
 }
 
 // AddRoot registers a root reference: an object the mutator side holds alive
@@ -154,7 +178,7 @@ func (c *Collector) Collect() Result {
 			continue
 		}
 		for _, f := range d.PtrFields {
-			t := mem.Ref(c.h.Load(c.h.FieldAddr(p, f)))
+			t, _ := c.decodeCell(c.h.Load(c.h.FieldAddr(p, f)))
 			if t == 0 || marked[t] || c.h.IsFreed(t) {
 				continue
 			}
@@ -180,15 +204,20 @@ func (c *Collector) Collect() Result {
 			continue
 		}
 		for _, f := range d.PtrFields {
-			t := mem.Ref(c.h.Load(c.h.FieldAddr(g, f)))
+			t, w := c.decodeCell(c.h.Load(c.h.FieldAddr(g, f)))
 			if t == 0 || !marked[t] {
 				continue // fellow garbage needs no bookkeeping
 			}
-			// Subtract the reference the dying object held.
+			// Subtract the full weight the dying link held (its unspent
+			// stash under split, exactly 1 under figure2), clamping at 0.
 			a := c.h.RCAddr(t)
 			for {
 				old := c.h.Load(a)
-				if old == 0 || c.h.CAS(a, old, old-1) {
+				nw := uint64(0)
+				if old > uint64(w) {
+					nw = old - uint64(w)
+				}
+				if old == 0 || c.h.CAS(a, old, nw) {
 					break
 				}
 			}

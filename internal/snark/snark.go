@@ -33,7 +33,6 @@ import (
 
 	"lfrc/internal/contend"
 	"lfrc/internal/core"
-	"lfrc/internal/dcas"
 	"lfrc/internal/fault"
 	"lfrc/internal/mem"
 	"lfrc/internal/obs"
@@ -242,7 +241,7 @@ func (d *Deque) attFail(op obs.Kind, a0 mem.Addr, r0 contend.Role, a1 mem.Addr, 
 	if d.ct == nil {
 		return
 	}
-	m0, m1 := dcas.Attribute(d.rc.Engine(), a0, a1, uint64(old0), uint64(old1))
+	m0, m1 := d.rc.AttributeLinks(a0, a1, old0, old1)
 	d.ct.Attempt(op, uint32(a0), r0, uint32(a1), r1, m0, m1)
 }
 

@@ -10,8 +10,9 @@ import (
 
 // BenchSchemaVersion identifies the BenchRecord JSON layout. Bump it on any
 // breaking change; cmd/lfrcperf refuses to compare records with different
-// versions.
-const BenchSchemaVersion = 1
+// versions. v2 added rc_strategy (additive: v1 records read as "figure2" and
+// stay comparable).
+const BenchSchemaVersion = 2
 
 // BenchRecord is one machine-readable performance measurement of this
 // reproduction: the trajectory point `lfrcbench -bench-json` emits and
@@ -36,6 +37,13 @@ type BenchRecord struct {
 	// older than the field, which cmd/lfrcperf reads as "lfrc" (the only
 	// backend that existed then).
 	Reclaimer string `json:"reclaimer,omitempty"`
+
+	// RCStrategy names the reference-count strategy measured. Absent in
+	// records older than the field (schema v1), which cmd/lfrcperf reads as
+	// "figure2" (the only strategy that existed then). Records taken under
+	// different strategies are not comparable: the protocols do different
+	// per-operation work by design.
+	RCStrategy string `json:"rc_strategy,omitempty"`
 
 	// Config is the workload geometry shared by all experiments.
 	Config BenchConfig `json:"config"`
@@ -130,9 +138,9 @@ func seriesInterval(dur time.Duration) time.Duration {
 	return iv
 }
 
-// benchRun builds a fresh system on kind and rec and measures one throughput
-// run.
-func benchRun(kind EngineKind, rec lfrc.Reclaimer, mix Mix, dur time.Duration, workers, prefill int, extra ...lfrc.Option) (float64, *lfrc.System, error) {
+// benchRun builds a fresh system on kind, rec and strat and measures one
+// throughput run.
+func benchRun(kind EngineKind, rec lfrc.Reclaimer, strat lfrc.RCStrategy, mix Mix, dur time.Duration, workers, prefill int, extra ...lfrc.Option) (float64, *lfrc.System, error) {
 	opts := []lfrc.Option{}
 	if kind == EngineMCAS {
 		opts = append(opts, lfrc.WithEngine(lfrc.EngineMCAS))
@@ -141,6 +149,9 @@ func benchRun(kind EngineKind, rec lfrc.Reclaimer, mix Mix, dur time.Duration, w
 	}
 	if rec != 0 {
 		opts = append(opts, lfrc.WithReclamation(rec))
+	}
+	if strat != 0 {
+		opts = append(opts, lfrc.WithRCStrategy(strat))
 	}
 	opts = append(opts, extra...)
 	sys, err := lfrc.New(opts...)
@@ -163,7 +174,7 @@ func benchRun(kind EngineKind, rec lfrc.Reclaimer, mix Mix, dur time.Duration, w
 // extra contention-instrumented balanced run fills the Contention summary and
 // publishes its system (SetCurrentSystem), so -metrics and -stats-json report
 // on it.
-func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs int) (*BenchRecord, error) {
+func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, strat lfrc.RCStrategy, dur time.Duration, runs int) (*BenchRecord, error) {
 	const (
 		workers = 4
 		prefill = 64
@@ -174,6 +185,9 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 	if rec == 0 {
 		rec = lfrc.ReclaimerLFRC
 	}
+	if strat == 0 {
+		strat = lfrc.RCFigure2
+	}
 	out := &BenchRecord{
 		SchemaVersion: BenchSchemaVersion,
 		Host: BenchHost{
@@ -183,8 +197,9 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			GoVersion:  runtime.Version(),
 		},
-		Engine:    kind.String(),
-		Reclaimer: rec.String(),
+		Engine:     kind.String(),
+		Reclaimer:  rec.String(),
+		RCStrategy: strat.String(),
 		Config: BenchConfig{
 			DurNS:   int64(dur),
 			Runs:    runs,
@@ -194,7 +209,7 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 	}
 
 	// Warm up the process (page faults, scheduler, frequency) off the books.
-	if _, _, err := benchRun(kind, rec, Balanced, dur/4, workers, prefill); err != nil {
+	if _, _, err := benchRun(kind, rec, strat, Balanced, dur/4, workers, prefill); err != nil {
 		return nil, fmt.Errorf("warmup: %w", err)
 	}
 
@@ -217,7 +232,7 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 					lfrc.WithTimeline(lfrc.TimelineOptions{Interval: interval}),
 					lfrc.WithWatchdog(lfrc.WatchdogOptions{}))
 			}
-			rate, sys, err := benchRun(kind, rec, wl.mix, dur, workers, prefill, extra...)
+			rate, sys, err := benchRun(kind, rec, strat, wl.mix, dur, workers, prefill, extra...)
 			if err != nil {
 				return nil, fmt.Errorf("%s run %d: %w", wl.id, r, err)
 			}
@@ -250,8 +265,8 @@ func RunBenchJSON(kind EngineKind, rec lfrc.Reclaimer, dur time.Duration, runs i
 
 	// One contention-instrumented run for the summary. Its rate is not
 	// recorded (the observatory tax would pollute the trajectory).
-	if _, sys, err := benchRun(kind, rec, Balanced, dur, workers, prefill,
-		lfrc.WithContention(true), lfrc.WithTraceSampling(64)); err == nil {
+	if _, sys, err := benchRun(kind, rec, strat, Balanced, dur, workers, prefill,
+		lfrc.WithObservability(lfrc.ObservabilityOptions{Contention: true, SampleEvery: 64})); err == nil {
 		crep := sys.ContentionReport()
 		c := &BenchContention{Cells: len(crep.Cells), Dropped: crep.Dropped}
 		for _, cell := range crep.Cells {

@@ -82,6 +82,7 @@ func RunE8(kind EngineKind, scale Scale) *Table {
 		return t
 	}
 	gc := gctrace.New(env.Heap)
+	gc.SetDecoder(env.RC.DecodeLink)
 	gc.AddRoot(d.Anchor())
 
 	for i := 0; i < n; i++ {

@@ -79,8 +79,9 @@ func RunA3(dur time.Duration) *Table {
 }
 
 // runA3Cell runs one configuration and returns total push+pop operations and
-// the system's final stats snapshot.
-func runA3Cell(kind EngineKind, workers, shards int, dur time.Duration) (int64, lfrc.Stats, error) {
+// the system's final stats snapshot. shards <= 0 keeps the default sharding;
+// extra options (experiment R3 passes WithRCStrategy) are appended last.
+func runA3Cell(kind EngineKind, workers, shards int, dur time.Duration, extra ...lfrc.Option) (int64, lfrc.Stats, error) {
 	var engine lfrc.Engine
 	switch kind {
 	case EngineMCAS:
@@ -88,7 +89,12 @@ func runA3Cell(kind EngineKind, workers, shards int, dur time.Duration) (int64, 
 	default:
 		engine = lfrc.EngineLocking
 	}
-	sys, err := lfrc.New(lfrc.WithEngine(engine), lfrc.WithAllocShards(shards))
+	opts := []lfrc.Option{lfrc.WithEngine(engine)}
+	if shards > 0 {
+		opts = append(opts, lfrc.WithAllocShards(shards))
+	}
+	opts = append(opts, extra...)
+	sys, err := lfrc.New(opts...)
 	if err != nil {
 		return 0, lfrc.Stats{}, err
 	}

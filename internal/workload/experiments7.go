@@ -65,8 +65,11 @@ func RunO1(kind EngineKind, dur time.Duration) *Table {
 		default:
 			opts = append(opts, lfrc.WithEngine(lfrc.EngineLocking))
 		}
-		if m.sample >= 0 {
-			opts = append(opts, lfrc.WithTraceSampling(m.sample))
+		if m.sample > 0 {
+			opts = append(opts, lfrc.WithObservability(lfrc.ObservabilityOptions{SampleEvery: m.sample}))
+		} else if m.sample == 0 {
+			// Installed with recording off: the fixed hot-path tax alone.
+			opts = append(opts, lfrc.WithObservability(lfrc.ObservabilityOptions{SampleEvery: -1}))
 		}
 		sys, err := lfrc.New(opts...)
 		if err != nil {

@@ -12,8 +12,9 @@ import (
 // o2Mode is one ledger configuration of experiment O2.
 type o2Mode struct {
 	name string
-	// every is the 1-in-n object sampling interval handed to
-	// WithLifecycleLedger; < 0 means no ledger at all (the baseline).
+	// every is the 1-in-n object sampling interval handed to the ledger via
+	// ObservabilityOptions.LifecycleEvery; < 0 means no ledger at all (the
+	// baseline).
 	every int
 }
 
@@ -28,15 +29,18 @@ var o2Modes = []o2Mode{
 // o2Run builds one system in the given mode, runs the balanced throughput
 // workload, and returns the rate with the system (for its lifecycle stats).
 func o2Run(kind EngineKind, every int, dur time.Duration) (float64, *lfrc.System, error) {
-	opts := []lfrc.Option{lfrc.WithTraceSampling(64)}
+	opts := []lfrc.Option{lfrc.WithObservability(lfrc.ObservabilityOptions{SampleEvery: 64})}
 	switch kind {
 	case EngineMCAS:
 		opts = append(opts, lfrc.WithEngine(lfrc.EngineMCAS))
 	default:
 		opts = append(opts, lfrc.WithEngine(lfrc.EngineLocking))
 	}
-	if every >= 0 {
-		opts = append(opts, lfrc.WithLifecycleLedger(every))
+	if every > 0 {
+		opts = append(opts, lfrc.WithObservability(lfrc.ObservabilityOptions{LifecycleEvery: every}))
+	} else if every == 0 {
+		// Installed with object sampling off: the nil-sink tax alone.
+		opts = append(opts, lfrc.WithObservability(lfrc.ObservabilityOptions{LifecycleEvery: -1}))
 	}
 	sys, err := lfrc.New(opts...)
 	if err != nil {

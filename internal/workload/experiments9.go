@@ -43,8 +43,10 @@ func RunO3(kind EngineKind, dur time.Duration) *Table {
 
 	for _, m := range o3Modes {
 		opts := []lfrc.Option{
-			lfrc.WithContention(true),
-			lfrc.WithTraceSampling(64),
+			lfrc.WithObservability(lfrc.ObservabilityOptions{
+				Contention:  true,
+				SampleEvery: 64,
+			}),
 		}
 		if kind == EngineMCAS {
 			opts = append(opts, lfrc.WithEngine(lfrc.EngineMCAS))

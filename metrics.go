@@ -33,6 +33,13 @@ func (s *System) WriteMetrics(w io.Writer) {
 	writeHeader(w, "lfrc_load_retries_total", "counter", "LFRCLoad DCAS retries.")
 	writeScalar(w, "lfrc_load_retries_total", st.RC.LoadRetries)
 
+	writeHeader(w, "lfrc_rc_strategy", "gauge", "Reference-count strategy in effect (always 1; the label carries the name).")
+	writeLabeled(w, "lfrc_rc_strategy", "strategy", st.RCStrategy, 1)
+	writeHeader(w, "lfrc_rc_weight_refills_total", "counter", "Split-strategy stash refills: Loads that fell back to the Figure-2-shaped DCAS because a link's external count ran dry (always 0 under figure2).")
+	writeLabeled(w, "lfrc_rc_weight_refills_total", "strategy", st.RCStrategy, st.RC.WeightRefills)
+	writeHeader(w, "lfrc_rc_ext_merges_total", "counter", "Split-strategy external-count merges: unlinked pointers whose remaining stash was folded back into the object's count word (always 0 under figure2).")
+	writeLabeled(w, "lfrc_rc_ext_merges_total", "strategy", st.RCStrategy, st.RC.ExtMerges)
+
 	writeHeader(w, "lfrc_heap_allocs_total", "counter", "Objects allocated.")
 	writeScalar(w, "lfrc_heap_allocs_total", st.Heap.Allocs)
 	writeHeader(w, "lfrc_heap_frees_total", "counter", "Objects freed.")

@@ -32,19 +32,36 @@ func TestReclaimBackendSweep(t *testing.T) {
 }
 
 func sweepOneBackend(t *testing.T, rec lfrc.Reclaimer, plan string, seed uint64) {
-	sys, err := lfrc.New(
+	sweepOneConfig(t, rec, 0, plan, seed)
+}
+
+// sweepOneConfig runs the fault/chaos/auditor storm on one {reclaimer, rc
+// strategy} cell; strat 0 keeps the default (figure2). Extra options (the RC
+// sweep passes WithEngine) are appended last.
+func sweepOneConfig(t *testing.T, rec lfrc.Reclaimer, strat lfrc.RCStrategy, plan string, seed uint64, extra ...lfrc.Option) {
+	opts := []lfrc.Option{
 		lfrc.WithReclamation(rec),
 		lfrc.WithFaultPlan(plan),
 		lfrc.WithFaultSeed(seed),
 		lfrc.WithHeapPressurePolicy(lfrc.DefaultHeapPressurePolicy()),
 		lfrc.WithLifecycleLedger(1),
-	)
+	}
+	if strat != 0 {
+		opts = append(opts, lfrc.WithRCStrategy(strat))
+	}
+	opts = append(opts, extra...)
+	sys, err := lfrc.New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sys.Close()
 	if got := sys.ReclaimerName(); got != rec.String() {
 		t.Fatalf("system runs on %q, want %q", got, rec)
+	}
+	if strat != 0 {
+		if got := sys.RCStrategyName(); got != strat.String() {
+			t.Fatalf("system counts with %q, want %q", got, strat)
+		}
 	}
 	d, err := sys.NewDeque()
 	if err != nil {
@@ -136,6 +153,9 @@ func sweepOneBackend(t *testing.T, rec lfrc.Reclaimer, plan string, seed uint64)
 	}
 	if s.Reclaim.Backend != rec.String() {
 		t.Errorf("Stats.Reclaim.Backend = %q, want %q", s.Reclaim.Backend, rec)
+	}
+	if strat != 0 && s.RCStrategy != strat.String() {
+		t.Errorf("Stats.RCStrategy = %q, want %q", s.RCStrategy, strat)
 	}
 	if s.Reclaim.Freed < s.Reclaim.Retired {
 		t.Errorf("freed %d < retired %d after full drain", s.Reclaim.Freed, s.Reclaim.Retired)

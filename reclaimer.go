@@ -54,7 +54,7 @@ func ParseReclaimer(s string) (Reclaimer, error) {
 	case "epoch":
 		return ReclaimerEpoch, nil
 	default:
-		return 0, fmt.Errorf(`lfrc: unknown reclaimer %q (want "lfrc" or "epoch")`, s)
+		return 0, unknownNameError("reclaimer", s, "lfrc", "epoch")
 	}
 }
 

@@ -68,6 +68,7 @@ type Option interface {
 type config struct {
 	engine         Engine
 	reclaimer      Reclaimer
+	rcStrategy     RCStrategy
 	maxHeapWords   uint64
 	destroyBudget  int
 	poisonCheck    bool
@@ -122,86 +123,6 @@ func WithPoisonCheck(on bool) Option {
 // comparable across machines.
 func WithAllocShards(n int) Option {
 	return optionFunc(func(c *config) { c.allocShards = n })
-}
-
-// WithObserver enables or disables the flight recorder: a sampled,
-// allocation-free, lock-free trace of LFRC and allocator operations plus
-// latency and retry digests, read back with System.Trace. Recording is off
-// by default; when enabled it samples 1 in 64 operations unless
-// WithTraceSampling says otherwise.
-func WithObserver(on bool) Option {
-	return optionFunc(func(c *config) { c.observer = on })
-}
-
-// WithTraceSampling sets the flight recorder's sampling interval to 1-in-n
-// operations and implies WithObserver(true). n == 1 records every operation;
-// n == 0 installs the recorder with recording disabled, which isolates the
-// recorder's fixed hot-path cost (the "disabled" mode of experiment O1).
-func WithTraceSampling(n int) Option {
-	return optionFunc(func(c *config) {
-		c.observer = true
-		c.sampleEvery = n
-	})
-}
-
-// WithContention enables the DCAS contention observatory and implies
-// WithObserver(true): every LFRC and deque retry loop reports its failed
-// DCAS/CAS attempts per memory cell — blame split across the two comparands
-// by re-reading them — and the flight recorder's aggregation tap charges the
-// retried fraction of each sampled operation's latency to its cell as wasted
-// work. Read it back with System.ContentionReport, the human report on
-// /debug/lfrc/contention, Prometheus lfrc_contention_* series, or the
-// pprof-compatible profile on /debug/lfrc/contention.pb.gz. Uncontended
-// operations record nothing, so the overhead concentrates on paths that are
-// already losing races.
-func WithContention(on bool) Option {
-	return optionFunc(func(c *config) {
-		c.contention = on
-		if on {
-			c.observer = true
-		}
-	})
-}
-
-// WithLifecycleLedger enables the sampled per-object lifecycle ledger and
-// implies WithObserver(true): one in every n allocations is selected at
-// birth, and every subsequent event touching a selected object — including
-// operations the flight recorder's own op sampling skips — is appended to
-// that object's timeline with goroutine attribution. Read timelines back
-// with System.Timeline, population reports with System.Population, and export
-// everything with System.WriteChromeTrace. n == 1 tracks every object;
-// n == 0 installs the ledger with object sampling off — since an off ledger
-// can never claim an object it is detached from the recorder, so the
-// "disabled" mode of experiment O2 costs only the recorder's nil sink check.
-func WithLifecycleLedger(n int) Option {
-	return optionFunc(func(c *config) {
-		c.observer = true
-		if n < 0 {
-			n = 0
-		}
-		c.lifecycleEvery = n + 1 // internal encoding: 0 = off, k+1 = every k
-	})
-}
-
-// WithLifecycleAudit starts the online invariant auditor: a background
-// goroutine that sweeps the lifecycle ledger every interval, cross-checks
-// tracked objects against the heap, and flags leak candidates, use-after-
-// free, double frees, and stuck zombies (see System.Violations). Each new
-// finding also captures a flight-recorder postmortem, so auditor findings
-// surface through System.Postmortems alongside poison corruptions. Implies
-// WithLifecycleLedger at its default sampling when no ledger was requested.
-// Call System.Close to stop the auditor.
-func WithLifecycleAudit(interval time.Duration) Option {
-	return optionFunc(func(c *config) {
-		c.observer = true
-		if c.lifecycleEvery == 0 {
-			c.lifecycleEvery = lifecycle.DefaultSampleEvery + 1
-		}
-		if interval <= 0 {
-			interval = 100 * time.Millisecond
-		}
-		c.auditEvery = interval
-	})
 }
 
 // System bundles a manual heap, a DCAS engine, the LFRC operations, and the
@@ -280,6 +201,7 @@ func New(opts ...Option) (*System, error) {
 	cfg := config{
 		engine:       EngineLocking,
 		reclaimer:    ReclaimerLFRC,
+		rcStrategy:   RCFigure2,
 		maxHeapWords: 64 << 20,
 		poisonCheck:  true,
 		sampleEvery:  -1,
@@ -292,6 +214,11 @@ func New(opts ...Option) (*System, error) {
 	case ReclaimerLFRC, ReclaimerEpoch:
 	default:
 		return nil, fmt.Errorf("lfrc: unknown reclaimer %v", cfg.reclaimer)
+	}
+	switch cfg.rcStrategy {
+	case RCFigure2, RCSplit:
+	default:
+		return nil, fmt.Errorf("lfrc: unknown rc strategy %v", cfg.rcStrategy)
 	}
 
 	plan, err := fault.Parse(cfg.faultPlan)
@@ -351,6 +278,7 @@ func New(opts ...Option) (*System, error) {
 
 	var rcOpts []core.Option
 	rcOpts = append(rcOpts, core.WithReclaimerKind(cfg.reclaimer.kind()))
+	rcOpts = append(rcOpts, core.WithStrategyKind(cfg.rcStrategy.kind()))
 	if cfg.destroyBudget > 0 {
 		rcOpts = append(rcOpts, core.WithIncrementalDestroy(cfg.destroyBudget))
 	}
@@ -375,6 +303,10 @@ func New(opts ...Option) (*System, error) {
 		faultPlan:   cfg.faultPlan,
 		censusRoots: cfg.censusRoots,
 	}
+	// The backup collector walks pointer cells directly, so it must read
+	// them through the RC strategy's link codec (split packs a weight stash
+	// into the word; sweeping a dying link must return that stash).
+	s.collector.SetDecoder(s.rc.DecodeLink)
 	if led != nil {
 		var audOpts []lifecycle.AuditOption
 		if cfg.auditEvery > 0 {
@@ -549,9 +481,10 @@ func (s *System) Stats() Stats {
 		a.PerShard[i] = ShardStats(sh)
 	}
 	st := Stats{
-		Engine:  s.engine.Name(),
-		Heap:    HeapStats(s.heap.Stats()),
-		RC:      RCStats(s.rc.Stats()),
+		Engine:     s.engine.Name(),
+		RCStrategy: s.rc.StrategyName(),
+		Heap:       HeapStats(s.heap.Stats()),
+		RC:         RCStats(s.rc.Stats()),
 		Alloc:   a,
 		Reclaim: ReclaimStats(s.rc.Reclaimer().Stats()),
 		Zombies: s.rc.ZombieCount(),
@@ -592,6 +525,10 @@ func (s *System) Stats() Stats {
 type Stats struct {
 	// Engine names the DCAS engine the system runs on.
 	Engine string `json:"engine"`
+
+	// RCStrategy names the reference-count strategy in effect
+	// ("figure2" or "split"; see WithRCStrategy).
+	RCStrategy string `json:"rc_strategy"`
 
 	// Heap is the heap accounting (allocs, frees, liveness, corruption
 	// detectors).
@@ -686,6 +623,12 @@ type RCStats struct {
 	Destroys          int64 `json:"destroys"`
 	ZombiePushes      int64 `json:"zombie_pushes"`
 	PoisonedRCUpdates int64 `json:"poisoned_rc_updates"`
+
+	// WeightRefills and ExtMerges are split-strategy traffic: stash
+	// refills and external-count merges (always 0 under figure2). See
+	// WithRCStrategy.
+	WeightRefills int64 `json:"weight_refills"`
+	ExtMerges     int64 `json:"ext_merges"`
 }
 
 // AllocStats mirrors the sharded allocator's snapshot. See the internal
@@ -746,7 +689,7 @@ type CollectResult struct {
 // postmortem (the trailing flight events touching the offending ref),
 // retrievable with Postmortems.
 func (s *System) Audit() []string {
-	vs := check.AuditRC(s.heap, s.collector.Roots())
+	vs := check.AuditRCDecoded(s.heap, s.collector.Roots(), s.rc.DecodeLink)
 	out := make([]string, len(vs))
 	for i, v := range vs {
 		out[i] = v.String()
